@@ -1,0 +1,52 @@
+"""Shared helpers for the experiment benchmarks (E1-E12).
+
+Each benchmark regenerates one of the paper's quantitative claims and
+prints a paper-style table; tables are also written to
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.net import M2HeWNetwork, build_network, channels, topology
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def heterogeneous_net(
+    num_nodes: int = 15,
+    radius: float = 0.42,
+    universal: int = 8,
+    set_size: int = 3,
+    seed: int = 0,
+) -> M2HeWNetwork:
+    """The default heterogeneous workload: connected geometric placement,
+    random channel subsets sharing a common control channel."""
+    rng = np.random.default_rng(seed)
+    topo = topology.random_geometric(
+        num_nodes, radius=radius, rng=rng, require_connected=True
+    )
+    assignment = channels.common_channel_plus_random(
+        topo.num_nodes, universal_size=universal, set_size=set_size, rng=rng
+    )
+    return build_network(topo, assignment)
+
+
+def emit_table(
+    experiment: str,
+    rows: Sequence[Mapping[str, Any]],
+    title: str,
+    columns: Sequence[str] = None,
+) -> str:
+    """Print the experiment table and persist it under results/."""
+    text = format_table(rows, columns=columns, title=title)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+    return text

@@ -1,0 +1,103 @@
+"""E10 — §I related work: randomized vs deterministic discovery.
+
+Claim: deterministic multi-channel algorithms ([20]-[22]) run in time
+proportional to the *product* of the agreed maximum network size N_max
+and the universal channel set size |U|; the paper's randomized
+algorithms depend on the actual contention (S, Δ, ρ) and only
+logarithmically on N — so they win whenever the id space is sized for a
+large potential deployment.
+
+Output: completion slots of the deterministic scan vs Algorithms 1/3 on
+the same single-common-channel clique for growing id spaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _helpers import emit_table
+from repro.analysis.stats import mean
+from repro.net import build_network, channels, topology
+from repro.sim.runner import run_synchronous, run_trials
+
+TRIALS = 8
+NUM_NODES = 8
+UNIVERSAL = 25
+ID_SPACES = (8, 64, 512)
+
+
+def build_net():
+    rng = np.random.default_rng(1010)
+    topo = topology.clique(NUM_NODES)
+    assignment = channels.single_common_channel(NUM_NODES, UNIVERSAL, 3, rng)
+    return build_network(topo, assignment)
+
+
+def run_experiment():
+    net = build_net()
+    # The agreed universal set is the whole spectrum; adversarial-but-fair
+    # order: the one shared channel is not conveniently first.
+    universal_order = list(range(1, UNIVERSAL)) + [0]
+
+    rows = []
+    det_times = {}
+    for id_space in ID_SPACES:
+        result = run_synchronous(
+            net,
+            "deterministic_scan",
+            seed=0,
+            max_slots=len(universal_order) * id_space,
+            engine="reference",
+            universal_channels=universal_order,
+            id_space_size=id_space,
+        )
+        assert result.completed
+        det_times[id_space] = result.completion_time
+        rows.append(
+            {
+                "protocol": f"deterministic_scan (N_max={id_space})",
+                "mean_slots": result.completion_time,
+                "worst_case_slots": len(universal_order) * id_space,
+            }
+        )
+
+    rand_means = {}
+    for protocol, delta_est in (("algorithm1", 8), ("algorithm3", 8)):
+        results = run_trials(
+            lambda seed, p=protocol, de=delta_est: run_synchronous(
+                net, p, seed=seed, max_slots=500_000, delta_est=de
+            ),
+            num_trials=TRIALS,
+            base_seed=1011,
+        )
+        assert all(r.completed for r in results)
+        m = mean([r.completion_time for r in results])
+        rand_means[protocol] = m
+        rows.append(
+            {
+                "protocol": f"{protocol} (randomized)",
+                "mean_slots": round(m, 1),
+                "worst_case_slots": None,
+            }
+        )
+
+    emit_table(
+        "e10_baselines",
+        rows,
+        title=(
+            f"E10 — deterministic product bound vs randomized discovery "
+            f"(N={NUM_NODES} clique, |U|={UNIVERSAL}, single common channel)"
+        ),
+    )
+    return det_times, rand_means
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_baselines(benchmark):
+    det_times, rand_means = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Deterministic completion scales with the id space (the product bound).
+    assert det_times[512] > det_times[64] > det_times[8]
+    # For a realistically sized id space, both randomized algorithms win.
+    for m in rand_means.values():
+        assert m < det_times[512]

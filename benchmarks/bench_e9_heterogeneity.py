@@ -1,0 +1,153 @@
+"""E9 — §I-II heterogeneity cost: 1/ρ scaling and the universal-set trap.
+
+Two claims from the paper's introduction and model sections:
+
+1. Running time is inversely proportional to the minimum span-ratio ρ
+   (the heterogeneity measure): shrinking every link's span slows
+   discovery proportionally.
+2. The related-work universal-sweep construction pays Θ(|U|) even when
+   all nodes share a common channel and the rest of U is dead spectrum;
+   the paper's Algorithm 3 tracks only the available sets.
+
+Output: (a) mean completion vs ρ on a grid with adversarially controlled
+span; (b) universal sweep vs Algorithm 3 as |U| grows with available
+sets fixed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _helpers import emit_table
+from repro.analysis.stats import mean
+from repro.net import build_network, channels, topology
+from repro.sim.runner import run_synchronous, run_trials
+
+TRIALS = 10
+SET_SIZE = 4
+OVERLAPS = (4, 2, 1)  # rho = 1, 1/2, 1/4
+UNIVERSALS = (13, 25, 49)
+
+
+def rho_sweep():
+    topo = topology.grid(3, 3)
+    rows = []
+    means = {}
+    for overlap in OVERLAPS:
+        rng = np.random.default_rng(909)
+        assignment = channels.adversarial_min_overlap(
+            topo, set_size=SET_SIZE, overlap=overlap, rng=rng
+        )
+        net = build_network(topo, assignment)
+        results = run_trials(
+            lambda seed: run_synchronous(
+                net, "algorithm3", seed=seed, max_slots=500_000, delta_est=8
+            ),
+            num_trials=TRIALS,
+            base_seed=910,
+        )
+        assert all(r.completed for r in results)
+        m = mean([r.completion_time for r in results])
+        means[overlap] = m
+        rows.append(
+            {
+                "rho": round(overlap / SET_SIZE, 3),
+                "span": overlap,
+                "mean_slots": round(m, 1),
+                "slots_x_rho": round(m * overlap / SET_SIZE, 1),
+            }
+        )
+    return rows, means
+
+
+def universal_trap():
+    rows = []
+    times = {}
+    for universal in UNIVERSALS:
+        rng = np.random.default_rng(911)
+        num_nodes = 6
+        topo = topology.clique(num_nodes)
+        assignment = channels.single_common_channel(
+            num_nodes, universal, 3, rng
+        )
+        net = build_network(topo, assignment)
+        # The strawman's agreed universal set is the whole spectrum the
+        # radios could operate on — including channels no node currently
+        # has available (that is precisely its Section I weakness).
+        universal_order = list(range(universal))
+
+        def sweep_trial(seed):
+            return run_synchronous(
+                net,
+                "universal_sweep",
+                seed=seed,
+                max_slots=500_000,
+                delta_est=8,
+                engine="reference",
+                universal_channels=universal_order,
+            )
+
+        def alg3_trial(seed):
+            return run_synchronous(
+                net, "algorithm3", seed=seed, max_slots=500_000, delta_est=8
+            )
+
+        sweep = run_trials(sweep_trial, num_trials=TRIALS, base_seed=912)
+        alg3 = run_trials(alg3_trial, num_trials=TRIALS, base_seed=913)
+        assert all(r.completed for r in sweep + alg3)
+        m_sweep = mean([r.completion_time for r in sweep])
+        m_alg3 = mean([r.completion_time for r in alg3])
+        times[universal] = (m_sweep, m_alg3)
+        rows.append(
+            {
+                "|U|": universal,
+                "sweep_mean_slots": round(m_sweep, 1),
+                "alg3_mean_slots": round(m_alg3, 1),
+                "sweep/alg3": round(m_sweep / m_alg3, 2),
+            }
+        )
+    return rows, times
+
+
+def run_experiment():
+    rho_rows, rho_means = rho_sweep()
+    trap_rows, trap_times = universal_trap()
+    emit_table(
+        "e9_rho",
+        rho_rows,
+        title=(
+            "E9a — Algorithm 3 completion vs rho (3x3 grid, |A| = 4, "
+            "adversarial span)"
+        ),
+    )
+    emit_table(
+        "e9_universal",
+        trap_rows,
+        title=(
+            "E9b — universal sweep vs Algorithm 3 with one common channel "
+            "and growing dead spectrum (6-node clique, |A| = 3)"
+        ),
+    )
+    return rho_means, trap_times
+
+
+@pytest.mark.benchmark(group="e9")
+def test_e9_heterogeneity(benchmark):
+    rho_means, trap_times = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # (1) time grows as rho shrinks, as the power law 1/rho: fit the
+    # exponent of mean-time vs rho.
+    from repro.analysis.regression import fit_power_law
+
+    assert rho_means[1] > rho_means[2] > rho_means[4]
+    rhos = [overlap / SET_SIZE for overlap in OVERLAPS]
+    times = [rho_means[overlap] for overlap in OVERLAPS]
+    fit = fit_power_law(rhos, times)
+    assert fit.exponent == pytest.approx(-1.0, abs=0.35)
+    assert fit.r_squared > 0.9
+    # (2) the sweep degrades with |U| while Algorithm 3 does not.
+    sweep_small, alg3_small = trap_times[UNIVERSALS[0]]
+    sweep_big, alg3_big = trap_times[UNIVERSALS[-1]]
+    assert sweep_big > 2.0 * sweep_small
+    assert alg3_big < 2.0 * alg3_small
+    assert sweep_big > alg3_big

@@ -1,0 +1,171 @@
+"""Baseline showdown: why the paper's algorithms beat the alternatives.
+
+Reproduces the §I arguments head to head on the adversarial
+single-common-channel workload: a large licensed spectrum of which every
+node can use only a few channels, and any two nodes share exactly one.
+
+Contestants:
+
+* ``universal_sweep`` — one single-channel birthday instance per agreed
+  universal channel, time-multiplexed (the related-work construction);
+* ``deterministic_scan`` — the Θ(N_max·|U|) deterministic schedule of
+  [20]-[22] with a realistic id space;
+* ``algorithm3`` — the paper's flat randomized algorithm.
+
+Also demonstrates the sweep's fatal stagger sensitivity (§I, third
+disadvantage).
+
+Run:  python examples/baseline_showdown.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import sim
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.net import build_network, channels, topology
+
+NUM_NODES = 8
+UNIVERSAL = 33  # licensed spectrum size
+SET_SIZE = 4    # channels available per node
+ID_SPACE = 256  # agreed id space for the deterministic baseline
+TRIALS = 10
+
+
+def build():
+    rng = np.random.default_rng(5)
+    topo = topology.clique(NUM_NODES)
+    assignment = channels.single_common_channel(
+        NUM_NODES, UNIVERSAL, SET_SIZE, rng
+    )
+    return build_network(topo, assignment)
+
+
+def main() -> None:
+    network = build()
+    print(
+        format_table(
+            [network.parameter_summary()],
+            title=(
+                f"{NUM_NODES}-node clique, |U|={UNIVERSAL}, every pair "
+                "shares exactly one channel"
+            ),
+        )
+    )
+    universal_order = list(range(1, UNIVERSAL)) + [0]  # shared channel last
+
+    rows = []
+
+    # Universal sweep (synchronized starts — its best case).
+    sweep = sim.run_trials(
+        lambda seed: sim.run_synchronous(
+            network,
+            "universal_sweep",
+            seed=seed,
+            max_slots=500_000,
+            delta_est=8,
+            engine="reference",
+            universal_channels=universal_order,
+        ),
+        num_trials=TRIALS,
+        base_seed=50,
+    )
+    s = summarize([r.completion_time for r in sweep])
+    rows.append(
+        {
+            "protocol": "universal_sweep (synced)",
+            "mean_slots": round(s.mean, 1),
+            "p90_slots": round(s.p90, 1),
+        }
+    )
+
+    # Deterministic scan: one pass is guaranteed, but the pass is long.
+    det = sim.run_synchronous(
+        network,
+        "deterministic_scan",
+        seed=0,
+        max_slots=UNIVERSAL * ID_SPACE,
+        engine="reference",
+        universal_channels=universal_order,
+        id_space_size=ID_SPACE,
+    )
+    rows.append(
+        {
+            "protocol": f"deterministic_scan (N_max={ID_SPACE})",
+            "mean_slots": det.completion_time,
+            "p90_slots": det.completion_time,
+        }
+    )
+
+    # Algorithm 3.
+    alg3 = sim.run_trials(
+        lambda seed: sim.run_synchronous(
+            network, "algorithm3", seed=seed, max_slots=500_000, delta_est=8
+        ),
+        num_trials=TRIALS,
+        base_seed=51,
+    )
+    s3 = summarize([r.completion_time for r in alg3])
+    rows.append(
+        {
+            "protocol": "algorithm3 (paper)",
+            "mean_slots": round(s3.mean, 1),
+            "p90_slots": round(s3.p90, 1),
+        }
+    )
+
+    print()
+    print(format_table(rows, title="Discovery time, identical start times"))
+
+    # The stagger experiment: offset node starts by a single slot.
+    staggered_sweep = sim.run_synchronous(
+        network,
+        "universal_sweep",
+        seed=60,
+        max_slots=100_000,
+        delta_est=8,
+        engine="reference",
+        universal_channels=universal_order,
+        start_offsets={nid: nid % 2 for nid in network.node_ids},
+    )
+    staggered_alg3 = sim.run_synchronous(
+        network,
+        "algorithm3",
+        seed=60,
+        max_slots=100_000,
+        delta_est=8,
+        start_offsets={nid: nid % 2 for nid in network.node_ids},
+    )
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "protocol": "universal_sweep",
+                    "stagger": "1 slot",
+                    "coverage": f"{staggered_sweep.coverage_fraction:.0%}",
+                    "completed": staggered_sweep.completed,
+                },
+                {
+                    "protocol": "algorithm3",
+                    "stagger": "1 slot",
+                    "coverage": f"{staggered_alg3.coverage_fraction:.0%}",
+                    "completed": staggered_alg3.completed,
+                },
+            ],
+            title="One slot of start-time stagger (Section I, disadvantage 3)",
+        )
+    )
+
+    assert staggered_alg3.completed
+    print(
+        "\nTakeaway: the sweep pays for dead spectrum and collapses under "
+        "stagger; the deterministic scan pays N_max x |U|; Algorithm 3 "
+        "pays only for actual contention."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — neighbor discovery in M2HeW (cognitive-radio) networks.
+
+A faithful reproduction of *Randomized Distributed Algorithms for
+Neighbor Discovery in Multi-Hop Multi-Channel Heterogeneous Wireless
+Networks* (Mittal, Zeng, Venkatesan, Chandrasekaran — ICDCS 2011),
+including the four randomized discovery algorithms, the synchronous and
+asynchronous (drifting-clock) simulation substrates they run on, the
+baselines the paper argues against, and an analysis toolkit that checks
+every theorem and lemma empirically.
+
+Quickstart::
+
+    import numpy as np
+    from repro import net, sim
+
+    rng = np.random.default_rng(7)
+    topo = net.topology.random_geometric(20, radius=0.35, rng=rng,
+                                         require_connected=True)
+    assignment = net.channels.common_channel_plus_random(
+        topo.num_nodes, universal_size=8, set_size=3, rng=rng)
+    network = net.build_network(topo, assignment)
+
+    result = sim.run_synchronous(
+        network, "algorithm3", seed=42, max_slots=50_000,
+        delta_est=network.max_degree)
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from . import analysis, apps, baselines, core, net, sim, workloads
+from .core import (
+    AsyncFrameDiscovery,
+    FlatSyncDiscovery,
+    GrowingEstimateSyncDiscovery,
+    StagedSyncDiscovery,
+    bounds,
+)
+from .exceptions import (
+    ClockModelError,
+    ConfigurationError,
+    NetworkModelError,
+    ReproError,
+    SimulationError,
+)
+from .net import M2HeWNetwork, build_network
+from .sim import DiscoveryResult, run_asynchronous, run_synchronous, run_trials
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AsyncFrameDiscovery",
+    "ClockModelError",
+    "ConfigurationError",
+    "DiscoveryResult",
+    "FlatSyncDiscovery",
+    "GrowingEstimateSyncDiscovery",
+    "M2HeWNetwork",
+    "NetworkModelError",
+    "ReproError",
+    "SimulationError",
+    "StagedSyncDiscovery",
+    "__version__",
+    "analysis",
+    "apps",
+    "baselines",
+    "bounds",
+    "build_network",
+    "core",
+    "net",
+    "run_asynchronous",
+    "run_synchronous",
+    "run_trials",
+    "sim",
+    "workloads",
+]

@@ -1,0 +1,31 @@
+"""Analysis toolkit: statistics, coverage estimation, alignment checks."""
+
+from __future__ import annotations
+
+from . import (
+    alignment,
+    coverage,
+    energy,
+    network_stats,
+    progress,
+    regression,
+    stats,
+    sweeps,
+    tables,
+    theory,
+    timeline,
+)
+
+__all__ = [
+    "alignment",
+    "coverage",
+    "energy",
+    "network_stats",
+    "progress",
+    "regression",
+    "stats",
+    "sweeps",
+    "tables",
+    "theory",
+    "timeline",
+]

@@ -1,0 +1,167 @@
+"""Energy accounting for discovery protocols.
+
+Neighbor discovery is usually the first thing a battery-powered node
+does after deployment, so its energy cost matters as much as its
+latency (the birthday-protocol line of work [1] is explicitly about
+"low energy deployment"). The engines count each node's radio activity
+— slots/seconds spent transmitting, listening and quiet — and this
+module turns those counts into energy figures under a standard radio
+power model.
+
+Usage::
+
+    result = sim.run_synchronous(...)
+    model = EnergyModel.cc2420()
+    report = energy_report(result, model, slot_seconds=0.01)
+    report.total_joules, report.per_node[3]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..exceptions import ConfigurationError
+from ..sim.results import DiscoveryResult
+
+__all__ = ["EnergyModel", "NodeEnergy", "EnergyReport", "energy_report"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Radio power draw per mode, in watts.
+
+    Attributes:
+        tx_watts: Power while transmitting.
+        rx_watts: Power while listening (receive/idle-listening).
+        quiet_watts: Power with the transceiver shut off (sleep).
+    """
+
+    tx_watts: float
+    rx_watts: float
+    quiet_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("tx_watts", "rx_watts", "quiet_watts"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    @classmethod
+    def cc2420(cls) -> "EnergyModel":
+        """The classic 802.15.4 radio's datasheet numbers (~2006):
+        17.4 mA tx @ 0 dBm, 18.8 mA rx, ~1 uA sleep, at 3.0 V."""
+        return cls(tx_watts=0.0522, rx_watts=0.0564, quiet_watts=3e-6)
+
+    @classmethod
+    def unit(cls) -> "EnergyModel":
+        """1 W in every active mode — energy equals active radio time."""
+        return cls(tx_watts=1.0, rx_watts=1.0, quiet_watts=0.0)
+
+    def energy(self, tx_s: float, rx_s: float, quiet_s: float) -> float:
+        """Joules for the given per-mode durations (seconds)."""
+        return (
+            self.tx_watts * tx_s
+            + self.rx_watts * rx_s
+            + self.quiet_watts * quiet_s
+        )
+
+
+@dataclass(frozen=True)
+class NodeEnergy:
+    """One node's radio time and energy."""
+
+    node_id: int
+    tx_seconds: float
+    rx_seconds: float
+    quiet_seconds: float
+    joules: float
+
+    @property
+    def duty_cycle(self) -> float:
+        """Active fraction: (tx + rx) / total radio time."""
+        total = self.tx_seconds + self.rx_seconds + self.quiet_seconds
+        if total == 0:
+            return 0.0
+        return (self.tx_seconds + self.rx_seconds) / total
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy of a whole discovery run."""
+
+    per_node: Dict[int, NodeEnergy]
+    total_joules: float
+    mean_joules: float
+    max_joules: float
+    joules_per_link: Optional[float]
+
+    def as_rows(self):
+        """Row form for table rendering."""
+        return [
+            {
+                "node": ne.node_id,
+                "tx_s": round(ne.tx_seconds, 4),
+                "rx_s": round(ne.rx_seconds, 4),
+                "quiet_s": round(ne.quiet_seconds, 4),
+                "joules": round(ne.joules, 6),
+                "duty_cycle": round(ne.duty_cycle, 4),
+            }
+            for ne in sorted(self.per_node.values(), key=lambda n: n.node_id)
+        ]
+
+
+def _activity_from_result(result: DiscoveryResult) -> Mapping[int, Mapping[str, float]]:
+    activity = result.metadata.get("radio_activity")
+    if activity is None:
+        raise ConfigurationError(
+            "result carries no radio_activity metadata; run with an engine "
+            "that records it (all bundled engines do)"
+        )
+    return activity  # type: ignore[return-value]
+
+
+def energy_report(
+    result: DiscoveryResult,
+    model: EnergyModel,
+    slot_seconds: float = 1.0,
+) -> EnergyReport:
+    """Energy for one run.
+
+    Args:
+        result: A discovery result with ``radio_activity`` metadata.
+            Synchronous results count slots (scaled by ``slot_seconds``);
+            asynchronous results already carry seconds.
+        model: Radio power model.
+        slot_seconds: Real duration of one synchronous slot; ignored for
+            asynchronous results.
+    """
+    if slot_seconds <= 0:
+        raise ConfigurationError(
+            f"slot_seconds must be positive, got {slot_seconds}"
+        )
+    scale = slot_seconds if result.time_unit == "slots" else 1.0
+    activity = _activity_from_result(result)
+
+    per_node: Dict[int, NodeEnergy] = {}
+    for nid, modes in activity.items():
+        tx = float(modes.get("tx", 0.0)) * scale
+        rx = float(modes.get("rx", 0.0)) * scale
+        quiet = float(modes.get("quiet", 0.0)) * scale
+        per_node[int(nid)] = NodeEnergy(
+            node_id=int(nid),
+            tx_seconds=tx,
+            rx_seconds=rx,
+            quiet_seconds=quiet,
+            joules=model.energy(tx, rx, quiet),
+        )
+
+    joules = [ne.joules for ne in per_node.values()]
+    total = sum(joules)
+    links = result.num_covered
+    return EnergyReport(
+        per_node=per_node,
+        total_joules=total,
+        mean_joules=total / len(joules) if joules else 0.0,
+        max_joules=max(joules) if joules else 0.0,
+        joules_per_link=(total / links) if links else None,
+    )

@@ -1,0 +1,112 @@
+"""Structural statistics of M2HeW network instances.
+
+Experiments report not just ``N, S, Δ, ρ`` but how heterogeneity is
+*distributed*: per-channel degree profiles, span-size histograms,
+availability overlap between neighbors. These summaries drive workload
+sanity checks ("is this instance actually heterogeneous?") and the
+``m2hew info --detail`` CLI view.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..exceptions import NetworkModelError
+from ..net.network import M2HeWNetwork
+
+__all__ = ["NetworkProfile", "profile_network"]
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Distributional summary of one network instance.
+
+    Attributes:
+        channel_set_sizes: Histogram of ``|A(u)|`` values.
+        span_sizes: Histogram of link span sizes.
+        span_ratios: Sorted span-ratios of all links.
+        per_channel_links: Directed links operating on each channel
+            (a link counts for every channel in its span).
+        per_channel_max_degree: ``max_u Δ(u, c)`` per channel.
+        mean_span_ratio: Average link span-ratio (ρ is the minimum).
+        isolated_nodes: Nodes with no links at all.
+        asymmetric_links: Directed links whose reverse does not exist.
+    """
+
+    channel_set_sizes: Dict[int, int]
+    span_sizes: Dict[int, int]
+    span_ratios: Tuple[float, ...]
+    per_channel_links: Dict[int, int]
+    per_channel_max_degree: Dict[int, int]
+    mean_span_ratio: float
+    isolated_nodes: Tuple[int, ...]
+    asymmetric_links: int
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Per-channel row form for table rendering."""
+        return [
+            {
+                "channel": c,
+                "links_using": self.per_channel_links.get(c, 0),
+                "max_degree": self.per_channel_max_degree.get(c, 0),
+            }
+            for c in sorted(self.per_channel_max_degree)
+        ]
+
+    @property
+    def heterogeneity_index(self) -> float:
+        """``1 − mean span-ratio`` — 0 for fully homogeneous networks."""
+        return 1.0 - self.mean_span_ratio
+
+
+def profile_network(network: M2HeWNetwork) -> NetworkProfile:
+    """Compute a :class:`NetworkProfile` for ``network``.
+
+    Raises:
+        NetworkModelError: If the network has no links — there is no
+            discovery problem to profile.
+    """
+    links = network.links()
+    if not links:
+        raise NetworkModelError("network has no links; nothing to profile")
+
+    set_sizes = Counter(
+        len(network.channels_of(nid)) for nid in network.node_ids
+    )
+    span_sizes = Counter(len(link.span) for link in links)
+    ratios = tuple(sorted(link.span_ratio for link in links))
+
+    per_channel_links: Counter = Counter()
+    for link in links:
+        for c in link.span:
+            per_channel_links[c] += 1
+
+    per_channel_max_degree: Dict[int, int] = {}
+    for c in network.universal_channel_set:
+        best = 0
+        for nid in network.node_ids:
+            best = max(best, network.degree_on(nid, c))
+        per_channel_max_degree[c] = best
+
+    link_keys = {link.key for link in links}
+    asymmetric = sum(1 for (a, b) in link_keys if (b, a) not in link_keys)
+
+    covered_nodes = {link.transmitter for link in links} | {
+        link.receiver for link in links
+    }
+    isolated = tuple(
+        nid for nid in network.node_ids if nid not in covered_nodes
+    )
+
+    return NetworkProfile(
+        channel_set_sizes=dict(set_sizes),
+        span_sizes=dict(span_sizes),
+        span_ratios=ratios,
+        per_channel_links=dict(per_channel_links),
+        per_channel_max_degree=per_channel_max_degree,
+        mean_span_ratio=sum(ratios) / len(ratios),
+        isolated_nodes=isolated,
+        asymmetric_links=asymmetric,
+    )

@@ -1,0 +1,168 @@
+"""Coverage-progress analysis: how discovery unfolds over time.
+
+A :class:`~repro.sim.results.DiscoveryResult` stores the first-coverage
+time of every directed link; this module turns one or many results into
+
+* a **coverage curve** — fraction of links covered by time ``t``;
+* a **reliability curve** — empirical probability (across trials) that
+  discovery has *completed* by time ``t``, directly comparable to the
+  theorems' "within budget w.p. ≥ 1 − ε" statements;
+* summary scalars (time to 50 %/90 %/100 % coverage, curve area).
+
+These are the longitudinal views behind every table in EXPERIMENTS.md:
+the theorems bound the curves' right tails.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from ..sim.results import DiscoveryResult
+from .stats import percentile
+
+__all__ = [
+    "CoverageCurve",
+    "coverage_curve",
+    "mean_coverage_curve",
+    "reliability_curve",
+    "time_to_fraction",
+]
+
+
+@dataclass(frozen=True)
+class CoverageCurve:
+    """A non-decreasing step curve ``t -> fraction``.
+
+    Attributes:
+        times: Step positions, strictly increasing.
+        fractions: Curve value from ``times[i]`` (inclusive) onward.
+    """
+
+    times: Tuple[float, ...]
+    fractions: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.fractions):
+            raise ConfigurationError("times and fractions must align")
+        if any(b <= a for a, b in zip(self.times, self.times[1:])):
+            raise ConfigurationError("times must be strictly increasing")
+        if any(b < a - 1e-12 for a, b in zip(self.fractions, self.fractions[1:])):
+            raise ConfigurationError("coverage curves are non-decreasing")
+
+    def value_at(self, t: float) -> float:
+        """Curve value at time ``t`` (0 before the first step)."""
+        idx = bisect.bisect_right(self.times, t) - 1
+        if idx < 0:
+            return 0.0
+        return self.fractions[idx]
+
+    def first_time_reaching(self, fraction: float) -> Optional[float]:
+        """Earliest time the curve reaches ``fraction``, or ``None``."""
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"fraction must be in (0, 1], got {fraction}"
+            )
+        for t, f in zip(self.times, self.fractions):
+            if f >= fraction - 1e-12:
+                return t
+        return None
+
+    def area_above(self, horizon: float) -> float:
+        """``∫₀ᴴ (1 − curve(t)) dt`` — total link-waiting time, lower is
+        better; a scalar for comparing protocols' whole curves."""
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        area = 0.0
+        prev_t, prev_f = 0.0, 0.0
+        for t, f in zip(self.times, self.fractions):
+            if t >= horizon:
+                break
+            area += (t - prev_t) * (1.0 - prev_f)
+            prev_t, prev_f = t, f
+        area += (horizon - prev_t) * (1.0 - prev_f)
+        return area
+
+
+def coverage_curve(result: DiscoveryResult) -> CoverageCurve:
+    """The coverage curve of one run.
+
+    Raises:
+        ConfigurationError: For a run with no links (the curve is
+            degenerate and comparisons are meaningless).
+    """
+    if not result.coverage:
+        raise ConfigurationError("result tracks no links")
+    total = len(result.coverage)
+    times = sorted(t for t in result.coverage.values() if t is not None)
+    steps: List[Tuple[float, float]] = []
+    covered = 0
+    for t in times:
+        covered += 1
+        if steps and steps[-1][0] == t:
+            steps[-1] = (t, covered / total)
+        else:
+            steps.append((t, covered / total))
+    return CoverageCurve(
+        times=tuple(s[0] for s in steps),
+        fractions=tuple(s[1] for s in steps),
+    )
+
+
+def mean_coverage_curve(
+    results: Sequence[DiscoveryResult],
+    grid: Sequence[float],
+) -> CoverageCurve:
+    """Average of per-trial coverage curves sampled on ``grid``."""
+    if not results:
+        raise ConfigurationError("no trials supplied")
+    if not grid or any(b <= a for a, b in zip(grid, list(grid)[1:])):
+        raise ConfigurationError("grid must be non-empty and increasing")
+    curves = [coverage_curve(r) for r in results]
+    fractions = tuple(
+        sum(c.value_at(t) for c in curves) / len(curves) for t in grid
+    )
+    return CoverageCurve(times=tuple(float(t) for t in grid), fractions=fractions)
+
+
+def reliability_curve(
+    results: Sequence[DiscoveryResult],
+    grid: Sequence[float],
+    after_all_started: bool = False,
+) -> CoverageCurve:
+    """Fraction of trials fully completed by each grid time.
+
+    This is the empirical counterpart of the theorems' success
+    probability: at the theorem budget the curve should be ≥ 1 − ε.
+    """
+    if not results:
+        raise ConfigurationError("no trials supplied")
+    completions = []
+    for r in results:
+        t = (
+            r.completion_after_all_started
+            if after_all_started
+            else r.completion_time
+        )
+        completions.append(t)
+    fractions = tuple(
+        sum(1 for t in completions if t is not None and t <= g) / len(results)
+        for g in grid
+    )
+    return CoverageCurve(times=tuple(float(g) for g in grid), fractions=fractions)
+
+
+def time_to_fraction(
+    results: Sequence[DiscoveryResult], fraction: float, q: float = 50.0
+) -> Optional[float]:
+    """Percentile (default median) across trials of the time to reach a
+    link-coverage fraction; ``None`` if any trial never reaches it."""
+    times = []
+    for r in results:
+        t = coverage_curve(r).first_time_reaching(fraction)
+        if t is None:
+            return None
+        times.append(t)
+    return percentile(times, q)

@@ -1,0 +1,87 @@
+"""Scaling-law fits for sweep results.
+
+The theorems predict power-law shapes — time linear in ``max(S, Δ)``,
+inverse in ``ρ``, logarithmic in ``N`` — and the scaling experiments
+check them by fitting measured sweeps. :func:`fit_power_law` estimates
+the exponent of ``y ≈ a·x^b`` by least squares in log-log space and
+reports the fit quality, replacing eyeballed ratios with a number the
+benches can assert on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["PowerLawFit", "fit_power_law", "fit_log_law"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = a · x^exponent``.
+
+    Attributes:
+        exponent: The fitted power ``b``.
+        prefactor: The fitted ``a``.
+        r_squared: Coefficient of determination in log-log space.
+    """
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """``a · x^b`` at ``x``."""
+        return self.prefactor * x ** self.exponent
+
+
+def _check_inputs(xs: Sequence[float], ys: Sequence[float]) -> None:
+    if len(xs) != len(ys):
+        raise ConfigurationError("xs and ys must have equal length")
+    if len(xs) < 3:
+        raise ConfigurationError("need at least 3 points to fit")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ConfigurationError("power-law fits need positive data")
+    if len(set(xs)) < 2:
+        raise ConfigurationError("xs must not be constant")
+
+
+def _least_squares(us: Sequence[float], vs: Sequence[float]) -> Tuple[float, float, float]:
+    n = len(us)
+    mu = sum(us) / n
+    mv = sum(vs) / n
+    sxx = sum((u - mu) ** 2 for u in us)
+    sxy = sum((u - mu) * (v - mv) for u, v in zip(us, vs))
+    slope = sxy / sxx
+    intercept = mv - slope * mu
+    ss_res = sum(
+        (v - (intercept + slope * u)) ** 2 for u, v in zip(us, vs)
+    )
+    ss_tot = sum((v - mv) ** 2 for v in vs)
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return slope, intercept, r2
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = a·x^b`` by linear regression of ``log y`` on ``log x``."""
+    _check_inputs(xs, ys)
+    us = [math.log(x) for x in xs]
+    vs = [math.log(y) for y in ys]
+    slope, intercept, r2 = _least_squares(us, vs)
+    return PowerLawFit(
+        exponent=slope, prefactor=math.exp(intercept), r_squared=r2
+    )
+
+
+def fit_log_law(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
+    """Fit ``y = a + b·log x``; returns ``(b, a, r²)``.
+
+    The shape the theorems predict for the ``N`` dependence.
+    """
+    _check_inputs(xs, ys)
+    us = [math.log(x) for x in xs]
+    slope, intercept, r2 = _least_squares(us, list(ys))
+    return slope, intercept, r2

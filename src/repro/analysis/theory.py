@@ -1,0 +1,193 @@
+"""Paper-bound vs measured comparisons.
+
+Turns a batch of :class:`~repro.sim.results.DiscoveryResult` trials plus
+the matching theorem budget into one comparison row: success rate at the
+budget, measured completion-time statistics and the bound/measured
+ratio. ``EXPERIMENTS.md`` is generated from these rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from ..sim.results import DiscoveryResult
+from .stats import SampleSummary, summarize, wilson_interval
+
+__all__ = [
+    "BoundComparison",
+    "compare_to_bound",
+    "exact_pair_coverage_probability",
+    "expected_pair_discovery_slots",
+    "success_rate_within",
+]
+
+
+def exact_pair_coverage_probability(
+    tx_channels: int,
+    rx_channels: int,
+    span: int,
+    tx_prob: float,
+    rx_prob: float,
+) -> float:
+    """Exact per-slot coverage probability for an isolated pair.
+
+    For a two-node network (no interferers), the link from ``v`` to
+    ``u`` is covered in a slot iff both pick the same span channel, ``v``
+    transmits and ``u`` listens:
+
+        ``q = span · (tx_prob / |A(v)|) · ((1 − rx_prob) / |A(u)|)``
+
+    This closed form anchors the engines: measured mean discovery time
+    must match the geometric expectation ``1/q`` (see
+    ``tests/test_property_engines.py``).
+    """
+    if span < 1 or span > min(tx_channels, rx_channels):
+        raise ConfigurationError(
+            f"span {span} inconsistent with channel counts "
+            f"{tx_channels}/{rx_channels}"
+        )
+    if not (0.0 < tx_prob <= 1.0) or not (0.0 <= rx_prob < 1.0):
+        raise ConfigurationError(
+            f"need 0 < tx_prob <= 1 and 0 <= rx_prob < 1, got "
+            f"{tx_prob}, {rx_prob}"
+        )
+    return span * (tx_prob / tx_channels) * ((1.0 - rx_prob) / rx_channels)
+
+
+def expected_pair_discovery_slots(
+    tx_channels: int,
+    rx_channels: int,
+    span: int,
+    tx_prob: float,
+    rx_prob: float,
+) -> float:
+    """Geometric expectation ``1/q`` of the pair coverage time."""
+    q = exact_pair_coverage_probability(
+        tx_channels, rx_channels, span, tx_prob, rx_prob
+    )
+    return 1.0 / q
+
+
+@dataclass(frozen=True)
+class BoundComparison:
+    """Measured behavior against one theorem's budget.
+
+    Attributes:
+        label: Experiment/theorem name.
+        bound: The theorem's time budget (slots, frames, or seconds).
+        epsilon: Target failure probability of the theorem.
+        trials: Number of independent trials.
+        successes_within_bound: Trials that completed within ``bound``.
+        success_rate: ``successes_within_bound / trials``.
+        success_ci: Wilson 95% interval for the success rate.
+        meets_guarantee: The ``1 − ε`` guarantee is consistent with the
+            measurement (its upper CI edge reaches ``1 − ε``).
+        completion: Summary of completion times of completed trials
+            (``None`` when no trial completed).
+        bound_over_measured_mean: Slack factor — how loose the upper
+            bound is relative to mean measured completion.
+    """
+
+    label: str
+    bound: float
+    epsilon: float
+    trials: int
+    successes_within_bound: int
+    success_rate: float
+    success_ci: tuple
+    meets_guarantee: bool
+    completion: Optional[SampleSummary]
+    bound_over_measured_mean: Optional[float]
+
+    def as_row(self) -> Dict[str, object]:
+        """Row form for table rendering."""
+        row: Dict[str, object] = {
+            "experiment": self.label,
+            "bound": self.bound,
+            "target": 1.0 - self.epsilon,
+            "trials": self.trials,
+            "ok_within_bound": self.successes_within_bound,
+            "success_rate": round(self.success_rate, 4),
+            "meets_guarantee": self.meets_guarantee,
+        }
+        if self.completion is not None:
+            row["measured_mean"] = round(self.completion.mean, 2)
+            row["measured_p90"] = round(self.completion.p90, 2)
+            row["measured_max"] = self.completion.maximum
+        if self.bound_over_measured_mean is not None:
+            row["bound/mean"] = round(self.bound_over_measured_mean, 2)
+        return row
+
+
+def _completion_times(
+    results: Sequence[DiscoveryResult], after_all_started: bool
+) -> List[float]:
+    times = []
+    for r in results:
+        t = r.completion_after_all_started if after_all_started else r.completion_time
+        if t is not None:
+            times.append(float(t))
+    return times
+
+
+def success_rate_within(
+    results: Sequence[DiscoveryResult],
+    bound: float,
+    after_all_started: bool = False,
+) -> float:
+    """Fraction of trials that completed within ``bound``."""
+    if not results:
+        raise ConfigurationError("no trials supplied")
+    ok = 0
+    for r in results:
+        t = r.completion_after_all_started if after_all_started else r.completion_time
+        if t is not None and t <= bound:
+            ok += 1
+    return ok / len(results)
+
+
+def compare_to_bound(
+    label: str,
+    results: Sequence[DiscoveryResult],
+    bound: float,
+    epsilon: float,
+    after_all_started: bool = False,
+) -> BoundComparison:
+    """Build a :class:`BoundComparison` for one experiment.
+
+    Args:
+        label: Name for the row.
+        results: Independent trials.
+        bound: The theorem's time budget in the results' time unit.
+        epsilon: The theorem's failure-probability target.
+        after_all_started: Measure completion relative to ``T_s``
+            (Theorems 3, 9, 10) instead of absolute time.
+    """
+    if not results:
+        raise ConfigurationError("no trials supplied")
+    if bound <= 0:
+        raise ConfigurationError(f"bound must be positive, got {bound}")
+    successes = 0
+    for r in results:
+        t = r.completion_after_all_started if after_all_started else r.completion_time
+        if t is not None and t <= bound:
+            successes += 1
+    rate = successes / len(results)
+    ci = wilson_interval(successes, len(results))
+    times = _completion_times(results, after_all_started)
+    completion = summarize(times) if times else None
+    slack = (bound / completion.mean) if completion and completion.mean > 0 else None
+    return BoundComparison(
+        label=label,
+        bound=float(bound),
+        epsilon=float(epsilon),
+        trials=len(results),
+        successes_within_bound=successes,
+        success_rate=rate,
+        success_ci=ci,
+        meets_guarantee=ci[1] >= 1.0 - epsilon,
+        completion=completion,
+        bound_over_measured_mean=slack,
+    )

@@ -1,0 +1,101 @@
+"""ASCII timelines of asynchronous executions (the paper's Figures 1-2).
+
+Figure 1 of the paper shows one node's frames and slots against its
+local clock; Figure 2 shows several nodes' frames against real time,
+misaligned and stretched by drift. :func:`render_timeline` reproduces
+the latter from an :class:`~repro.sim.trace.ExecutionTrace` (or any
+frame lists): one row per node, ``|`` at frame boundaries, ``.`` at
+slot boundaries, ``T``/``L``/``q`` fill for transmit/listen/quiet
+frames. Used by examples and handy when debugging alignment issues.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.base import Mode
+from ..exceptions import ConfigurationError
+from ..sim.trace import ExecutionTrace, FrameRecord
+
+__all__ = ["render_timeline", "render_trace"]
+
+_FILL = {Mode.TRANSMIT: "T", Mode.LISTEN: "L", Mode.QUIET: "q"}
+
+
+def render_timeline(
+    frames_by_node: Mapping[int, Sequence[FrameRecord]],
+    start: float,
+    end: float,
+    width: int = 100,
+) -> str:
+    """Render frames of several nodes over ``[start, end]`` as text.
+
+    Args:
+        frames_by_node: Frame records per node (time-ordered).
+        start: Left edge of the window (real time).
+        end: Right edge of the window.
+        width: Characters across the window.
+
+    Returns:
+        One line per node (sorted by id) plus an axis line.
+    """
+    if end <= start:
+        raise ConfigurationError(f"need end > start, got [{start}, {end}]")
+    if width < 10:
+        raise ConfigurationError(f"width must be >= 10, got {width}")
+    if not frames_by_node:
+        raise ConfigurationError("no frames supplied")
+
+    scale = width / (end - start)
+
+    def col(t: float) -> Optional[int]:
+        if t < start or t > end:
+            return None
+        return min(width - 1, int((t - start) * scale))
+
+    lines: List[str] = []
+    for nid in sorted(frames_by_node):
+        row = [" "] * width
+        for frame in frames_by_node[nid]:
+            if frame.end < start or frame.start > end:
+                continue
+            fill = _FILL.get(frame.mode, "?")
+            left = col(max(frame.start, start))
+            right = col(min(frame.end, end))
+            if left is None or right is None:
+                continue
+            for x in range(left, right + 1):
+                row[x] = fill
+            for bound in frame.slot_bounds[1:-1]:
+                x = col(bound)
+                if x is not None:
+                    row[x] = "."
+            for edge in (frame.start, frame.end):
+                x = col(edge)
+                if x is not None:
+                    row[x] = "|"
+        lines.append(f"node {nid:>3} {''.join(row)}")
+
+    axis = [" "] * width
+    axis[0] = "+"
+    axis[-1] = "+"
+    header = " " * 9 + "".join(axis)
+    footer = f"{'':9}{start:<{width // 2}.1f}{end:>{width - width // 2}.1f}"
+    lines.append(header)
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def render_trace(
+    trace: ExecutionTrace,
+    start: float,
+    end: float,
+    width: int = 100,
+    nodes: Optional[Sequence[int]] = None,
+) -> str:
+    """:func:`render_timeline` over a recorded engine trace."""
+    selected = nodes if nodes is not None else trace.node_ids
+    frames: Dict[int, Sequence[FrameRecord]] = {
+        nid: trace.frames_of(nid) for nid in selected
+    }
+    return render_timeline(frames, start, end, width)

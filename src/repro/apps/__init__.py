@@ -1,0 +1,28 @@
+"""Downstream applications of neighbor discovery (paper §I).
+
+The introduction motivates discovery as the first step "to solve other
+important communication problems such as medium access control,
+clustering, collision-free scheduling, and topology control". This
+subpackage implements two of those consumers, operating **only on
+discovery output** (per-node neighbor tables) — never on the ground
+truth network — so they demonstrate, and test, that the discovered
+tables are actually sufficient:
+
+* :mod:`repro.apps.clustering` — lowest-id clustering (Lin & Gerla [5]
+  style) over the discovered one-hop neighborhoods;
+* :mod:`repro.apps.link_scheduling` — collision-free link-layer TDMA
+  schedules (distance-2 edge coloring, Gandham et al. [7] style) over
+  the discovered links and their common channels.
+"""
+
+from __future__ import annotations
+
+from .clustering import ClusterAssignment, lowest_id_clusters
+from .link_scheduling import LinkSchedule, schedule_links
+
+__all__ = [
+    "ClusterAssignment",
+    "LinkSchedule",
+    "lowest_id_clusters",
+    "schedule_links",
+]

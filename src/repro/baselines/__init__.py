@@ -1,0 +1,28 @@
+"""Baseline discovery protocols the paper compares against (§I).
+
+* :class:`BirthdayProtocol` — the single-channel randomized primitive
+  (McGlynn & Borbash [1]).
+* :class:`UniversalSweepProtocol` — the related-work strawman: one
+  single-channel instance per universal channel, time-multiplexed.
+* :class:`DeterministicScanProtocol` — the ``Θ(N_max · |U|)``
+  deterministic schedule of [20]-[22].
+"""
+
+from __future__ import annotations
+
+from .birthday import BirthdayProtocol, optimal_birthday_probability
+from .deterministic_scan import DeterministicScanProtocol
+from .doubling import DoublingEstimateSyncDiscovery
+from .genie import GenieScheduleProtocol, build_genie_schedule, genie_schedule_length
+from .universal_sweep import UniversalSweepProtocol
+
+__all__ = [
+    "BirthdayProtocol",
+    "DeterministicScanProtocol",
+    "DoublingEstimateSyncDiscovery",
+    "GenieScheduleProtocol",
+    "UniversalSweepProtocol",
+    "build_genie_schedule",
+    "genie_schedule_length",
+    "optimal_birthday_probability",
+]

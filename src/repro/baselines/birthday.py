@@ -1,0 +1,91 @@
+"""Single-channel birthday protocol (McGlynn & Borbash [1]).
+
+The classic randomized neighbor-discovery primitive for a *single*
+channel: in every slot, transmit with a fixed probability ``p`` and
+listen otherwise. With ``p ~ 1/Δ`` the probability that exactly one of a
+node's neighbors transmits is maximized (the "birthday" effect).
+
+This is both a baseline in its own right (for homogeneous single-channel
+networks) and the per-channel primitive time-multiplexed by the
+universal-sweep baseline (:mod:`repro.baselines.universal_sweep`), the
+related-work construction the paper argues against in §I.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..core.base import SlotDecision, SynchronousProtocol
+from ..exceptions import ConfigurationError
+
+__all__ = ["BirthdayProtocol", "optimal_birthday_probability"]
+
+
+def optimal_birthday_probability(delta_est: int) -> float:
+    """Contention-matched transmit probability ``min(1/2, 1/Δ_est)``."""
+    if delta_est < 1:
+        raise ConfigurationError(f"delta_est must be >= 1, got {delta_est}")
+    return min(0.5, 1.0 / delta_est)
+
+
+class BirthdayProtocol(SynchronousProtocol):
+    """Fixed-channel, fixed-probability birthday discovery.
+
+    Args:
+        node_id: Identity of this node.
+        channels: ``A(u)``; must contain ``channel``.
+        rng: The node's private random stream.
+        channel: The single channel this instance operates on.
+        transmit_prob: Per-slot transmission probability; defaults to
+            ``min(1/2, 1/Δ_est)`` via
+            :func:`optimal_birthday_probability` when ``delta_est`` is
+            given instead.
+        delta_est: Degree bound used to derive ``transmit_prob`` when the
+            probability is not given explicitly.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        channels: Iterable[int],
+        rng: np.random.Generator,
+        channel: int,
+        transmit_prob: Optional[float] = None,
+        delta_est: Optional[int] = None,
+    ) -> None:
+        super().__init__(node_id, channels, rng)
+        if channel not in self.channels:
+            raise ConfigurationError(
+                f"node {node_id} cannot run birthday on channel {channel}: "
+                f"not in its available set"
+            )
+        if transmit_prob is None:
+            if delta_est is None:
+                raise ConfigurationError(
+                    "provide either transmit_prob or delta_est"
+                )
+            transmit_prob = optimal_birthday_probability(delta_est)
+        if not 0.0 < transmit_prob <= 1.0:
+            raise ConfigurationError(
+                f"transmit_prob must be in (0, 1], got {transmit_prob}"
+            )
+        self._channel = channel
+        self._p = float(transmit_prob)
+
+    @property
+    def channel(self) -> int:
+        """The fixed channel this instance operates on."""
+        return self._channel
+
+    def transmit_probability(self, local_slot: int) -> float:
+        """Constant ``p`` (vectorization hook — but note the channel is
+        fixed, so the fast engine's uniform-channel template does not
+        apply unless ``|A(u)| == 1``)."""
+        return self._p
+
+    def decide_slot(self, local_slot: int) -> SlotDecision:
+        if self._rng.random() < self._p:
+            return SlotDecision.transmit(self._channel)
+        return SlotDecision.listen(self._channel)

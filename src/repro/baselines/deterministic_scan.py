@@ -1,0 +1,87 @@
+"""Deterministic round-robin scan baseline (à la [20]-[22]).
+
+The deterministic multi-channel algorithms the paper compares against
+assume a synchronous start, unique node identifiers from a known id
+space of size ``N_max``, and knowledge of the universal channel set.
+Their running time is ``Θ(N_max · |U|)`` — the *product* the paper's
+randomized algorithms avoid.
+
+Schedule: the epoch of length ``N_max · |U|`` is divided into ``|U|``
+blocks of ``N_max`` slots. In block ``j``, slot ``k``, the node whose id
+is ``k`` transmits on universal channel ``U[j]`` (if available to it)
+while every other node with that channel listens on it. Transmissions
+are collision-free by construction, so one epoch discovers every link
+deterministically — at a cost that dwarfs the randomized algorithms for
+realistic ``N_max`` and ``|U|``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from ..core.base import SlotDecision, SynchronousProtocol
+from ..exceptions import ConfigurationError
+
+__all__ = ["DeterministicScanProtocol"]
+
+
+class DeterministicScanProtocol(SynchronousProtocol):
+    """Collision-free deterministic discovery over ``N_max · |U|`` slots.
+
+    Args:
+        node_id: Identity of this node; must be < ``id_space_size``.
+        channels: ``A(u)``.
+        rng: Unused (the protocol is deterministic) but kept for
+            interface uniformity.
+        universal_channels: Agreed universal channel set, agreed order.
+        id_space_size: ``N_max`` — size of the agreed identifier space.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        channels: Iterable[int],
+        rng: np.random.Generator,
+        universal_channels: Sequence[int],
+        id_space_size: int,
+    ) -> None:
+        super().__init__(node_id, channels, rng)
+        if id_space_size < 1:
+            raise ConfigurationError(
+                f"id_space_size must be >= 1, got {id_space_size}"
+            )
+        if node_id >= id_space_size:
+            raise ConfigurationError(
+                f"node id {node_id} outside id space of size {id_space_size}"
+            )
+        self._universal = list(universal_channels)
+        if len(set(self._universal)) != len(self._universal):
+            raise ConfigurationError("universal channel list has duplicates")
+        if not self.channels <= set(self._universal):
+            missing = sorted(self.channels - set(self._universal))
+            raise ConfigurationError(
+                f"node {node_id}: available channels {missing} missing from "
+                "the universal set"
+            )
+        self._n_max = id_space_size
+
+    @property
+    def epoch_length(self) -> int:
+        """``N_max · |U|`` — slots for one complete deterministic pass."""
+        return self._n_max * len(self._universal)
+
+    def schedule_position(self, local_slot: int) -> Tuple[int, int]:
+        """``(channel, speaker_id)`` for a slot of the epoch."""
+        within = local_slot % self.epoch_length
+        block, speaker = divmod(within, self._n_max)
+        return self._universal[block], speaker
+
+    def decide_slot(self, local_slot: int) -> SlotDecision:
+        channel, speaker = self.schedule_position(local_slot)
+        if channel not in self.channels:
+            return SlotDecision.quiet()
+        if speaker == self.node_id:
+            return SlotDecision.transmit(channel)
+        return SlotDecision.listen(channel)

@@ -1,0 +1,128 @@
+"""The doubling-estimate approach the paper rejects (§III-A2).
+
+"One way to derive a neighbor discovery algorithm when knowledge about
+maximum node degree is not available is [to] repeatedly run an instance
+of the [knowledge-aware] algorithm … with geometrically increasing
+values for the estimate [2]. This approach cannot be used here because
+it requires computing the exact number of time-slots for which an
+instance … ought to be run [which] requires nodes to a priori know …
+N, S and ρ."
+
+This module implements exactly that rejected approach so the claim can
+be tested: :class:`DoublingEstimateSyncDiscovery` runs Algorithm 1
+epochs with ``Δ_est = 2, 4, 8, …``, sizing each epoch with the
+Theorem 1 budget — which requires the oracle parameters ``N``, ``S``
+and ``ρ`` as inputs. Given correct oracle values it works (and the E2
+comparison shows the incremental Algorithm 2 achieves the same without
+them); given wrong oracle values (e.g. an underestimated ``N`` or an
+overestimated ``ρ``) its epochs are too short and the success guarantee
+evaporates — the ablation in ``tests/test_doubling.py`` demonstrates
+both sides.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from ..core.base import SlotDecision, SynchronousProtocol, UniformChannelMixin
+from ..core.bounds import theorem1_stage_budget
+from ..core.params import stage_length, validate_epsilon
+from ..exceptions import ConfigurationError
+
+__all__ = ["DoublingEstimateSyncDiscovery"]
+
+
+class DoublingEstimateSyncDiscovery(UniformChannelMixin, SynchronousProtocol):
+    """Geometric estimate doubling with oracle-sized epochs.
+
+    Args:
+        node_id: Identity of this node.
+        channels: ``A(u)``.
+        rng: The node's private random stream.
+        oracle_n: Assumed network size ``N`` (the oracle knowledge the
+            paper objects to).
+        oracle_s: Assumed max channel-set size ``S``.
+        oracle_rho: Assumed minimum span-ratio ``ρ``.
+        epsilon: Per-epoch failure target.
+        max_estimate: Upper end of the doubling sequence; after the
+            final epoch the schedule repeats it indefinitely.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        channels: Iterable[int],
+        rng: np.random.Generator,
+        oracle_n: int,
+        oracle_s: int,
+        oracle_rho: float,
+        epsilon: float = 0.1,
+        max_estimate: int = 1 << 20,
+    ) -> None:
+        super().__init__(node_id, channels, rng)
+        if oracle_n < 2:
+            raise ConfigurationError(f"oracle_n must be >= 2, got {oracle_n}")
+        if oracle_s < 1:
+            raise ConfigurationError(f"oracle_s must be >= 1, got {oracle_s}")
+        if not 0.0 < oracle_rho <= 1.0:
+            raise ConfigurationError(
+                f"oracle_rho must be in (0, 1], got {oracle_rho}"
+            )
+        validate_epsilon(epsilon)
+        if max_estimate < 2:
+            raise ConfigurationError(
+                f"max_estimate must be >= 2, got {max_estimate}"
+            )
+        self._oracle = (oracle_n, oracle_s, oracle_rho, epsilon)
+        self._max_estimate = max_estimate
+        # Epoch table: (first slot, estimate, stage length).
+        self._epochs: List[Tuple[int, int, int]] = []
+        self._build_epochs_through(0)
+
+    def epoch_slots(self, estimate: int) -> int:
+        """Oracle-sized epoch length for one estimate (Theorem 1 budget)."""
+        n, s, rho, eps = self._oracle
+        stages = theorem1_stage_budget(s, min(estimate, n), rho, n, eps)
+        return stages * stage_length(estimate)
+
+    def _build_epochs_through(self, local_slot: int) -> None:
+        start = self._epochs[-1][0] + self.epoch_slots(self._epochs[-1][1]) if self._epochs else 0
+        estimate = (
+            min(self._epochs[-1][1] * 2, self._max_estimate)
+            if self._epochs
+            else 2
+        )
+        while not self._epochs or start <= local_slot:
+            self._epochs.append((start, estimate, stage_length(estimate)))
+            start += self.epoch_slots(estimate)
+            estimate = min(estimate * 2, self._max_estimate)
+
+    def schedule_position(self, local_slot: int) -> Tuple[int, int]:
+        """``(estimate, slot-in-stage)`` at a local slot (both 1-based
+        for the slot index, matching Algorithm 1's notation)."""
+        if local_slot < 0:
+            raise ConfigurationError(
+                f"local_slot must be non-negative, got {local_slot}"
+            )
+        self._build_epochs_through(local_slot)
+        # Find the epoch containing the slot.
+        lo, hi = 0, len(self._epochs)
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self._epochs[mid][0] <= local_slot:
+                lo = mid
+            else:
+                hi = mid
+        start, estimate, stage_len = self._epochs[lo]
+        i = ((local_slot - start) % stage_len) + 1
+        return estimate, i
+
+    def transmit_probability(self, local_slot: int) -> float:
+        """Algorithm 1's ``min(1/2, |A(u)| / 2^i)`` within the epoch."""
+        _, i = self.schedule_position(local_slot)
+        return min(0.5, self.channel_count / float(2 ** i))
+
+    def decide_slot(self, local_slot: int) -> SlotDecision:
+        return self._uniform_slot_decision(self.transmit_probability(local_slot))

@@ -1,0 +1,130 @@
+"""Genie-aided TDMA reference schedule.
+
+An *unachievable* reference point: a central scheduler with full
+knowledge of the network (membership, positions, channel sets) computes
+a short collision-free schedule offline, and every node executes it in
+lockstep. No distributed algorithm can beat a well-constructed genie
+schedule by more than scheduling slack, so it contextualizes how much
+of the randomized algorithms' time is the price of *not knowing* the
+network — which is the whole problem.
+
+Construction: for every channel ``c`` in use, transmitters are grouped
+into rounds such that within a round no two scheduled transmitters
+interfere at any common listener: we greedily color the *conflict
+graph* on channel ``c`` where ``u ~ v`` iff they can hear each other on
+``c`` or share a node that hears both on ``c`` (distance ≤ 2 in the
+channel-``c`` graph). In each round every non-scheduled node with ``c``
+available listens on ``c``, so each transmitter is heard clearly by all
+its channel-``c`` neighbors. One full pass covers every directed link.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.base import SlotDecision, SynchronousProtocol
+from ..exceptions import ConfigurationError
+from ..net.network import M2HeWNetwork
+
+__all__ = ["build_genie_schedule", "GenieScheduleProtocol", "genie_schedule_length"]
+
+# One schedule entry: (channel, transmitters firing simultaneously).
+ScheduleEntry = Tuple[int, FrozenSet[int]]
+
+
+def build_genie_schedule(network: M2HeWNetwork) -> List[ScheduleEntry]:
+    """Compute a collision-free covering schedule for ``network``."""
+    schedule: List[ScheduleEntry] = []
+    for c in sorted(network.universal_channel_set):
+        # Nodes that must transmit on c: those someone needs to hear on c.
+        speakers = sorted(
+            {
+                v
+                for u in network.node_ids
+                for v in network.neighbors_on(u, c)
+            }
+        )
+        if not speakers:
+            continue
+        # Conflict: u and v cannot share a round if some listener hears
+        # both on c, or they hear each other (half-duplex: a transmitter
+        # cannot listen, so mutual audibility forces separate rounds).
+        conflicts: Dict[int, set] = {v: set() for v in speakers}
+        hears_on = {
+            u: network.hears_on(u, c) for u in network.node_ids
+        }
+        for u in network.node_ids:
+            audible = sorted(hears_on[u] & set(speakers))
+            for i, a in enumerate(audible):
+                for b in audible[i + 1 :]:
+                    conflicts[a].add(b)
+                    conflicts[b].add(a)
+        for v in speakers:
+            for w in hears_on.get(v, frozenset()):
+                if w in conflicts and w != v:
+                    conflicts[v].add(w)
+                    conflicts[w].add(v)
+        # Greedy coloring, largest degree first.
+        order = sorted(speakers, key=lambda v: -len(conflicts[v]))
+        color_of: Dict[int, int] = {}
+        for v in order:
+            used = {color_of[w] for w in conflicts[v] if w in color_of}
+            color = 0
+            while color in used:
+                color += 1
+            color_of[v] = color
+        num_rounds = 1 + max(color_of.values())
+        for round_idx in range(num_rounds):
+            txs = frozenset(
+                v for v, col in color_of.items() if col == round_idx
+            )
+            schedule.append((c, txs))
+    if not schedule:
+        raise ConfigurationError(
+            "network has no links; the genie has nothing to schedule"
+        )
+    return schedule
+
+
+def genie_schedule_length(network: M2HeWNetwork) -> int:
+    """Slots in one covering pass of the genie schedule."""
+    return len(build_genie_schedule(network))
+
+
+class GenieScheduleProtocol(SynchronousProtocol):
+    """Executes a precomputed global schedule (then idles, listening).
+
+    All nodes must be constructed with the *same* schedule object —
+    exactly the global coordination the distributed algorithms cannot
+    assume.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        channels: Iterable[int],
+        rng: np.random.Generator,
+        schedule: Sequence[ScheduleEntry],
+    ) -> None:
+        super().__init__(node_id, channels, rng)
+        if not schedule:
+            raise ConfigurationError("empty genie schedule")
+        self._schedule = list(schedule)
+
+    @property
+    def schedule_length(self) -> int:
+        """Slots in one covering pass."""
+        return len(self._schedule)
+
+    def decide_slot(self, local_slot: int) -> SlotDecision:
+        if local_slot >= len(self._schedule):
+            # Pass complete; nothing left to do. Idle on a channel we own.
+            return SlotDecision.listen(min(self.channels))
+        channel, txs = self._schedule[local_slot]
+        if self.node_id in txs:
+            return SlotDecision.transmit(channel)
+        if channel in self.channels:
+            return SlotDecision.listen(channel)
+        return SlotDecision.quiet()

@@ -1,0 +1,83 @@
+"""Universal-channel-set sweep baseline (the §I strawman).
+
+The related-work construction the paper criticizes: run a separate
+instance of a single-channel neighbor-discovery algorithm on *every*
+channel of the agreed universal channel set, time-multiplexed — slot
+``t`` is dedicated to universal channel ``U[t mod |U|]``. A node
+participates in a slot only if that channel is in its available set
+(birthday rule with probability ``min(1/2, 1/Δ_est)``), and stays quiet
+otherwise.
+
+Its §I disadvantages, all measurable with this implementation:
+
+1. every node must know the composition of the universal set;
+2. running time is ``Θ(|U|)`` per sweep even if all nodes share one
+   common channel and the rest of ``U`` is dead spectrum;
+3. nodes must start simultaneously, or different nodes disagree on which
+   channel a slot is dedicated to (exposed via the ``start offsets``
+   option of the synchronous engines).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.base import SlotDecision, SynchronousProtocol
+from ..exceptions import ConfigurationError
+from .birthday import optimal_birthday_probability
+
+__all__ = ["UniversalSweepProtocol"]
+
+
+class UniversalSweepProtocol(SynchronousProtocol):
+    """Time-multiplexed per-channel birthday over the universal set.
+
+    Args:
+        node_id: Identity of this node.
+        channels: ``A(u)``.
+        rng: The node's private random stream.
+        universal_channels: The agreed universal channel set, in the
+            agreed order. Must cover ``A(u)``.
+        delta_est: Degree bound for the per-channel birthday probability.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        channels: Iterable[int],
+        rng: np.random.Generator,
+        universal_channels: Sequence[int],
+        delta_est: int,
+    ) -> None:
+        super().__init__(node_id, channels, rng)
+        self._universal = list(universal_channels)
+        if len(set(self._universal)) != len(self._universal):
+            raise ConfigurationError("universal channel list has duplicates")
+        if not self.channels <= set(self._universal):
+            missing = sorted(self.channels - set(self._universal))
+            raise ConfigurationError(
+                f"node {node_id}: available channels {missing} missing from "
+                "the universal set"
+            )
+        self._p = optimal_birthday_probability(delta_est)
+
+    @property
+    def universal_size(self) -> int:
+        """``|U|`` — the sweep period."""
+        return len(self._universal)
+
+    def channel_for_slot(self, local_slot: int) -> int:
+        """The universal channel slot ``local_slot`` is dedicated to."""
+        return self._universal[local_slot % len(self._universal)]
+
+    def decide_slot(self, local_slot: int) -> SlotDecision:
+        channel = self.channel_for_slot(local_slot)
+        if channel not in self.channels:
+            # This slot's channel is unavailable here; the transceiver
+            # has nothing useful to do (the strawman's wasted slots).
+            return SlotDecision.quiet()
+        if self._rng.random() < self._p:
+            return SlotDecision.transmit(channel)
+        return SlotDecision.listen(channel)

@@ -1,0 +1,412 @@
+"""Command-line interface (``m2hew``).
+
+Subcommands:
+
+* ``scenarios`` — list the named workloads;
+* ``info`` — realize a scenario and print its N/S/Δ/ρ parameters;
+* ``profile`` — detailed structural statistics of a scenario instance;
+* ``run-sync`` — run a synchronous algorithm on a scenario;
+* ``run-async`` — run Algorithm 4 on a scenario with drifting clocks;
+* ``compare`` — run several algorithms on one scenario and tabulate;
+* ``timeline`` — render an asynchronous frame timeline (paper Fig. 2);
+* ``terminate`` — run with node-local termination and report energy;
+* ``bounds`` — print every theorem budget for given parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.energy import EnergyModel, energy_report
+from .analysis.network_stats import profile_network
+from .analysis.tables import format_table
+from .core import bounds
+from .core.termination import TerminationPolicy, recommended_quiet_threshold
+from .sim.runner import random_start_offsets, run_asynchronous, run_synchronous
+from .sim.rng import RngFactory
+from .sim.termination_runner import run_terminating_sync
+from .workloads.scenarios import scenario, scenario_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``m2hew`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="m2hew",
+        description=(
+            "Neighbor discovery in multi-hop multi-channel heterogeneous "
+            "wireless networks (ICDCS 2011 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="list named workload scenarios")
+
+    info = sub.add_parser("info", help="print a scenario's network parameters")
+    info.add_argument("scenario", choices=scenario_names())
+    info.add_argument("--seed", type=int, default=0)
+
+    profile = sub.add_parser(
+        "profile", help="structural statistics of a scenario instance"
+    )
+    profile.add_argument("scenario", choices=scenario_names())
+    profile.add_argument("--seed", type=int, default=0)
+
+    term = sub.add_parser(
+        "terminate",
+        help="run with node-local termination detection and report energy",
+    )
+    term.add_argument("scenario", choices=scenario_names())
+    term.add_argument("--seed", type=int, default=0)
+    term.add_argument("--delta-est", type=int, default=None)
+    term.add_argument(
+        "--policy", default="beacon", choices=("beacon", "sleep")
+    )
+    term.add_argument(
+        "--local-epsilon",
+        type=float,
+        default=1e-3,
+        help="per-node false-stop probability target for the threshold",
+    )
+    term.add_argument("--slot-ms", type=float, default=10.0)
+
+    sync = sub.add_parser("run-sync", help="run a synchronous algorithm")
+    sync.add_argument("scenario", choices=scenario_names())
+    sync.add_argument(
+        "--protocol",
+        default="algorithm3",
+        choices=("algorithm1", "algorithm2", "algorithm3"),
+    )
+    sync.add_argument("--seed", type=int, default=0)
+    sync.add_argument("--max-slots", type=int, default=200_000)
+    sync.add_argument("--delta-est", type=int, default=None)
+    sync.add_argument(
+        "--stagger",
+        type=int,
+        default=0,
+        help="random start offsets in [0, STAGGER] slots",
+    )
+
+    asyn = sub.add_parser("run-async", help="run Algorithm 4 with drifting clocks")
+    asyn.add_argument("scenario", choices=scenario_names())
+    asyn.add_argument("--seed", type=int, default=0)
+    asyn.add_argument("--delta-est", type=int, default=None)
+    asyn.add_argument("--drift", type=float, default=0.01)
+    asyn.add_argument(
+        "--clock-model",
+        default="constant",
+        choices=("perfect", "constant", "random_walk", "sinusoidal"),
+    )
+    asyn.add_argument("--frame-length", type=float, default=1.0)
+    asyn.add_argument("--max-frames", type=int, default=100_000)
+    asyn.add_argument("--start-spread", type=float, default=5.0)
+
+    tline = sub.add_parser(
+        "timeline",
+        help="render an asynchronous run's frame timeline (paper Fig. 2)",
+    )
+    tline.add_argument("scenario", choices=scenario_names())
+    tline.add_argument("--seed", type=int, default=0)
+    tline.add_argument("--delta-est", type=int, default=None)
+    tline.add_argument("--drift", type=float, default=0.05)
+    tline.add_argument("--start", type=float, default=10.0)
+    tline.add_argument("--end", type=float, default=25.0)
+    tline.add_argument("--width", type=int, default=100)
+    tline.add_argument("--nodes", type=int, default=4, help="rows to show")
+
+    comp = sub.add_parser(
+        "compare",
+        help="run several algorithms on one scenario and tabulate",
+    )
+    comp.add_argument("scenario", choices=scenario_names())
+    comp.add_argument("--seed", type=int, default=0)
+    comp.add_argument("--trials", type=int, default=5)
+    comp.add_argument("--max-slots", type=int, default=200_000)
+    comp.add_argument("--delta-est", type=int, default=None)
+    comp.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["algorithm1", "algorithm2", "algorithm3"],
+        choices=("algorithm1", "algorithm2", "algorithm3"),
+    )
+
+    bnd = sub.add_parser("bounds", help="print the paper's theorem budgets")
+    bnd.add_argument("--s", type=int, required=True, help="S (max channel set size)")
+    bnd.add_argument("--delta", type=int, required=True, help="max degree")
+    bnd.add_argument("--rho", type=float, required=True, help="min span-ratio")
+    bnd.add_argument("--n", type=int, required=True, help="number of nodes")
+    bnd.add_argument("--epsilon", type=float, default=0.1)
+    bnd.add_argument("--delta-est", type=int, required=True)
+    bnd.add_argument("--frame-length", type=float, default=1.0)
+    bnd.add_argument("--drift", type=float, default=0.0)
+
+    return parser
+
+
+def _cmd_scenarios() -> int:
+    rows = []
+    for name in scenario_names():
+        s = scenario(name)
+        rows.append(
+            {
+                "name": s.name,
+                "delta_est": s.delta_est,
+                "epsilon": s.epsilon,
+                "description": s.description,
+            }
+        )
+    print(format_table(rows, columns=["name", "delta_est", "epsilon", "description"]))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    s = scenario(args.scenario)
+    network = s.build(args.seed)
+    rows = [network.parameter_summary()]
+    print(format_table(rows, title=f"{s.name} (seed {args.seed})"))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    s = scenario(args.scenario)
+    network = s.build(args.seed)
+    profile = profile_network(network)
+    print(format_table([network.parameter_summary()], title=f"{s.name} parameters"))
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "mean_span_ratio": round(profile.mean_span_ratio, 3),
+                    "heterogeneity_index": round(profile.heterogeneity_index, 3),
+                    "asymmetric_links": profile.asymmetric_links,
+                    "isolated_nodes": len(profile.isolated_nodes),
+                }
+            ],
+            title="Heterogeneity",
+        )
+    )
+    print()
+    print(format_table(profile.as_rows(), title="Per-channel structure"))
+    return 0
+
+
+def _cmd_terminate(args: argparse.Namespace) -> int:
+    s = scenario(args.scenario)
+    network = s.build(args.seed)
+    delta_est = args.delta_est if args.delta_est is not None else s.delta_est
+    threshold = recommended_quiet_threshold(
+        network.max_channel_set_size,
+        delta_est,
+        network.min_span_ratio,
+        args.local_epsilon,
+    )
+    outcome = run_terminating_sync(
+        network,
+        "algorithm3",
+        seed=args.seed,
+        max_slots=10 * threshold,
+        quiet_threshold=threshold,
+        delta_est=delta_est,
+        policy=TerminationPolicy(args.policy),
+    )
+    report = energy_report(
+        outcome.result, EnergyModel.cc2420(), slot_seconds=args.slot_ms / 1000.0
+    )
+    stops = sorted(
+        t for t in outcome.terminated_at.values() if t is not None
+    )
+    print(
+        format_table(
+            [
+                {
+                    "quiet_threshold": threshold,
+                    "policy": args.policy,
+                    "all_stopped": outcome.all_stopped,
+                    "false_stops": len(outcome.false_stops),
+                    "output_complete": outcome.output_complete,
+                    "median_stop_slot": stops[len(stops) // 2] if stops else None,
+                    "total_joules": round(report.total_joules, 3),
+                }
+            ],
+            title=f"{s.name} / algorithm3 with quiescence termination",
+        )
+    )
+    return 0 if outcome.output_complete else 1
+
+
+def _cmd_run_sync(args: argparse.Namespace) -> int:
+    s = scenario(args.scenario)
+    network = s.build(args.seed)
+    delta_est = args.delta_est if args.delta_est is not None else s.delta_est
+    offsets = None
+    if args.stagger > 0:
+        offsets = random_start_offsets(
+            network, args.stagger, RngFactory(args.seed).stream("offsets")
+        )
+    result = run_synchronous(
+        network,
+        args.protocol,
+        seed=args.seed,
+        max_slots=args.max_slots,
+        delta_est=None if args.protocol == "algorithm2" else delta_est,
+        start_offsets=offsets,
+    )
+    print(format_table([dict(result.summary())], title=f"{s.name} / {args.protocol}"))
+    if not result.completed:
+        print(f"uncovered links: {result.uncovered_links()[:10]}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_run_async(args: argparse.Namespace) -> int:
+    s = scenario(args.scenario)
+    network = s.build(args.seed)
+    delta_est = args.delta_est if args.delta_est is not None else s.delta_est
+    result = run_asynchronous(
+        network,
+        seed=args.seed,
+        delta_est=delta_est,
+        frame_length=args.frame_length,
+        max_frames_per_node=args.max_frames,
+        drift_bound=args.drift,
+        clock_model=args.clock_model,
+        start_spread=args.start_spread,
+    )
+    print(
+        format_table(
+            [dict(result.summary())],
+            title=f"{s.name} / algorithm4 (drift {args.drift})",
+        )
+    )
+    return 0 if result.completed else 1
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from .analysis.timeline import render_trace
+    from .sim.trace import ExecutionTrace
+
+    s = scenario(args.scenario)
+    network = s.build(args.seed)
+    delta_est = args.delta_est if args.delta_est is not None else s.delta_est
+    trace = ExecutionTrace()
+    run_asynchronous(
+        network,
+        seed=args.seed,
+        delta_est=delta_est,
+        max_frames_per_node=max(50, int(args.end) + 10),
+        drift_bound=args.drift,
+        clock_model="constant",
+        start_spread=min(args.start, 5.0),
+        stop_on_full_coverage=False,
+        trace=trace,
+    )
+    print(
+        f"{s.name}: frames over real time [{args.start}, {args.end}] "
+        f"(drift {args.drift}; T=transmit, L=listen, |=frame, .=slot)"
+    )
+    print(
+        render_trace(
+            trace,
+            args.start,
+            args.end,
+            width=args.width,
+            nodes=trace.node_ids[: args.nodes],
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis.stats import summarize
+    from .sim.runner import run_trials
+
+    s = scenario(args.scenario)
+    network = s.build(args.seed)
+    delta_est = args.delta_est if args.delta_est is not None else s.delta_est
+    rows = []
+    failures = 0
+    for protocol in args.protocols:
+        results = run_trials(
+            lambda seed, p=protocol: run_synchronous(
+                network,
+                p,
+                seed=seed,
+                max_slots=args.max_slots,
+                delta_est=None if p == "algorithm2" else delta_est,
+            ),
+            num_trials=args.trials,
+            base_seed=args.seed,
+        )
+        times = [
+            r.completion_time for r in results if r.completion_time is not None
+        ]
+        completed = sum(r.completed for r in results)
+        failures += args.trials - completed
+        row = {
+            "protocol": protocol,
+            "completed": f"{completed}/{args.trials}",
+        }
+        if times:
+            summary = summarize(times)
+            row["mean_slots"] = round(summary.mean, 1)
+            row["p90_slots"] = round(summary.p90, 1)
+            row["max_slots"] = summary.maximum
+        rows.append(row)
+    print(
+        format_table(
+            rows,
+            title=(
+                f"{s.name}: protocol comparison "
+                f"(delta_est={delta_est}, {args.trials} trials)"
+            ),
+        )
+    )
+    return 0 if failures == 0 else 1
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    budget = bounds.summary(
+        s=args.s,
+        delta=args.delta,
+        rho=args.rho,
+        n=args.n,
+        epsilon=args.epsilon,
+        delta_est=args.delta_est,
+        frame_length=args.frame_length,
+        drift=args.drift,
+    )
+    rows = [{"bound": k, "value": v} for k, v in budget.items()]
+    print(format_table(rows, columns=["bound", "value"]))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "scenarios":
+        return _cmd_scenarios()
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "terminate":
+        return _cmd_terminate(args)
+    if args.command == "run-sync":
+        return _cmd_run_sync(args)
+    if args.command == "run-async":
+        return _cmd_run_async(args)
+    if args.command == "timeline":
+        return _cmd_timeline(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "bounds":
+        return _cmd_bounds(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""The paper's contribution: the four neighbor-discovery algorithms.
+
+* :class:`StagedSyncDiscovery` — Algorithm 1 (synchronous, identical
+  starts, known degree bound, staged probability sweep).
+* :class:`GrowingEstimateSyncDiscovery` — Algorithm 2 (synchronous,
+  identical starts, no degree knowledge).
+* :class:`FlatSyncDiscovery` — Algorithm 3 (synchronous, variable
+  starts, known degree bound, flat probability).
+* :class:`AsyncFrameDiscovery` — Algorithm 4 (asynchronous, drifting
+  clocks, frame/slot structure).
+
+:mod:`repro.core.bounds` carries the closed-form budgets from the
+paper's theorems and lemmas.
+"""
+
+from __future__ import annotations
+
+from . import bounds
+from .algorithm1 import StagedSyncDiscovery
+from .algorithm2 import GrowingEstimateSyncDiscovery
+from .algorithm3 import FlatSyncDiscovery
+from .algorithm4 import SLOTS_PER_FRAME, AsyncFrameDiscovery
+from .base import (
+    AsynchronousProtocol,
+    DiscoveryProtocol,
+    FrameDecision,
+    Mode,
+    SlotDecision,
+    SynchronousProtocol,
+)
+from .messages import HelloMessage
+from .neighbor_table import NeighborRecord, NeighborTable
+from .params import MAX_DRIFT_RATE, stage_length
+from .registry import (
+    ASYNCHRONOUS_PROTOCOLS,
+    SYNCHRONOUS_PROTOCOLS,
+    make_async_factory,
+    make_sync_factory,
+)
+
+__all__ = [
+    "ASYNCHRONOUS_PROTOCOLS",
+    "AsyncFrameDiscovery",
+    "AsynchronousProtocol",
+    "DiscoveryProtocol",
+    "FlatSyncDiscovery",
+    "FrameDecision",
+    "GrowingEstimateSyncDiscovery",
+    "HelloMessage",
+    "MAX_DRIFT_RATE",
+    "Mode",
+    "NeighborRecord",
+    "NeighborTable",
+    "SLOTS_PER_FRAME",
+    "SYNCHRONOUS_PROTOCOLS",
+    "SlotDecision",
+    "StagedSyncDiscovery",
+    "SynchronousProtocol",
+    "bounds",
+    "make_async_factory",
+    "make_sync_factory",
+    "stage_length",
+]

@@ -1,0 +1,72 @@
+"""Algorithm 1 — synchronous, identical start times, known degree bound.
+
+Execution is divided into *stages* of ``ceil(log2 Δ_est)`` slots. In slot
+``i`` of a stage (1-based), node ``u`` picks a channel uniformly at
+random from ``A(u)`` and transmits on it with probability
+``min(1/2, |A(u)| / 2^i)``, listening otherwise.
+
+The stage structure sweeps the per-channel transmission probability
+through a geometric range so that, whatever the true degree
+``Δ(u, c) <= Δ_est`` is, some slot of every stage has probability close
+to the contention-optimal ``1/Δ(u, c)`` (eq. (2) in the paper).
+
+Theorem 1: all links are covered within
+``O((max(S, Δ)/ρ) · log Δ_est · log(N/ε))`` slots w.p. ``>= 1 − ε``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .base import SlotDecision, SynchronousProtocol, UniformChannelMixin
+from .params import stage_length, validate_delta_est
+
+__all__ = ["StagedSyncDiscovery"]
+
+
+class StagedSyncDiscovery(UniformChannelMixin, SynchronousProtocol):
+    """The paper's Algorithm 1.
+
+    Args:
+        node_id: Identity of this node.
+        channels: ``A(u)``.
+        rng: The node's private random stream.
+        delta_est: Common upper bound on the maximum node degree
+            (``Δ_est >= 2``; the bound may be loose — the running time
+            depends on it only logarithmically).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        channels: Iterable[int],
+        rng: np.random.Generator,
+        delta_est: int,
+    ) -> None:
+        super().__init__(node_id, channels, rng)
+        self._delta_est = validate_delta_est(delta_est)
+        self._stage_len = stage_length(self._delta_est)
+
+    @property
+    def delta_est(self) -> int:
+        """The degree upper bound this node was configured with."""
+        return self._delta_est
+
+    @property
+    def slots_per_stage(self) -> int:
+        """``ceil(log2 Δ_est)``."""
+        return self._stage_len
+
+    def slot_in_stage(self, local_slot: int) -> int:
+        """1-based position of ``local_slot`` within its stage."""
+        return (local_slot % self._stage_len) + 1
+
+    def transmit_probability(self, local_slot: int) -> float:
+        """``min(1/2, |A(u)| / 2^i)`` for slot ``i`` of the stage."""
+        i = self.slot_in_stage(local_slot)
+        return min(0.5, self.channel_count / float(2 ** i))
+
+    def decide_slot(self, local_slot: int) -> SlotDecision:
+        return self._uniform_slot_decision(self.transmit_probability(local_slot))

@@ -1,0 +1,271 @@
+"""Closed-form bounds from the paper's analysis.
+
+Every theorem and lemma with a quantitative statement is implemented
+here so experiments can print "paper bound vs measured" side by side:
+
+* eqs. (3)–(6): per-slot event and coverage probability lower bounds for
+  Algorithm 1;
+* Theorem 1/2/3 slot budgets for the synchronous algorithms;
+* eq. (9): the Algorithm 3 transmission-event bound;
+* Lemma 4 (overlap ≤ 3), Lemma 5 (aligned-pair coverage), Lemma 6
+  (admissible-sequence length), Lemma 7 (drift thresholds), Lemma 8
+  (M/6 extraction), Theorems 9–10 for the asynchronous algorithm.
+
+All bounds are *high-probability upper bounds on time* (equivalently,
+lower bounds on coverage probability); measured values should land at or
+below the time bounds and at or above the probability bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..exceptions import ConfigurationError
+from .algorithm4 import SLOTS_PER_FRAME
+from .params import (
+    MAX_DRIFT_RATE,
+    stage_length,
+    validate_delta_est,
+    validate_drift,
+    validate_epsilon,
+    validate_frame_length,
+)
+
+__all__ = [
+    "pr_transmit_event_alg1",
+    "pr_listen_event",
+    "pr_no_interference_event",
+    "stage_coverage_alg1",
+    "theorem1_stage_budget",
+    "theorem1_slot_budget",
+    "theorem2_stage_budget",
+    "theorem2_slot_budget",
+    "pr_transmit_event_alg3",
+    "slot_coverage_alg3",
+    "theorem3_slot_budget",
+    "lemma4_max_overlap",
+    "lemma4_drift_threshold",
+    "lemma5_pair_coverage",
+    "lemma6_pair_budget",
+    "lemma7_drift_threshold",
+    "lemma8_extraction_factor",
+    "theorem9_frame_budget",
+    "theorem10_realtime_bound",
+    "summary",
+]
+
+
+def _check_core(s: int, delta: int, rho: float) -> None:
+    if s < 1:
+        raise ConfigurationError(f"S must be >= 1, got {s}")
+    if delta < 1:
+        raise ConfigurationError(f"Delta must be >= 1, got {delta}")
+    if not 0.0 < rho <= 1.0:
+        raise ConfigurationError(f"rho must be in (0, 1], got {rho}")
+
+
+def _check_population(n: int, epsilon: float) -> None:
+    if n < 2:
+        raise ConfigurationError(f"N must be >= 2 for links to exist, got {n}")
+    validate_epsilon(epsilon)
+
+
+def _ln_links_term(n: int, epsilon: float) -> float:
+    """``ln(N² / ε)`` — the union-bound term over all links."""
+    return math.log(n * n / epsilon)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 (eqs. (3)-(6), Theorem 1)
+# ----------------------------------------------------------------------
+
+
+def pr_transmit_event_alg1(s: int, delta: int) -> float:
+    """Eq. (3): ``Pr{A(τ, c)} >= 1 / (2 max(S, Δ))``.
+
+    Probability that, in the stage slot matched to the link's degree
+    (eq. (2)), the transmitter picks channel ``c`` and transmits.
+    """
+    _check_core(s, delta, 1.0)
+    return 1.0 / (2.0 * max(s, delta))
+
+
+def pr_listen_event(receiver_channels: int) -> float:
+    """Eq. (4): ``Pr{B(τ, c)} >= 1 / (2 |A(u)|)``."""
+    if receiver_channels < 1:
+        raise ConfigurationError(
+            f"receiver channel count must be >= 1, got {receiver_channels}"
+        )
+    return 1.0 / (2.0 * receiver_channels)
+
+
+def pr_no_interference_event() -> float:
+    """Eq. (5): ``Pr{C(τ, c)} >= 1/4``."""
+    return 0.25
+
+
+def stage_coverage_alg1(s: int, delta: int, rho: float) -> float:
+    """Eq. (6): a stage covers a given link w.p. ``>= ρ / (16 max(S, Δ))``."""
+    _check_core(s, delta, rho)
+    return rho / (16.0 * max(s, delta))
+
+
+def theorem1_stage_budget(s: int, delta: int, rho: float, n: int, epsilon: float) -> int:
+    """``M = (16 max(S, Δ)/ρ) ln(N²/ε)`` stages (Theorem 1's budget)."""
+    _check_core(s, delta, rho)
+    _check_population(n, epsilon)
+    return math.ceil((16.0 * max(s, delta) / rho) * _ln_links_term(n, epsilon))
+
+
+def theorem1_slot_budget(
+    s: int, delta: int, rho: float, n: int, epsilon: float, delta_est: int
+) -> int:
+    """Theorem 1: slots = stage budget × ``ceil(log2 Δ_est)``."""
+    validate_delta_est(delta_est)
+    return theorem1_stage_budget(s, delta, rho, n, epsilon) * stage_length(delta_est)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2 (Theorem 2)
+# ----------------------------------------------------------------------
+
+
+def theorem2_stage_budget(s: int, delta: int, rho: float, n: int, epsilon: float) -> int:
+    """``Δ + M`` stages: the estimate must first grow to ``Δ`` (§III-A2)."""
+    return delta + theorem1_stage_budget(s, delta, rho, n, epsilon)
+
+
+def theorem2_slot_budget(s: int, delta: int, rho: float, n: int, epsilon: float) -> int:
+    """Exact slot count of the first ``Δ + M`` stages of Algorithm 2.
+
+    Stage for estimate ``d`` has ``ceil(log2 d)`` slots, ``d`` starting
+    at 2; summing gives the ``O(M log M)`` of Theorem 2 exactly.
+    """
+    stages = theorem2_stage_budget(s, delta, rho, n, epsilon)
+    return sum(stage_length(d) for d in range(2, 2 + stages))
+
+
+# ----------------------------------------------------------------------
+# Algorithm 3 (eq. (9), Theorem 3)
+# ----------------------------------------------------------------------
+
+
+def pr_transmit_event_alg3(s: int, delta_est: int) -> float:
+    """Eq. (9): ``Pr{A(τ, c)} >= 1 / max(2S, Δ_est)``."""
+    if s < 1:
+        raise ConfigurationError(f"S must be >= 1, got {s}")
+    validate_delta_est(delta_est)
+    return 1.0 / max(2.0 * s, float(delta_est))
+
+
+def slot_coverage_alg3(s: int, delta_est: int, rho: float) -> float:
+    """Per-slot link coverage for Algorithm 3: ``ρ / (8 max(2S, Δ_est))``.
+
+    Combines eq. (9) with eqs. (4)-(5) and the sum over the link's span,
+    exactly as eq. (6) does for Algorithm 1.
+    """
+    _check_core(s, 1, rho)
+    validate_delta_est(delta_est)
+    return rho / (8.0 * max(2.0 * s, float(delta_est)))
+
+
+def theorem3_slot_budget(
+    s: int, delta_est: int, rho: float, n: int, epsilon: float
+) -> int:
+    """Theorem 3: ``(8 max(2S, Δ_est)/ρ) ln(N²/ε)`` slots after ``T_s``."""
+    _check_population(n, epsilon)
+    return math.ceil(_ln_links_term(n, epsilon) / slot_coverage_alg3(s, delta_est, rho))
+
+
+# ----------------------------------------------------------------------
+# Asynchronous system (Lemmas 4-8, Theorems 9-10)
+# ----------------------------------------------------------------------
+
+
+def lemma4_max_overlap() -> int:
+    """Lemma 4: a frame overlaps at most 3 frames of any other node."""
+    return 3
+
+
+def lemma4_drift_threshold() -> float:
+    """Drift above which Lemma 4's proof breaks: ``δ > 1/3``."""
+    return 1.0 / 3.0
+
+
+def lemma5_pair_coverage(s: int, delta_est: int, rho: float) -> float:
+    """Lemma 5: an aligned pair covers a link w.p.
+    ``>= ρ / (8 max(2S, 3 Δ_est))``."""
+    _check_core(s, 1, rho)
+    validate_delta_est(delta_est)
+    return rho / (8.0 * max(2.0 * s, SLOTS_PER_FRAME * float(delta_est)))
+
+
+def lemma6_pair_budget(s: int, delta_est: int, rho: float, n: int, epsilon: float) -> int:
+    """Lemma 6: ``(8 max(2S, 3Δ_est)/ρ) ln(N²/ε)`` admissible pairs
+    leave a link uncovered w.p. at most ``ε/N²``."""
+    _check_population(n, epsilon)
+    return math.ceil(_ln_links_term(n, epsilon) / lemma5_pair_coverage(s, delta_est, rho))
+
+
+def lemma7_drift_threshold() -> float:
+    """Assumption 1 / Lemma 7: alignment is guaranteed for ``δ <= 1/7``."""
+    return MAX_DRIFT_RATE
+
+
+def lemma8_extraction_factor() -> int:
+    """Lemma 8: ``M`` full frames yield an admissible sequence of
+    ``>= M/6`` pairs (factor 2 for alignment stepping, factor 3 for
+    overlap separation)."""
+    return 6
+
+
+def theorem9_frame_budget(
+    s: int, delta_est: int, rho: float, n: int, epsilon: float
+) -> int:
+    """Theorem 9: full frames per node after ``T_s`` for ``1 − ε`` success:
+    ``(48 max(2S, 3Δ_est)/ρ) ln(N²/ε)``."""
+    return lemma8_extraction_factor() * lemma6_pair_budget(s, delta_est, rho, n, epsilon)
+
+
+def theorem10_realtime_bound(
+    s: int,
+    delta_est: int,
+    rho: float,
+    n: int,
+    epsilon: float,
+    frame_length: float,
+    drift: float,
+) -> float:
+    """Theorem 10: ``T_f − T_s <= (frames + 1) · L / (1 − δ)``."""
+    validate_frame_length(frame_length)
+    validate_drift(drift, enforce_assumption=True)
+    frames = theorem9_frame_budget(s, delta_est, rho, n, epsilon)
+    return (frames + 1) * frame_length / (1.0 - drift)
+
+
+# ----------------------------------------------------------------------
+# convenience
+# ----------------------------------------------------------------------
+
+
+def summary(
+    s: int,
+    delta: int,
+    rho: float,
+    n: int,
+    epsilon: float,
+    delta_est: int,
+    frame_length: float = 1.0,
+    drift: float = 0.0,
+) -> Dict[str, float]:
+    """All budgets for one parameter point, keyed by theorem."""
+    return {
+        "theorem1_slots": theorem1_slot_budget(s, delta, rho, n, epsilon, delta_est),
+        "theorem2_slots": theorem2_slot_budget(s, delta, rho, n, epsilon),
+        "theorem3_slots": theorem3_slot_budget(s, delta_est, rho, n, epsilon),
+        "theorem9_frames": theorem9_frame_budget(s, delta_est, rho, n, epsilon),
+        "theorem10_realtime": theorem10_realtime_bound(
+            s, delta_est, rho, n, epsilon, frame_length, drift
+        ),
+    }

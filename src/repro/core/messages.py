@@ -1,0 +1,51 @@
+"""Protocol messages.
+
+All four of the paper's algorithms transmit a single kind of message: a
+*hello* carrying the sender's identity and its available channel set
+``A(u)`` (Algorithm 1 line 8, Algorithm 3 line 7, Algorithm 4 line 7).
+A receiver ``u`` that hears a clear hello from ``v`` records
+``⟨v, A ∩ A(u)⟩`` in its neighbor table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["HelloMessage"]
+
+
+@dataclass(frozen=True)
+class HelloMessage:
+    """A neighbor-discovery hello.
+
+    Attributes:
+        sender: Node id of the transmitter.
+        channels: The transmitter's available channel set ``A(v)``.
+    """
+
+    sender: int
+    channels: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.channels, frozenset):
+            object.__setattr__(self, "channels", frozenset(self.channels))
+        if not self.channels:
+            raise ConfigurationError(
+                f"hello from node {self.sender} with empty channel set"
+            )
+
+    def common_channels(self, receiver_channels: Iterable[int]) -> FrozenSet[int]:
+        """``A(sender) ∩ A(receiver)`` — what the receiver records."""
+        return self.channels & frozenset(receiver_channels)
+
+    @property
+    def size_bytes(self) -> int:
+        """Rough encoded size: 4-byte id + 2 bytes per channel.
+
+        Used only by accounting/efficiency metrics; the simulators treat
+        every hello as fitting in one slot, as the paper assumes.
+        """
+        return 4 + 2 * len(self.channels)

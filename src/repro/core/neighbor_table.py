@@ -1,0 +1,149 @@
+"""The discovered-neighbor table each node maintains.
+
+The output of every algorithm is "the set of neighbors along with the
+subset of channels that are common with the neighbor". This table stores
+exactly that, plus bookkeeping the analysis layer uses: when each
+neighbor was first discovered and how many (redundant) hellos were heard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from ..exceptions import SimulationError
+from .messages import HelloMessage
+
+__all__ = ["NeighborRecord", "NeighborTable"]
+
+
+@dataclass
+class NeighborRecord:
+    """One discovered neighbor.
+
+    Attributes:
+        neighbor_id: The discovered node.
+        common_channels: ``A(neighbor) ∩ A(self)`` as reported by the
+            first clear hello. Under the paper's base model this equals
+            the link span; under diverse propagation (§V(c)) it is an
+            *upper bound* on the span.
+        first_heard_at: Local slot index (synchronous) or local frame
+            index (asynchronous) of the first clear hello.
+        hello_count: Number of clear hellos heard from this neighbor.
+        heard_on: Channels a clear hello was actually received on — a
+            confirmed *lower bound* on the span, used by the diverse-
+            propagation adaptation ([23]) to prune ``common_channels``.
+    """
+
+    neighbor_id: int
+    common_channels: FrozenSet[int]
+    first_heard_at: float
+    hello_count: int = 1
+    heard_on: Set[int] = field(default_factory=set)
+
+
+class NeighborTable:
+    """Per-node table of discovered neighbors.
+
+    The table belongs to a specific node; it intersects incoming channel
+    sets with the owner's own available channel set, mirroring line 11
+    of Algorithms 1/3/4.
+    """
+
+    def __init__(self, owner_id: int, owner_channels: Iterable[int]) -> None:
+        self._owner_id = owner_id
+        self._owner_channels = frozenset(owner_channels)
+        self._records: Dict[int, NeighborRecord] = {}
+
+    @property
+    def owner_id(self) -> int:
+        """The node this table belongs to."""
+        return self._owner_id
+
+    @property
+    def owner_channels(self) -> FrozenSet[int]:
+        """``A(owner)``."""
+        return self._owner_channels
+
+    def record_hello(
+        self,
+        message: HelloMessage,
+        heard_at: float,
+        channel: Optional[int] = None,
+    ) -> bool:
+        """Record a clear hello; return ``True`` if the sender is new.
+
+        Args:
+            message: The received hello.
+            heard_at: Local time of reception.
+            channel: The channel the hello was received on, when the
+                engine knows it; accumulated into ``heard_on``.
+
+        Raises:
+            SimulationError: If a node appears to have heard itself — a
+                simulator bug, since a transceiver cannot transmit and
+                receive simultaneously (§II).
+        """
+        if message.sender == self._owner_id:
+            raise SimulationError(
+                f"node {self._owner_id} received its own hello; "
+                "engine collision semantics are broken"
+            )
+        existing = self._records.get(message.sender)
+        if existing is not None:
+            existing.hello_count += 1
+            if channel is not None:
+                existing.heard_on.add(channel)
+            return False
+        self._records[message.sender] = NeighborRecord(
+            neighbor_id=message.sender,
+            common_channels=message.common_channels(self._owner_channels),
+            first_heard_at=heard_at,
+            heard_on=set() if channel is None else {channel},
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, neighbor_id: int) -> bool:
+        return neighbor_id in self._records
+
+    @property
+    def neighbor_ids(self) -> FrozenSet[int]:
+        """Ids of all discovered neighbors."""
+        return frozenset(self._records)
+
+    def record(self, neighbor_id: int) -> NeighborRecord:
+        """The record for ``neighbor_id`` (must be discovered)."""
+        try:
+            return self._records[neighbor_id]
+        except KeyError:
+            raise SimulationError(
+                f"node {self._owner_id} has not discovered {neighbor_id}"
+            ) from None
+
+    def common_channels(self, neighbor_id: int) -> FrozenSet[int]:
+        """Channels shared with a discovered neighbor."""
+        return self.record(neighbor_id).common_channels
+
+    def confirmed_channels(self, neighbor_id: int) -> FrozenSet[int]:
+        """Channels the neighbor was actually heard on (span lower bound)."""
+        return frozenset(self.record(neighbor_id).heard_on)
+
+    def first_heard_at(self, neighbor_id: int) -> Optional[float]:
+        """When ``neighbor_id`` was first heard, or ``None`` if never."""
+        rec = self._records.get(neighbor_id)
+        return None if rec is None else rec.first_heard_at
+
+    def as_dict(self) -> Dict[int, FrozenSet[int]]:
+        """``{neighbor_id: common_channels}`` — the paper's output."""
+        return {nid: rec.common_channels for nid, rec in self._records.items()}
+
+    def total_hellos(self) -> int:
+        """Total clear hellos heard (including redundant ones)."""
+        return sum(rec.hello_count for rec in self._records.values())

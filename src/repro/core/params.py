@@ -1,0 +1,78 @@
+"""Parameter validation shared by the algorithms and bound calculators."""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "MAX_DRIFT_RATE",
+    "stage_length",
+    "validate_delta_est",
+    "validate_epsilon",
+    "validate_drift",
+    "validate_frame_length",
+]
+
+#: Assumption 1 of the paper: the asynchronous algorithm tolerates clock
+#: drift rates up to 1/7 seconds/second.
+MAX_DRIFT_RATE = 1.0 / 7.0
+
+
+def validate_delta_est(delta_est: int) -> int:
+    """Check a maximum-node-degree estimate.
+
+    The staged algorithm needs ``Δ_est >= 2`` so that a stage has at
+    least one slot (``ceil(log2 Δ_est) >= 1``); Algorithm 2 likewise
+    starts its estimate at 2.
+    """
+    if not isinstance(delta_est, (int,)) or isinstance(delta_est, bool):
+        raise ConfigurationError(f"delta_est must be an int, got {delta_est!r}")
+    if delta_est < 2:
+        raise ConfigurationError(f"delta_est must be >= 2, got {delta_est}")
+    return delta_est
+
+
+def validate_epsilon(epsilon: float) -> float:
+    """Check a failure-probability target ``ε ∈ (0, 1)``."""
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+    return float(epsilon)
+
+
+def validate_drift(delta: float, enforce_assumption: bool = False) -> float:
+    """Check a drift-rate bound ``δ``.
+
+    Args:
+        delta: Maximum clock drift rate (``0`` = ideal clocks).
+        enforce_assumption: Also require ``δ <= 1/7`` (Assumption 1).
+            Engines leave this off so ablation experiments can push past
+            the assumption; the bound calculators turn it on.
+    """
+    if delta < 0:
+        raise ConfigurationError(f"drift bound must be non-negative, got {delta}")
+    if delta >= 1.0:
+        raise ConfigurationError(
+            f"drift bound must be < 1 for clocks to advance, got {delta}"
+        )
+    if enforce_assumption and delta > MAX_DRIFT_RATE + 1e-12:
+        raise ConfigurationError(
+            f"Assumption 1 requires drift <= 1/7 ~= {MAX_DRIFT_RATE:.4f}, got {delta}"
+        )
+    return float(delta)
+
+
+def validate_frame_length(frame_length: float) -> float:
+    """Check a local frame length ``L`` (any positive value)."""
+    if frame_length <= 0:
+        raise ConfigurationError(
+            f"frame_length must be positive, got {frame_length}"
+        )
+    return float(frame_length)
+
+
+def stage_length(delta_est: int) -> int:
+    """``ceil(log2 Δ_est)`` — slots per stage in Algorithms 1 and 2."""
+    validate_delta_est(delta_est)
+    return max(1, math.ceil(math.log2(delta_est)))

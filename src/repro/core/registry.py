@@ -1,0 +1,102 @@
+"""Protocol registry: build protocol factories by name.
+
+Engines take a *protocol factory* — a callable
+``(node_id, channels, rng) -> protocol`` — so they stay independent of
+any concrete algorithm. This module maps human-readable names (used by
+the CLI and the workload configs) to factories, closing over
+algorithm-specific parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.deterministic_scan import DeterministicScanProtocol
+from ..baselines.universal_sweep import UniversalSweepProtocol
+from ..exceptions import ConfigurationError
+from .algorithm1 import StagedSyncDiscovery
+from .algorithm2 import GrowingEstimateSyncDiscovery
+from .algorithm3 import FlatSyncDiscovery
+from .algorithm4 import AsyncFrameDiscovery
+from .base import AsynchronousProtocol, SynchronousProtocol
+
+__all__ = [
+    "SYNCHRONOUS_PROTOCOLS",
+    "ASYNCHRONOUS_PROTOCOLS",
+    "SyncFactory",
+    "AsyncFactory",
+    "make_sync_factory",
+    "make_async_factory",
+]
+
+SyncFactory = Callable[[int, FrozenSet[int], np.random.Generator], SynchronousProtocol]
+AsyncFactory = Callable[[int, FrozenSet[int], np.random.Generator], AsynchronousProtocol]
+
+#: Names accepted by :func:`make_sync_factory`.
+SYNCHRONOUS_PROTOCOLS = (
+    "algorithm1",
+    "algorithm2",
+    "algorithm3",
+    "universal_sweep",
+    "deterministic_scan",
+)
+
+#: Names accepted by :func:`make_async_factory`.
+ASYNCHRONOUS_PROTOCOLS = ("algorithm4",)
+
+
+def make_sync_factory(
+    name: str,
+    delta_est: Optional[int] = None,
+    universal_channels: Optional[Sequence[int]] = None,
+    id_space_size: Optional[int] = None,
+) -> SyncFactory:
+    """Factory for a synchronous protocol by name.
+
+    Args:
+        name: One of :data:`SYNCHRONOUS_PROTOCOLS`.
+        delta_est: Degree bound — required by ``algorithm1``,
+            ``algorithm3`` and ``universal_sweep``.
+        universal_channels: Agreed universal set — required by
+            ``universal_sweep`` and ``deterministic_scan``.
+        id_space_size: ``N_max`` — required by ``deterministic_scan``.
+    """
+    if name == "algorithm1":
+        de = _require(delta_est, "algorithm1 requires delta_est")
+        return lambda nid, chs, rng: StagedSyncDiscovery(nid, chs, rng, de)
+    if name == "algorithm2":
+        return lambda nid, chs, rng: GrowingEstimateSyncDiscovery(nid, chs, rng)
+    if name == "algorithm3":
+        de = _require(delta_est, "algorithm3 requires delta_est")
+        return lambda nid, chs, rng: FlatSyncDiscovery(nid, chs, rng, de)
+    if name == "universal_sweep":
+        de = _require(delta_est, "universal_sweep requires delta_est")
+        uni = list(_require(universal_channels, "universal_sweep requires universal_channels"))
+        return lambda nid, chs, rng: UniversalSweepProtocol(nid, chs, rng, uni, de)
+    if name == "deterministic_scan":
+        uni = list(
+            _require(universal_channels, "deterministic_scan requires universal_channels")
+        )
+        nmax = _require(id_space_size, "deterministic_scan requires id_space_size")
+        return lambda nid, chs, rng: DeterministicScanProtocol(nid, chs, rng, uni, nmax)
+    raise ConfigurationError(
+        f"unknown synchronous protocol {name!r}; choose from {SYNCHRONOUS_PROTOCOLS}"
+    )
+
+
+def make_async_factory(name: str, delta_est: Optional[int] = None) -> AsyncFactory:
+    """Factory for an asynchronous protocol by name."""
+    if name == "algorithm4":
+        de = _require(delta_est, "algorithm4 requires delta_est")
+        return lambda nid, chs, rng: AsyncFrameDiscovery(nid, chs, rng, de)
+    raise ConfigurationError(
+        f"unknown asynchronous protocol {name!r}; choose from {ASYNCHRONOUS_PROTOCOLS}"
+    )
+
+
+def _require(value, message: str):
+    if value is None:
+        raise ConfigurationError(message)
+    return value

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class. Subclasses distinguish the three
+broad failure domains: invalid configuration, invalid network models and
+simulation-time violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or parameter combination was supplied."""
+
+
+class NetworkModelError(ReproError):
+    """A network instance violates the M2HeW model assumptions.
+
+    Examples: a node with an empty available channel set, a link whose
+    span is empty, or an asymmetric adjacency passed to a symmetric-only
+    construction.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent or unsupported state."""
+
+
+class ClockModelError(ReproError):
+    """A clock model violates the bounded-drift assumption (eq. (1))."""

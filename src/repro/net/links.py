@@ -1,0 +1,67 @@
+"""Directed links of an M2HeW network.
+
+The paper treats discovery per *directed* link: if ``u`` and ``v`` are
+neighbors on some channel, ``u`` discovering ``v`` and ``v`` discovering
+``u`` are separate events. The link ``(v, u)`` carries traffic from
+transmitter ``v`` to receiver ``u`` and can operate on the channels in
+``span(v, u) ⊆ A(v) ∩ A(u)``.
+
+The *span-ratio* of a link is ``|span| / |A(receiver)|`` — the paper's
+heterogeneity measure. The minimum span-ratio over all links is ``ρ``;
+all running-time bounds scale with ``1/ρ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from ..exceptions import NetworkModelError
+
+__all__ = ["DirectedLink"]
+
+
+@dataclass(frozen=True)
+class DirectedLink:
+    """A directed communication link from ``transmitter`` to ``receiver``.
+
+    Attributes:
+        transmitter: Node id of the sending endpoint (``v`` in ``(v, u)``).
+        receiver: Node id of the listening endpoint (``u`` in ``(v, u)``).
+        span: Channels the link can operate on. Non-empty by construction
+            (pairs with empty span are not neighbors on any channel and
+            therefore have no link).
+        receiver_channel_count: ``|A(receiver)|``, used for the span-ratio.
+    """
+
+    transmitter: int
+    receiver: int
+    span: FrozenSet[int]
+    receiver_channel_count: int
+
+    def __post_init__(self) -> None:
+        if self.transmitter == self.receiver:
+            raise NetworkModelError(f"self-link at node {self.transmitter}")
+        if not self.span:
+            raise NetworkModelError(
+                f"link ({self.transmitter}, {self.receiver}) has empty span"
+            )
+        if self.receiver_channel_count < len(self.span):
+            raise NetworkModelError(
+                f"link ({self.transmitter}, {self.receiver}): span size "
+                f"{len(self.span)} exceeds |A(receiver)| = {self.receiver_channel_count}"
+            )
+
+    @property
+    def key(self) -> tuple:
+        """``(transmitter, receiver)`` pair identifying this link."""
+        return (self.transmitter, self.receiver)
+
+    @property
+    def span_ratio(self) -> float:
+        """``|span| / |A(receiver)|`` — in ``[1/S, 1]`` (paper, §II)."""
+        return len(self.span) / self.receiver_channel_count
+
+    def reverse_key(self) -> tuple:
+        """Key of the opposite-direction link."""
+        return (self.receiver, self.transmitter)

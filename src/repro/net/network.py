@@ -1,0 +1,453 @@
+"""The M2HeW network model (paper §II, with the §V extensions).
+
+An :class:`M2HeWNetwork` bundles a set of nodes (each with an available
+channel set ``A(u)``) and a radio connectivity relation, given in one of
+three forms:
+
+* ``adjacency`` — symmetric pairs, channels propagate identically
+  (the paper's base model): ``v`` is a neighbor of ``u`` on channel
+  ``c`` iff the pair is adjacent and ``c ∈ A(u) ∩ A(v)``;
+* ``directed_adjacency`` — ordered pairs ``(transmitter, receiver)``
+  for asymmetric communication graphs (§V extension (a));
+* ``channel_adjacency`` — a per-channel symmetric adjacency for
+  channels with *diverse propagation characteristics* (§V extension
+  (c)): low frequencies reach further than high ones, so the radio
+  graph differs per channel. ``v`` is a neighbor of ``u`` on ``c`` iff
+  the pair is adjacent **on c** and ``c ∈ A(u) ∩ A(v)``.
+
+From these it derives every quantity the paper's analysis uses:
+
+* ``N`` — number of nodes (:attr:`num_nodes`);
+* ``S`` — largest available channel set size (:attr:`max_channel_set_size`);
+* ``Δ`` — maximum degree of any node on any channel (:attr:`max_degree`);
+* ``ρ`` — minimum span-ratio over directed links (:attr:`min_span_ratio`);
+* the set of directed links with their spans (:meth:`links`).
+
+With channel-dependent propagation the span of a link is no longer
+simply ``A(v) ∩ A(u)`` — it is the subset of shared channels on which
+the pair is actually connected, matching the paper's definition
+``span(u, v) ⊆ A(u) ∩ A(v)``.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..exceptions import NetworkModelError
+from .links import DirectedLink
+from .node import NodeSpec
+
+__all__ = ["M2HeWNetwork"]
+
+
+class M2HeWNetwork:
+    """A multi-hop multi-channel heterogeneous wireless network instance.
+
+    Args:
+        nodes: Node specifications; ids must be unique.
+        adjacency: Symmetric radio adjacency as unordered pairs.
+        directed_adjacency: Directed hearing relation as ordered pairs
+            ``(transmitter, receiver)``.
+        channel_adjacency: ``{channel: pairs}`` — symmetric adjacency per
+            channel, for diverse propagation characteristics.
+
+    Exactly one of the three connectivity arguments must be given.
+
+    Raises:
+        NetworkModelError: On duplicate ids, unknown ids, or self-loops.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeSpec],
+        adjacency: Optional[Iterable[Tuple[int, int]]] = None,
+        directed_adjacency: Optional[Iterable[Tuple[int, int]]] = None,
+        channel_adjacency: Optional[Mapping[int, Iterable[Tuple[int, int]]]] = None,
+    ) -> None:
+        provided = [
+            arg is not None
+            for arg in (adjacency, directed_adjacency, channel_adjacency)
+        ]
+        if sum(provided) != 1:
+            raise NetworkModelError(
+                "exactly one of adjacency / directed_adjacency / "
+                "channel_adjacency must be provided"
+            )
+
+        self._nodes: Dict[int, NodeSpec] = {}
+        for spec in nodes:
+            if spec.node_id in self._nodes:
+                raise NetworkModelError(f"duplicate node id {spec.node_id}")
+            self._nodes[spec.node_id] = spec
+
+        self._symmetric = directed_adjacency is None
+        self._channel_dependent = channel_adjacency is not None
+
+        # _hears[u]: nodes whose transmissions u can hear on at least one
+        # channel. With channel-dependent propagation this is the union
+        # over channels; use neighbors_on / hears_on for per-channel sets.
+        self._hears: Dict[int, Set[int]] = {nid: set() for nid in self._nodes}
+        # _channel_pairs[c][u]: per-channel hearing partners (only set in
+        # channel-dependent mode).
+        self._channel_pairs: Dict[int, Dict[int, Set[int]]] = {}
+
+        if channel_adjacency is not None:
+            for c, pairs in channel_adjacency.items():
+                if c < 0:
+                    raise NetworkModelError(f"negative channel id {c}")
+                per_node: Dict[int, Set[int]] = {}
+                for a, b in pairs:
+                    self._check_pair(a, b)
+                    per_node.setdefault(a, set()).add(b)
+                    per_node.setdefault(b, set()).add(a)
+                    self._hears[a].add(b)
+                    self._hears[b].add(a)
+                self._channel_pairs[c] = per_node
+        else:
+            pairs = adjacency if adjacency is not None else directed_adjacency
+            assert pairs is not None
+            for a, b in pairs:
+                self._check_pair(a, b)
+                if self._symmetric:
+                    self._hears[a].add(b)
+                    self._hears[b].add(a)
+                else:
+                    self._hears[b].add(a)
+
+        self._per_channel_neighbors: Dict[int, Dict[int, FrozenSet[int]]] = {}
+        self._links: Dict[Tuple[int, int], DirectedLink] = {}
+        self._build_derived()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _check_pair(self, a: int, b: int) -> None:
+        if a == b:
+            raise NetworkModelError(f"self-loop at node {a}")
+        for nid in (a, b):
+            if nid not in self._nodes:
+                raise NetworkModelError(f"adjacency references unknown node {nid}")
+
+    def _pair_connected_on(self, u: int, v: int, c: int) -> bool:
+        """Whether radio propagation connects ``u`` and ``v`` on ``c``."""
+        if not self._channel_dependent:
+            return v in self._hears[u]
+        partners = self._channel_pairs.get(c)
+        return partners is not None and v in partners.get(u, ())
+
+    def _build_derived(self) -> None:
+        """Precompute per-channel neighbor sets and the directed links."""
+        for u, spec in self._nodes.items():
+            by_channel: Dict[int, Set[int]] = {c: set() for c in spec.channels}
+            span_of: Dict[int, Set[int]] = {}
+            for v in self._hears[u]:
+                shared = spec.channels & self._nodes[v].channels
+                for c in shared:
+                    if self._pair_connected_on(u, v, c):
+                        by_channel[c].add(v)
+                        span_of.setdefault(v, set()).add(c)
+            for v, span in span_of.items():
+                link = DirectedLink(
+                    transmitter=v,
+                    receiver=u,
+                    span=frozenset(span),
+                    receiver_channel_count=spec.channel_count,
+                )
+                self._links[link.key] = link
+            self._per_channel_neighbors[u] = {
+                c: frozenset(vs) for c, vs in by_channel.items()
+            }
+
+    # ------------------------------------------------------------------
+    # node / channel accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def is_symmetric(self) -> bool:
+        """Whether the network was built from a symmetric relation."""
+        return self._symmetric
+
+    @property
+    def is_channel_dependent(self) -> bool:
+        """Whether propagation differs per channel (§V extension (c))."""
+        return self._channel_dependent
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Sorted list of node identifiers."""
+        return sorted(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        """``N`` — the total number of radio nodes."""
+        return len(self._nodes)
+
+    def node(self, node_id: int) -> NodeSpec:
+        """The :class:`NodeSpec` for ``node_id``."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NetworkModelError(f"unknown node {node_id}") from None
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def __iter__(self) -> Iterator[NodeSpec]:
+        for nid in self.node_ids:
+            yield self._nodes[nid]
+
+    def channels_of(self, node_id: int) -> FrozenSet[int]:
+        """``A(u)`` — the available channel set of ``node_id``."""
+        return self.node(node_id).channels
+
+    @property
+    def universal_channel_set(self) -> FrozenSet[int]:
+        """Union of all nodes' available channel sets."""
+        universal: Set[int] = set()
+        for spec in self._nodes.values():
+            universal |= spec.channels
+        return frozenset(universal)
+
+    # ------------------------------------------------------------------
+    # neighbor relations
+    # ------------------------------------------------------------------
+
+    def hears(self, receiver: int) -> FrozenSet[int]:
+        """Nodes whose transmissions ``receiver`` can hear on some channel."""
+        self.node(receiver)
+        return frozenset(self._hears[receiver])
+
+    def hears_on(self, receiver: int, channel: int) -> FrozenSet[int]:
+        """Nodes whose transmissions on ``channel`` reach ``receiver``.
+
+        This is the interference set the engines use: only transmissions
+        from these nodes can collide at ``receiver`` on ``channel``.
+        Since a node only transmits on channels in its own set, and the
+        receiver only listens on channels in its set, this equals
+        ``N(receiver, channel)``.
+        """
+        return self.neighbors_on(receiver, channel)
+
+    def neighbors_on(self, node_id: int, channel: int) -> FrozenSet[int]:
+        """``N(u, c)`` — neighbors of ``node_id`` on ``channel``.
+
+        Empty (not an error) when ``channel`` is outside ``A(u)``.
+        """
+        self.node(node_id)
+        return self._per_channel_neighbors[node_id].get(channel, frozenset())
+
+    def degree_on(self, node_id: int, channel: int) -> int:
+        """``Δ(u, c)`` — number of neighbors of ``node_id`` on ``channel``."""
+        return len(self.neighbors_on(node_id, channel))
+
+    def discoverable_neighbors(self, node_id: int) -> FrozenSet[int]:
+        """All nodes that ``node_id`` must discover (union over channels)."""
+        found: Set[int] = set()
+        for vs in self._per_channel_neighbors[node_id].values():
+            found |= vs
+        return frozenset(found)
+
+    # ------------------------------------------------------------------
+    # links
+    # ------------------------------------------------------------------
+
+    def links(self) -> List[DirectedLink]:
+        """All directed links, sorted by ``(transmitter, receiver)``."""
+        return [self._links[k] for k in sorted(self._links)]
+
+    def link(self, transmitter: int, receiver: int) -> DirectedLink:
+        """The link from ``transmitter`` to ``receiver``.
+
+        Raises:
+            NetworkModelError: If the pair is not neighbors on any channel.
+        """
+        try:
+            return self._links[(transmitter, receiver)]
+        except KeyError:
+            raise NetworkModelError(
+                f"no link from {transmitter} to {receiver}"
+            ) from None
+
+    @property
+    def num_links(self) -> int:
+        """Number of directed links in the network."""
+        return len(self._links)
+
+    def span(self, transmitter: int, receiver: int) -> FrozenSet[int]:
+        """``span(v, u)`` for the link from ``transmitter`` to ``receiver``."""
+        return self.link(transmitter, receiver).span
+
+    # ------------------------------------------------------------------
+    # paper parameters
+    # ------------------------------------------------------------------
+
+    @property
+    def max_channel_set_size(self) -> int:
+        """``S`` — size of the largest available channel set."""
+        return max(spec.channel_count for spec in self._nodes.values())
+
+    @property
+    def max_degree(self) -> int:
+        """``Δ`` — maximum degree of any node on any channel.
+
+        Zero for a network with no links (isolated nodes only).
+        """
+        best = 0
+        for u, by_channel in self._per_channel_neighbors.items():
+            for vs in by_channel.values():
+                if len(vs) > best:
+                    best = len(vs)
+        return best
+
+    @property
+    def min_span_ratio(self) -> float:
+        """``ρ`` — minimum span-ratio over all directed links.
+
+        Raises:
+            NetworkModelError: If the network has no links (``ρ`` is then
+                undefined and no discovery problem exists).
+        """
+        if not self._links:
+            raise NetworkModelError("network has no links; rho is undefined")
+        return min(link.span_ratio for link in self._links.values())
+
+    def parameter_summary(self) -> Dict[str, float]:
+        """The paper's parameters ``N, S, Δ, ρ`` plus link count, as a dict."""
+        return {
+            "N": self.num_nodes,
+            "S": self.max_channel_set_size,
+            "Delta": self.max_degree,
+            "rho": self.min_span_ratio if self._links else float("nan"),
+            "links": self.num_links,
+        }
+
+    # ------------------------------------------------------------------
+    # model checks / utilities
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check M2HeW model invariants; raise :class:`NetworkModelError`.
+
+        Verifies that every link's span-ratio is within the paper's
+        ``[1/S, 1]`` range, that spans are subsets of the endpoint
+        channel intersections, and that symmetric channel-uniform
+        networks have symmetric link sets.
+        """
+        s = self.max_channel_set_size
+        for link in self._links.values():
+            ratio = link.span_ratio
+            if not (1.0 / s - 1e-12 <= ratio <= 1.0 + 1e-12):
+                raise NetworkModelError(
+                    f"link {link.key} span-ratio {ratio} outside [1/S, 1]"
+                )
+            both = (
+                self.channels_of(link.transmitter)
+                & self.channels_of(link.receiver)
+            )
+            if not link.span <= both:
+                raise NetworkModelError(
+                    f"link {link.key} span {sorted(link.span)} not within "
+                    f"A(v) ∩ A(u) = {sorted(both)}"
+                )
+        if self._symmetric:
+            for key in self._links:
+                if (key[1], key[0]) not in self._links:
+                    raise NetworkModelError(
+                        f"symmetric network missing reverse link of {key}"
+                    )
+
+    def restricted_to(self, node_ids: Iterable[int]) -> "M2HeWNetwork":
+        """Sub-network induced by ``node_ids`` (same channel sets)."""
+        keep = set(node_ids)
+        nodes = [self._nodes[nid] for nid in sorted(keep) if nid in self._nodes]
+        if self._channel_dependent:
+            channel_adjacency = {
+                c: [
+                    (u, v)
+                    for u, partners in per_node.items()
+                    for v in sorted(partners)
+                    if u < v and u in keep and v in keep
+                ]
+                for c, per_node in self._channel_pairs.items()
+            }
+            return M2HeWNetwork(nodes, channel_adjacency=channel_adjacency)
+        if self._symmetric:
+            pairs = [
+                (u, v)
+                for (u, v) in self._iter_symmetric_pairs()
+                if u in keep and v in keep
+            ]
+            return M2HeWNetwork(nodes, adjacency=pairs)
+        pairs = [
+            (v, u)
+            for u in sorted(keep)
+            if u in self._hears
+            for v in sorted(self._hears[u])
+            if v in keep
+        ]
+        return M2HeWNetwork(nodes, directed_adjacency=pairs)
+
+    def _iter_symmetric_pairs(self) -> Iterator[Tuple[int, int]]:
+        for u in sorted(self._hears):
+            for v in sorted(self._hears[u]):
+                if u < v:
+                    yield (u, v)
+
+    def channel_adjacency_pairs(self) -> Dict[int, List[Tuple[int, int]]]:
+        """Per-channel adjacency (channel-dependent networks only)."""
+        if not self._channel_dependent:
+            raise NetworkModelError(
+                "channel_adjacency_pairs requires a channel-dependent network"
+            )
+        return {
+            c: sorted(
+                (u, v)
+                for u, partners in per_node.items()
+                for v in partners
+                if u < v
+            )
+            for c, per_node in self._channel_pairs.items()
+        }
+
+    def with_channel_assignment(
+        self, assignment: Mapping[int, Iterable[int]]
+    ) -> "M2HeWNetwork":
+        """Copy of this network with new available channel sets."""
+        nodes = [
+            self._nodes[nid].with_channels(assignment[nid])
+            for nid in self.node_ids
+        ]
+        if self._channel_dependent:
+            return M2HeWNetwork(
+                nodes, channel_adjacency=self.channel_adjacency_pairs()
+            )
+        if self._symmetric:
+            return M2HeWNetwork(nodes, adjacency=list(self._iter_symmetric_pairs()))
+        pairs = [
+            (v, u) for u in sorted(self._hears) for v in sorted(self._hears[u])
+        ]
+        return M2HeWNetwork(nodes, directed_adjacency=pairs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._channel_dependent:
+            kind = "channel-dependent"
+        elif self._symmetric:
+            kind = "symmetric"
+        else:
+            kind = "asymmetric"
+        return (
+            f"M2HeWNetwork(N={self.num_nodes}, links={self.num_links}, "
+            f"S={self.max_channel_set_size}, Delta={self.max_degree}, {kind})"
+        )

@@ -1,0 +1,72 @@
+"""Node specification for an M2HeW network.
+
+A node is a radio with an identifier, an optional position (used by
+geometric topologies and the primary-user availability model) and an
+*available channel set* — the set of channels the node perceives as free
+for communication (denoted ``A(u)`` in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..exceptions import NetworkModelError
+
+__all__ = ["NodeSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Immutable description of one radio node.
+
+    Attributes:
+        node_id: Non-negative integer identifier, unique in a network.
+        channels: The node's available channel set ``A(u)``. Must be
+            non-empty — a node with no available channel cannot take part
+            in neighbor discovery at all and the paper's model excludes it.
+        position: Optional ``(x, y)`` coordinates. Present for geometric
+            topologies; ``None`` for abstract graphs.
+    """
+
+    node_id: int
+    channels: FrozenSet[int]
+    position: Optional[Tuple[float, float]] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise NetworkModelError(f"node_id must be non-negative, got {self.node_id}")
+        if not isinstance(self.channels, frozenset):
+            object.__setattr__(self, "channels", frozenset(self.channels))
+        if not self.channels:
+            raise NetworkModelError(
+                f"node {self.node_id} has an empty available channel set; "
+                "the M2HeW model requires |A(u)| >= 1"
+            )
+        if any(c < 0 for c in self.channels):
+            raise NetworkModelError(
+                f"node {self.node_id} has negative channel ids: {sorted(self.channels)}"
+            )
+        if self.position is not None:
+            x, y = self.position
+            object.__setattr__(self, "position", (float(x), float(y)))
+
+    @property
+    def channel_count(self) -> int:
+        """``|A(u)|`` — the size of this node's available channel set."""
+        return len(self.channels)
+
+    def with_channels(self, channels: Iterable[int]) -> "NodeSpec":
+        """Copy of this node with a different available channel set."""
+        return NodeSpec(self.node_id, frozenset(channels), self.position)
+
+    def distance_to(self, other: "NodeSpec") -> float:
+        """Euclidean distance to ``other`` (both must have positions)."""
+        if self.position is None or other.position is None:
+            raise NetworkModelError(
+                "distance_to requires both nodes to have positions "
+                f"(nodes {self.node_id} and {other.node_id})"
+            )
+        dx = self.position[0] - other.position[0]
+        dy = self.position[1] - other.position[1]
+        return float((dx * dx + dy * dy) ** 0.5)

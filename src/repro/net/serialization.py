@@ -1,0 +1,109 @@
+"""JSON (de)serialization of network instances.
+
+Experiments record the exact network they ran on; these helpers
+round-trip an :class:`~repro.net.network.M2HeWNetwork` through a plain
+JSON-compatible dict so instances can be archived alongside results and
+reloaded bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..exceptions import NetworkModelError
+from .network import M2HeWNetwork
+from .node import NodeSpec
+
+__all__ = ["network_to_dict", "network_from_dict", "save_network", "load_network"]
+
+FORMAT_VERSION = 1
+
+
+def network_to_dict(network: M2HeWNetwork) -> Dict[str, Any]:
+    """Serialize ``network`` to a JSON-compatible dict."""
+    nodes: List[Dict[str, Any]] = []
+    for spec in network:
+        entry: Dict[str, Any] = {
+            "id": spec.node_id,
+            "channels": sorted(spec.channels),
+        }
+        if spec.position is not None:
+            entry["position"] = list(spec.position)
+        nodes.append(entry)
+
+    if network.is_channel_dependent:
+        payload: Dict[str, Any] = {
+            "channel_adjacency": {
+                str(c): [list(p) for p in pairs]
+                for c, pairs in network.channel_adjacency_pairs().items()
+            }
+        }
+    elif network.is_symmetric:
+        # Recover the raw radio adjacency from the hearing relation (not
+        # from the link set) so that radio-adjacent pairs sharing no
+        # channel survive the round trip.
+        pairs = sorted(
+            (u, v)
+            for u in network.node_ids
+            for v in network.hears(u)
+            if u < v
+        )
+        payload = {"adjacency": [list(p) for p in pairs]}
+    else:
+        pairs = sorted(
+            (v, u) for u in network.node_ids for v in network.hears(u)
+        )
+        payload = {"directed_adjacency": [list(p) for p in pairs]}
+
+    return {
+        "format_version": FORMAT_VERSION,
+        "symmetric": network.is_symmetric,
+        "channel_dependent": network.is_channel_dependent,
+        "nodes": nodes,
+        **payload,
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> M2HeWNetwork:
+    """Reconstruct a network from :func:`network_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise NetworkModelError(
+            f"unsupported network format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    nodes = []
+    for entry in data["nodes"]:
+        position = tuple(entry["position"]) if "position" in entry else None
+        nodes.append(
+            NodeSpec(
+                node_id=int(entry["id"]),
+                channels=frozenset(int(c) for c in entry["channels"]),
+                position=position,  # type: ignore[arg-type]
+            )
+        )
+    if data.get("channel_dependent", False):
+        channel_adjacency = {
+            int(c): [(int(u), int(v)) for u, v in pairs]
+            for c, pairs in data["channel_adjacency"].items()
+        }
+        return M2HeWNetwork(nodes, channel_adjacency=channel_adjacency)
+    if data.get("symmetric", True):
+        pairs = [(int(u), int(v)) for u, v in data["adjacency"]]
+        return M2HeWNetwork(nodes, adjacency=pairs)
+    pairs = [(int(u), int(v)) for u, v in data["directed_adjacency"]]
+    return M2HeWNetwork(nodes, directed_adjacency=pairs)
+
+
+def save_network(network: M2HeWNetwork, path: Union[str, Path]) -> None:
+    """Write ``network`` to ``path`` as JSON."""
+    payload = network_to_dict(network)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_network(path: Union[str, Path]) -> M2HeWNetwork:
+    """Load a network previously written by :func:`save_network`."""
+    data = json.loads(Path(path).read_text())
+    return network_from_dict(data)

@@ -1,0 +1,86 @@
+"""Simulation substrate: engines, clocks, medium, results, runners."""
+
+from __future__ import annotations
+
+from .async_engine import AsyncSimulator
+from .batch import BatchOutcome, ExperimentSpec, run_batch
+from .clock import (
+    Clock,
+    ConstantDriftClock,
+    PerfectClock,
+    PiecewiseDriftClock,
+    RandomWalkDriftClock,
+    SinusoidalDriftClock,
+    check_drift_bound,
+)
+from .engine import DiscreteEventEngine
+from .events import Event, EventQueue
+from .fast_slotted import (
+    FastSlottedSimulator,
+    FlatSchedule,
+    GrowingEstimateSchedule,
+    StagedSchedule,
+    VectorSchedule,
+)
+from .medium import Medium, Transmission
+from .results import DiscoveryResult, load_result, result_from_dict
+from .rng import RngFactory, derive_trial_seed, make_generator, spawn_generators
+from .runner import (
+    make_clocks,
+    random_start_offsets,
+    run_asynchronous,
+    run_synchronous,
+    run_trials,
+)
+from .slotted import SlottedSimulator
+from .stopping import StoppingCondition
+from .termination_runner import (
+    TerminationOutcome,
+    run_terminating_async,
+    run_terminating_sync,
+)
+from .trace import ExecutionTrace, FrameRecord, SlotRecord
+
+__all__ = [
+    "AsyncSimulator",
+    "BatchOutcome",
+    "ExperimentSpec",
+    "TerminationOutcome",
+    "load_result",
+    "result_from_dict",
+    "run_batch",
+    "run_terminating_async",
+    "run_terminating_sync",
+    "Clock",
+    "ConstantDriftClock",
+    "DiscoveryResult",
+    "DiscreteEventEngine",
+    "Event",
+    "EventQueue",
+    "ExecutionTrace",
+    "FastSlottedSimulator",
+    "FlatSchedule",
+    "FrameRecord",
+    "GrowingEstimateSchedule",
+    "Medium",
+    "PerfectClock",
+    "PiecewiseDriftClock",
+    "RandomWalkDriftClock",
+    "RngFactory",
+    "SinusoidalDriftClock",
+    "SlotRecord",
+    "SlottedSimulator",
+    "StagedSchedule",
+    "StoppingCondition",
+    "Transmission",
+    "VectorSchedule",
+    "check_drift_bound",
+    "derive_trial_seed",
+    "make_clocks",
+    "make_generator",
+    "random_start_offsets",
+    "run_asynchronous",
+    "run_synchronous",
+    "run_trials",
+    "spawn_generators",
+]

@@ -1,0 +1,354 @@
+"""Asynchronous continuous-time engine (paper §IV).
+
+Each node owns a drifting :class:`~repro.sim.clock.Clock` and divides its
+*local* time into frames of length ``L``, each split into three
+equal-local-length slots. Because clocks drift, a frame's *real* length
+varies within ``[L/(1+δ), L/(1−δ)]`` (eq. (10)) and frames of different
+nodes are arbitrarily misaligned — exactly the regime Lemmas 4-8 reason
+about.
+
+Per frame, a node's protocol decides transmit-or-listen and a channel
+(Algorithm 4). A transmitter emits its hello in each of its three slots;
+a listener listens for the whole frame. Reception rule: a listener ``u``
+decodes the copy carried by a slot-length transmission from ``v`` on
+channel ``c`` iff
+
+* ``v`` is audible to ``u`` and ``c ∈ A(u) ∩ A(v)``,
+* ``u``'s listening frame (on ``c``) contains the *entire* slot, and
+* no transmission from another node audible to ``u`` overlapped the slot
+  on ``c``.
+
+This is the conservative packet-level rule under which the paper's
+aligned-frame-pair analysis guarantees delivery.
+
+The engine records an :class:`~repro.sim.trace.ExecutionTrace` of frame
+geometry when asked, which :mod:`repro.analysis.alignment` uses to
+verify Lemmas 4 and 7 on actual executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core.algorithm4 import SLOTS_PER_FRAME
+from ..core.base import AsynchronousProtocol, Mode
+from ..core.messages import HelloMessage
+from ..exceptions import ConfigurationError, SimulationError
+from ..net.network import M2HeWNetwork
+from .clock import Clock, PerfectClock
+from .engine import DiscreteEventEngine
+from .medium import Medium, Transmission
+from .results import DiscoveryResult
+from .rng import RngFactory
+from .stopping import StoppingCondition
+from .trace import ExecutionTrace, FrameRecord
+
+__all__ = ["AsyncSimulator"]
+
+AsyncFactory = Callable[[int, frozenset, np.random.Generator], AsynchronousProtocol]
+
+
+@dataclass
+class _NodeState:
+    protocol: AsynchronousProtocol
+    clock: Clock
+    start_real: float
+    local_start: float
+    frame_index: int = 0
+    full_frames_since_ts: int = 0
+    listening_channel: Optional[int] = None
+    listen_start: float = 0.0
+    listen_end: float = 0.0
+    tx_seconds: float = 0.0
+    rx_seconds: float = 0.0
+    quiet_seconds: float = 0.0
+
+
+class AsyncSimulator:
+    """Event-driven asynchronous discovery simulator.
+
+    Args:
+        network: The M2HeW network instance.
+        protocol_factory: ``(node_id, channels, rng) -> protocol``.
+        rng_factory: Source of per-node random streams.
+        frame_length: ``L`` — frame length in *local* time, identical
+            for all nodes (paper §IV).
+        clocks: Per-node clock; missing nodes get a :class:`PerfectClock`.
+        start_times: Real time each node begins the protocol (its first
+            frame starts then); missing nodes start at 0.
+        erasure_prob: Per-copy loss probability (unreliable channels).
+        trace: Optional trace receiving a :class:`FrameRecord` per frame.
+    """
+
+    def __init__(
+        self,
+        network: M2HeWNetwork,
+        protocol_factory: AsyncFactory,
+        rng_factory: RngFactory,
+        frame_length: float = 1.0,
+        clocks: Optional[Mapping[int, Clock]] = None,
+        start_times: Optional[Mapping[int, float]] = None,
+        erasure_prob: float = 0.0,
+        trace: Optional[ExecutionTrace] = None,
+    ) -> None:
+        if frame_length <= 0:
+            raise ConfigurationError(
+                f"frame_length must be positive, got {frame_length}"
+            )
+        if not 0.0 <= erasure_prob < 1.0:
+            raise ConfigurationError(
+                f"erasure_prob must be in [0, 1), got {erasure_prob}"
+            )
+        self._network = network
+        self._L = float(frame_length)
+        self._erasure_prob = erasure_prob
+        self._erasure_rng = rng_factory.stream("erasure")
+        self._trace = trace
+
+        clocks = dict(clocks or {})
+        starts = dict(start_times or {})
+        self._states: Dict[int, _NodeState] = {}
+        self._hellos: Dict[int, HelloMessage] = {}
+        for nid in network.node_ids:
+            clock = clocks.get(nid) or PerfectClock()
+            start_real = float(starts.get(nid, 0.0))
+            if start_real < 0:
+                raise ConfigurationError(
+                    f"start time of node {nid} must be >= 0, got {start_real}"
+                )
+            protocol = protocol_factory(
+                nid, network.channels_of(nid), rng_factory.node_stream(nid)
+            )
+            if protocol.node_id != nid:
+                raise SimulationError(
+                    f"protocol factory returned node id {protocol.node_id} "
+                    f"for node {nid}"
+                )
+            self._states[nid] = _NodeState(
+                protocol=protocol,
+                clock=clock,
+                start_real=start_real,
+                local_start=clock.local_from_real(start_real),
+            )
+            self._hellos[nid] = protocol.hello()
+
+        self._t_s = max(st.start_real for st in self._states.values())
+        # Per-channel hearing sets (also carries the channel-dependent
+        # propagation extension).
+        self._hears_on: Dict[int, Dict[int, frozenset]] = {
+            nid: {
+                c: network.hears_on(nid, c)
+                for c in network.channels_of(nid)
+            }
+            for nid in network.node_ids
+        }
+        self._medium = Medium()
+        self._listeners_on: Dict[int, Set[int]] = {}
+        self._engine = DiscreteEventEngine()
+
+        self._coverage: Dict[Tuple[int, int], Optional[float]] = {
+            link.key: None for link in network.links()
+        }
+        self._uncovered = len(self._coverage)
+        self._stopping: Optional[StoppingCondition] = None
+        self._nodes_short_of_frames = len(self._states)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    @property
+    def all_started_time(self) -> float:
+        """``T_s`` — the real time by which every node has started."""
+        return self._t_s
+
+    def run(self, stopping: StoppingCondition) -> DiscoveryResult:
+        """Run until the stopping condition fires; return the result."""
+        stopping.require_async_budget()
+        self._stopping = stopping
+        if stopping.max_frames_per_node is None:
+            self._nodes_short_of_frames = 0
+
+        for nid, state in self._states.items():
+            self._engine.schedule(
+                state.start_real,
+                lambda nid=nid: self._begin_frame(nid),
+                label=f"start-{nid}",
+            )
+
+        horizon = self._engine.run(until=stopping.max_real_time)
+
+        completed = all(t is not None for t in self._coverage.values())
+        return DiscoveryResult(
+            time_unit="seconds",
+            coverage=dict(self._coverage),
+            horizon=float(horizon),
+            completed=completed,
+            neighbor_tables={
+                nid: st.protocol.neighbor_table.as_dict()
+                for nid, st in self._states.items()
+            },
+            start_times={nid: st.start_real for nid, st in self._states.items()},
+            network_params=self._network.parameter_summary(),
+            metadata={
+                "engine": "async",
+                "frame_length": self._L,
+                "erasure_prob": self._erasure_prob,
+                "t_s": self._t_s,
+                "full_frames_since_ts": {
+                    nid: st.full_frames_since_ts
+                    for nid, st in self._states.items()
+                },
+                "radio_activity": {
+                    nid: {
+                        "tx": st.tx_seconds,
+                        "rx": st.rx_seconds,
+                        "quiet": st.quiet_seconds,
+                    }
+                    for nid, st in self._states.items()
+                },
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # frame lifecycle
+    # ------------------------------------------------------------------
+
+    def _frame_bounds(self, state: _NodeState, k: int) -> List[float]:
+        """Real times of the slot boundaries of frame ``k`` (length 4)."""
+        base = state.local_start + k * self._L
+        return [
+            state.clock.real_from_local(base + j * self._L / SLOTS_PER_FRAME)
+            for j in range(SLOTS_PER_FRAME + 1)
+        ]
+
+    def _begin_frame(self, nid: int) -> None:
+        state = self._states[nid]
+        k = state.frame_index
+        bounds = self._frame_bounds(state, k)
+        decision = state.protocol.decide_frame(k)
+
+        frame_duration = bounds[-1] - bounds[0]
+        if decision.mode is Mode.TRANSMIT:
+            state.tx_seconds += frame_duration
+        elif decision.mode is Mode.LISTEN:
+            state.rx_seconds += frame_duration
+        else:
+            state.quiet_seconds += frame_duration
+
+        if decision.mode is Mode.TRANSMIT:
+            assert decision.channel is not None
+            if decision.channel not in state.protocol.channels:
+                raise SimulationError(
+                    f"node {nid} transmitted on unavailable channel "
+                    f"{decision.channel}"
+                )
+            for j in range(SLOTS_PER_FRAME):
+                tx = Transmission(
+                    sender=nid,
+                    channel=decision.channel,
+                    start=bounds[j],
+                    end=bounds[j + 1],
+                    message=self._hellos[nid],
+                )
+                self._engine.schedule(
+                    tx.start, lambda tx=tx: self._medium.begin(tx), label="tx-begin"
+                )
+                self._engine.schedule(
+                    tx.end, lambda tx=tx: self._end_transmission(tx), label="tx-end"
+                )
+        elif decision.mode is Mode.LISTEN:
+            assert decision.channel is not None
+            state.listening_channel = decision.channel
+            state.listen_start = bounds[0]
+            state.listen_end = bounds[-1]
+            self._listeners_on.setdefault(decision.channel, set()).add(nid)
+        # QUIET frames: transceiver off, nothing to register.
+
+        if self._trace is not None:
+            self._trace.add_frame(
+                FrameRecord(
+                    node_id=nid,
+                    frame_index=k,
+                    start=bounds[0],
+                    end=bounds[-1],
+                    slot_bounds=tuple(bounds),
+                    mode=decision.mode,
+                    channel=decision.channel,
+                )
+            )
+
+        self._engine.schedule(
+            bounds[-1], lambda nid=nid: self._end_frame(nid), label=f"frame-end-{nid}"
+        )
+
+    def _end_frame(self, nid: int) -> None:
+        state = self._states[nid]
+        if state.listening_channel is not None:
+            listeners = self._listeners_on.get(state.listening_channel)
+            if listeners is not None:
+                listeners.discard(nid)
+            state.listening_channel = None
+
+        frame_start = self._frame_bounds(state, state.frame_index)[0]
+        if frame_start >= self._t_s - 1e-12:
+            state.full_frames_since_ts += 1
+            assert self._stopping is not None
+            budget = self._stopping.max_frames_per_node
+            if (
+                budget is not None
+                and state.full_frames_since_ts == budget
+            ):
+                self._nodes_short_of_frames -= 1
+                if self._nodes_short_of_frames == 0:
+                    self._engine.request_stop()
+                    return
+
+        state.frame_index += 1
+        self._begin_frame(nid)
+
+    # ------------------------------------------------------------------
+    # reception
+    # ------------------------------------------------------------------
+
+    def _end_transmission(self, tx: Transmission) -> None:
+        self._medium.end(tx)
+        listeners = self._listeners_on.get(tx.channel)
+        if not listeners:
+            return
+        for u in list(listeners):
+            state = self._states[u]
+            audible = self._hears_on[u].get(tx.channel, frozenset())
+            if tx.sender not in audible:
+                continue
+            if tx.channel not in state.protocol.channels:
+                # Listener registration guarantees this, but keep the
+                # model check: u only tunes to channels in A(u).
+                raise SimulationError(
+                    f"node {u} listening on unavailable channel {tx.channel}"
+                )
+            if not (
+                state.listen_start <= tx.start + 1e-12
+                and tx.end <= state.listen_end + 1e-12
+            ):
+                continue  # slot not wholly inside u's listening frame
+            if tx.interferers(audible):
+                continue  # collision at u
+            if (
+                self._erasure_prob > 0.0
+                and self._erasure_rng.random() < self._erasure_prob
+            ):
+                continue
+            state.protocol.on_receive(
+                tx.message, float(state.frame_index), tx.channel
+            )
+            key = (tx.sender, u)
+            if self._coverage.get(key, 0.0) is None:
+                self._coverage[key] = tx.end
+                self._uncovered -= 1
+                assert self._stopping is not None
+                if self._stopping.stop_on_full_coverage and self._uncovered == 0:
+                    self._engine.request_stop()

@@ -1,0 +1,196 @@
+"""Declarative experiment batches.
+
+A release-quality reproduction needs a way to describe a whole campaign
+— several (workload, protocol, parameters) combinations, each with
+seeded trials — and archive everything it produced. An
+:class:`ExperimentSpec` names one combination; :func:`run_batch`
+executes the campaign and (optionally) writes one JSON file per
+experiment plus a manifest, so a results directory is self-describing
+and every number in a paper table can be traced to raw trial files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..analysis.stats import SampleSummary, summarize
+from ..exceptions import ConfigurationError
+from ..workloads.generator import WorkloadConfig, generate_network
+from .results import DiscoveryResult
+from .rng import derive_trial_seed
+from .runner import run_asynchronous, run_synchronous
+
+__all__ = ["ExperimentSpec", "BatchOutcome", "run_batch"]
+
+SYNC_PROTOCOLS = (
+    "algorithm1",
+    "algorithm2",
+    "algorithm3",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment of a batch.
+
+    Attributes:
+        name: Unique label (also the archive file stem).
+        workload: Network recipe.
+        protocol: ``algorithm1|algorithm2|algorithm3`` (synchronous) or
+            ``algorithm4`` (asynchronous).
+        trials: Seeded trials to run.
+        network_seed: Seed for realizing the workload (one instance per
+            experiment; per-trial randomness varies only the protocol).
+        runner_params: Extra keyword arguments for
+            :func:`~repro.sim.runner.run_synchronous` /
+            :func:`~repro.sim.runner.run_asynchronous` (budgets,
+            ``delta_est``, drift, …).
+    """
+
+    name: str
+    workload: WorkloadConfig
+    protocol: str
+    trials: int = 5
+    network_seed: int = 0
+    runner_params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ConfigurationError(
+                f"experiment name must be a non-empty file stem, got {self.name!r}"
+            )
+        if self.protocol not in SYNC_PROTOCOLS + ("algorithm4",):
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r} for batch experiments"
+            )
+        if self.trials < 1:
+            raise ConfigurationError(f"trials must be >= 1, got {self.trials}")
+
+
+@dataclass
+class BatchOutcome:
+    """All trials of one experiment, with a completion-time summary."""
+
+    spec: ExperimentSpec
+    results: List[DiscoveryResult]
+    network_params: Dict[str, float]
+    completion: Optional[SampleSummary]
+    completed_fraction: float
+
+    def as_row(self) -> Dict[str, Any]:
+        """Row form for table rendering."""
+        row: Dict[str, Any] = {
+            "experiment": self.spec.name,
+            "protocol": self.spec.protocol,
+            "trials": len(self.results),
+            "completed": round(self.completed_fraction, 3),
+        }
+        if self.completion is not None:
+            row["mean_time"] = round(self.completion.mean, 2)
+            row["p90_time"] = round(self.completion.p90, 2)
+        return row
+
+
+def _run_spec(spec: ExperimentSpec, base_seed: Optional[int]) -> BatchOutcome:
+    network = generate_network(spec.workload, seed=spec.network_seed)
+    results: List[DiscoveryResult] = []
+    for t in range(spec.trials):
+        seed = derive_trial_seed(base_seed, t)
+        if spec.protocol in SYNC_PROTOCOLS:
+            params = dict(spec.runner_params)
+            params.setdefault("max_slots", 200_000)
+            result = run_synchronous(network, spec.protocol, seed=seed, **params)
+        else:
+            params = dict(spec.runner_params)
+            if "max_frames_per_node" not in params and "max_real_time" not in params:
+                params["max_frames_per_node"] = 200_000
+            result = run_asynchronous(network, seed=seed, **params)
+        result.metadata["experiment"] = spec.name
+        result.metadata["trial"] = t
+        result.metadata["workload"] = spec.workload.describe()
+        results.append(result)
+
+    times = [
+        float(r.completion_time) for r in results if r.completion_time is not None
+    ]
+    return BatchOutcome(
+        spec=spec,
+        results=results,
+        network_params=dict(network.parameter_summary()),
+        completion=summarize(times) if times else None,
+        completed_fraction=sum(r.completed for r in results) / len(results),
+    )
+
+
+def run_batch(
+    specs: Sequence[ExperimentSpec],
+    base_seed: Optional[int] = 0,
+    output_dir: Optional[Union[str, Path]] = None,
+) -> List[BatchOutcome]:
+    """Run every experiment; optionally archive raw trials + manifest.
+
+    Args:
+        specs: The campaign; names must be unique.
+        base_seed: Root seed — trial ``t`` of every experiment uses
+            ``derive_trial_seed(base_seed, t)``, so two experiments on
+            the same workload face identical protocol randomness and
+            differ only in what is being compared.
+        output_dir: If given, write ``<name>.json`` per experiment (all
+            trial results) and ``manifest.json``.
+    """
+    if not specs:
+        raise ConfigurationError("batch needs at least one experiment")
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate experiment names: {sorted(names)}")
+
+    outcomes = [_run_spec(spec, base_seed) for spec in specs]
+
+    if output_dir is not None:
+        out = Path(output_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "base_seed": base_seed,
+            "experiments": [],
+        }
+        for outcome in outcomes:
+            payload = {
+                "spec": {
+                    "name": outcome.spec.name,
+                    "protocol": outcome.spec.protocol,
+                    "trials": outcome.spec.trials,
+                    "network_seed": outcome.spec.network_seed,
+                    "workload": outcome.spec.workload.describe(),
+                    "runner_params": {
+                        k: _jsonable(v)
+                        for k, v in outcome.spec.runner_params.items()
+                    },
+                },
+                "network_params": outcome.network_params,
+                "trials": [r.to_dict() for r in outcome.results],
+            }
+            (out / f"{outcome.spec.name}.json").write_text(
+                json.dumps(payload, indent=2, sort_keys=True)
+            )
+            manifest["experiments"].append(
+                {
+                    "name": outcome.spec.name,
+                    "file": f"{outcome.spec.name}.json",
+                    "summary": outcome.as_row(),
+                }
+            )
+        (out / "manifest.json").write_text(
+            json.dumps(manifest, indent=2, sort_keys=True)
+        )
+    return outcomes
+
+
+def _jsonable(value: Any) -> Any:
+    try:
+        json.dumps(value)
+        return value
+    except TypeError:
+        return str(value)

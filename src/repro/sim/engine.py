@@ -1,0 +1,83 @@
+"""Generic discrete-event simulation driver.
+
+:class:`DiscreteEventEngine` runs an :class:`~repro.sim.events.EventQueue`
+until a time horizon, an event budget, or an external stop request.
+Domain engines (the asynchronous radio engine) own one of these and
+schedule their domain events on it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..exceptions import SimulationError
+from .events import Event, EventQueue
+
+__all__ = ["DiscreteEventEngine"]
+
+
+class DiscreteEventEngine:
+    """Runs events in time order until a stopping condition is met."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._stop_requested = False
+        self._events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._queue.now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_executed
+
+    def schedule(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule an event; see :meth:`EventQueue.schedule`."""
+        return self._queue.schedule(time, action, label)
+
+    def schedule_after(
+        self, delay: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self._queue.schedule(self.now + delay, action, label)
+
+    def request_stop(self) -> None:
+        """Stop the run after the currently executing event completes."""
+        self._stop_requested = True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Execute events until exhaustion, ``until``, or a stop request.
+
+        Args:
+            until: Do not execute events scheduled after this time (they
+                remain queued).
+            max_events: Execute at most this many (further) events.
+
+        Returns:
+            The simulation time when the run stopped.
+        """
+        self._stop_requested = False
+        executed_this_run = 0
+        while not self._stop_requested:
+            if max_events is not None and executed_this_run >= max_events:
+                break
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                return until
+            event = self._queue.pop_next()
+            assert event is not None
+            event.action()
+            self._events_executed += 1
+            executed_this_run += 1
+        return self.now

@@ -1,0 +1,87 @@
+"""Event primitives for the discrete-event simulation core.
+
+An :class:`EventQueue` is a priority queue of timestamped callbacks with
+deterministic tie-breaking: events at equal times fire in the order they
+were scheduled (FIFO), which keeps runs bit-reproducible across Python
+versions and platforms.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..exceptions import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+Action = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, seq)``; ``seq`` is the global scheduling
+    counter, giving FIFO order among simultaneous events.
+    """
+
+    time: float
+    seq: int
+    action: Action = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A heap-based future event list."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (time of the last popped event)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, time: float, action: Action, label: str = "") -> Event:
+        """Schedule ``action`` at ``time``; returns a cancellable handle.
+
+        Raises:
+            SimulationError: If ``time`` precedes the current time —
+                scheduling into the past means the model is broken.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at {time} before now {self._now}"
+            )
+        event = Event(time=max(time, self._now), seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop_next(self) -> Optional[Event]:
+        """Remove and return the next non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,106 @@
+"""Continuous-time wireless medium for the asynchronous engine.
+
+Tracks, per channel, the set of in-flight transmissions and which other
+transmissions each one overlapped in time. The engine uses that record
+at a transmission's end to decide, per listener, whether the copy was
+*clear*: interference at receiver ``u`` comes only from transmissions by
+nodes ``u`` can hear (paper §II — a node out of range contributes
+nothing at ``u``; there is no physical-SINR model, matching the paper's
+protocol model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from ..core.messages import HelloMessage
+from ..exceptions import SimulationError
+
+__all__ = ["Transmission", "Medium"]
+
+
+@dataclass(eq=False)
+class Transmission:
+    """One slot-length transmission on one channel.
+
+    Attributes:
+        sender: Transmitting node.
+        channel: Channel transmitted on.
+        start: Real start time.
+        end: Real end time (scheduled; transmissions are never aborted).
+        message: The hello carried.
+        overlapped: Other same-channel transmissions whose active
+            interval intersected this one's (maintained by the medium;
+            may include boundary-touching entries — use
+            :meth:`overlaps_interval` to filter strictly).
+    """
+
+    sender: int
+    channel: int
+    start: float
+    end: float
+    message: HelloMessage
+    overlapped: List["Transmission"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise SimulationError(
+                f"transmission by {self.sender} has non-positive duration "
+                f"[{self.start}, {self.end}]"
+            )
+
+    def overlaps_interval(self, start: float, end: float) -> bool:
+        """Strict time overlap with ``(start, end)`` (boundaries touch OK)."""
+        return self.start < end and start < self.end
+
+    def interferers(self, audible: Iterable[int]) -> List[int]:
+        """Senders audible to a receiver whose transmissions truly
+        overlapped this one (excluding this transmission's own sender)."""
+        audible_set = set(audible)
+        return [
+            other.sender
+            for other in self.overlapped
+            if other.sender != self.sender
+            and other.sender in audible_set
+            and other.overlaps_interval(self.start, self.end)
+        ]
+
+
+class Medium:
+    """Per-channel bookkeeping of in-flight transmissions."""
+
+    def __init__(self) -> None:
+        self._active: Dict[int, Set[Transmission]] = {}
+
+    def begin(self, tx: Transmission) -> None:
+        """Register a transmission start; links mutual overlaps."""
+        peers = self._active.setdefault(tx.channel, set())
+        for other in peers:
+            other.overlapped.append(tx)
+            tx.overlapped.append(other)
+        peers.add(tx)
+
+    def end(self, tx: Transmission) -> None:
+        """Unregister a finished transmission.
+
+        Raises:
+            SimulationError: If the transmission was never begun (an
+                engine scheduling bug).
+        """
+        peers = self._active.get(tx.channel)
+        if peers is None or tx not in peers:
+            raise SimulationError(
+                f"ending unknown transmission by {tx.sender} on channel "
+                f"{tx.channel}"
+            )
+        peers.remove(tx)
+
+    def active_on(self, channel: int) -> List[Transmission]:
+        """Currently in-flight transmissions on ``channel``."""
+        return list(self._active.get(channel, ()))
+
+    @property
+    def total_active(self) -> int:
+        """Total in-flight transmissions across channels."""
+        return sum(len(s) for s in self._active.values())

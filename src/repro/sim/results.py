@@ -1,0 +1,239 @@
+"""Simulation results.
+
+Both engines report discovery progress per *directed link*: the first
+time (slot index or real time) at which the receiver heard a clear hello
+from the transmitter. :class:`DiscoveryResult` bundles those times with
+run metadata and offers the summary statistics that the experiments
+print (completion time, coverage fraction, stragglers).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple, Union
+
+from ..exceptions import SimulationError
+
+__all__ = ["DiscoveryResult", "result_from_dict", "load_result"]
+
+RESULT_FORMAT_VERSION = 1
+
+LinkKey = Tuple[int, int]
+
+
+@dataclass
+class DiscoveryResult:
+    """Outcome of one discovery run.
+
+    Attributes:
+        time_unit: ``"slots"`` for synchronous runs (times are global
+            slot indices, integers) or ``"seconds"`` for asynchronous
+            runs (times are real times).
+        coverage: First-coverage time per directed link
+            ``(transmitter, receiver)``; ``None`` if never covered
+            within the simulated horizon.
+        horizon: The last simulated instant (slots executed, or real
+            end time).
+        completed: Whether every link was covered within the horizon.
+        neighbor_tables: Final ``{owner: {neighbor: common channels}}``
+            as reported by each node's protocol instance.
+        start_times: When each node started its protocol (global slot or
+            real time).
+        network_params: Snapshot of ``N, S, Δ, ρ`` and link count.
+        metadata: Free-form extras (protocol name, seeds, clock model…).
+    """
+
+    time_unit: str
+    coverage: Dict[LinkKey, Optional[float]]
+    horizon: float
+    completed: bool
+    neighbor_tables: Dict[int, Dict[int, FrozenSet[int]]]
+    start_times: Dict[int, float]
+    network_params: Mapping[str, float]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.time_unit not in ("slots", "seconds"):
+            raise SimulationError(f"unknown time unit {self.time_unit!r}")
+        covered_flags = [t is not None for t in self.coverage.values()]
+        if self.completed != all(covered_flags):
+            raise SimulationError(
+                "completed flag inconsistent with coverage map"
+            )
+
+    # ------------------------------------------------------------------
+    # summary statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def num_links(self) -> int:
+        """Number of directed links tracked."""
+        return len(self.coverage)
+
+    @property
+    def num_covered(self) -> int:
+        """Links covered within the horizon."""
+        return sum(1 for t in self.coverage.values() if t is not None)
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Fraction of links covered (1.0 when complete)."""
+        if not self.coverage:
+            return 1.0
+        return self.num_covered / len(self.coverage)
+
+    @property
+    def completion_time(self) -> Optional[float]:
+        """Time the *last* link was covered; ``None`` if incomplete.
+
+        For a synchronous run this is the global slot index of the final
+        discovery (so "slots needed" is ``completion_time + 1``).
+        """
+        if not self.completed:
+            return None
+        if not self.coverage:
+            return 0.0
+        return max(t for t in self.coverage.values() if t is not None)
+
+    @property
+    def last_start_time(self) -> float:
+        """``T_s`` — the time by which every node has started."""
+        if not self.start_times:
+            return 0.0
+        return max(self.start_times.values())
+
+    @property
+    def completion_after_all_started(self) -> Optional[float]:
+        """``completion_time − T_s`` — what Theorems 3, 9, 10 bound."""
+        done = self.completion_time
+        if done is None:
+            return None
+        return max(0.0, done - self.last_start_time)
+
+    def uncovered_links(self) -> List[LinkKey]:
+        """Links never covered within the horizon, sorted."""
+        return sorted(k for k, t in self.coverage.items() if t is None)
+
+    def covered_times(self) -> List[float]:
+        """All first-coverage times, sorted ascending."""
+        return sorted(t for t in self.coverage.values() if t is not None)
+
+    def coverage_time_quantile(self, q: float) -> Optional[float]:
+        """Time by which a ``q`` fraction of links were covered.
+
+        ``None`` if fewer than a ``q`` fraction were ever covered.
+        """
+        if not 0.0 < q <= 1.0:
+            raise SimulationError(f"quantile must be in (0, 1], got {q}")
+        times = self.covered_times()
+        needed = int(-(-q * len(self.coverage) // 1))  # ceil
+        if needed == 0:
+            return 0.0
+        if len(times) < needed:
+            return None
+        return times[needed - 1]
+
+    def per_node_completion(self) -> Dict[int, Optional[float]]:
+        """For each receiver, when it finished discovering all its links."""
+        per_node: Dict[int, List[Optional[float]]] = {}
+        for (_, receiver), t in self.coverage.items():
+            per_node.setdefault(receiver, []).append(t)
+        out: Dict[int, Optional[float]] = {}
+        for receiver, times in per_node.items():
+            out[receiver] = None if any(t is None for t in times) else max(
+                t for t in times if t is not None
+            )
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        """Compact printable summary."""
+        return {
+            "time_unit": self.time_unit,
+            "links": self.num_links,
+            "covered": self.num_covered,
+            "coverage_fraction": round(self.coverage_fraction, 4),
+            "completed": self.completed,
+            "completion_time": self.completion_time,
+            "completion_after_all_started": self.completion_after_all_started,
+            "horizon": self.horizon,
+        }
+
+    # ------------------------------------------------------------------
+    # serialization (archiving experiment outputs)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form; inverse of :func:`result_from_dict`.
+
+        Only JSON-representable metadata values survive the round trip;
+        others are stringified.
+        """
+        return {
+            "format_version": RESULT_FORMAT_VERSION,
+            "time_unit": self.time_unit,
+            "horizon": self.horizon,
+            "completed": self.completed,
+            "coverage": [
+                [list(key), time] for key, time in sorted(self.coverage.items())
+            ],
+            "neighbor_tables": {
+                str(owner): {
+                    str(neighbor): sorted(channels)
+                    for neighbor, channels in table.items()
+                }
+                for owner, table in self.neighbor_tables.items()
+            },
+            "start_times": {str(n): t for n, t in self.start_times.items()},
+            "network_params": dict(self.network_params),
+            "metadata": {k: _jsonable(v) for k, v in self.metadata.items()},
+        }
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write this result to ``path`` as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+
+def _jsonable(value: Any) -> Any:
+    try:
+        json.dumps(value)
+        return value
+    except TypeError:
+        return str(value)
+
+
+def result_from_dict(data: Mapping[str, Any]) -> DiscoveryResult:
+    """Reconstruct a result written by :meth:`DiscoveryResult.to_dict`."""
+    version = data.get("format_version")
+    if version != RESULT_FORMAT_VERSION:
+        raise SimulationError(
+            f"unsupported result format version {version!r} "
+            f"(expected {RESULT_FORMAT_VERSION})"
+        )
+    coverage = {
+        (int(key[0]), int(key[1])): (None if time is None else float(time))
+        for key, time in data["coverage"]
+    }
+    tables = {
+        int(owner): {
+            int(neighbor): frozenset(int(c) for c in channels)
+            for neighbor, channels in table.items()
+        }
+        for owner, table in data["neighbor_tables"].items()
+    }
+    return DiscoveryResult(
+        time_unit=data["time_unit"],
+        coverage=coverage,
+        horizon=float(data["horizon"]),
+        completed=bool(data["completed"]),
+        neighbor_tables=tables,
+        start_times={int(n): float(t) for n, t in data["start_times"].items()},
+        network_params=dict(data["network_params"]),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def load_result(path: Union[str, Path]) -> DiscoveryResult:
+    """Load a result previously written by :meth:`DiscoveryResult.save`."""
+    return result_from_dict(json.loads(Path(path).read_text()))

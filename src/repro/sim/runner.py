@@ -1,0 +1,274 @@
+"""High-level experiment runners.
+
+These helpers assemble network + protocol + engine + stopping condition
+from plain parameters, so experiments, examples and the CLI never touch
+engine internals. Multi-trial helpers derive independent per-trial seeds
+from one base seed (fully reproducible sweeps).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.registry import make_async_factory, make_sync_factory
+from ..exceptions import ConfigurationError
+from ..net.network import M2HeWNetwork
+from .async_engine import AsyncSimulator
+from .clock import (
+    Clock,
+    ConstantDriftClock,
+    PerfectClock,
+    RandomWalkDriftClock,
+    SinusoidalDriftClock,
+)
+from .fast_slotted import (
+    FastSlottedSimulator,
+    FlatSchedule,
+    GrowingEstimateSchedule,
+    StagedSchedule,
+    VectorSchedule,
+)
+from .results import DiscoveryResult
+from .rng import RngFactory, SeedLike, derive_trial_seed
+from .slotted import SlottedSimulator
+from .stopping import StoppingCondition
+from .trace import ExecutionTrace
+
+__all__ = [
+    "run_synchronous",
+    "run_asynchronous",
+    "run_trials",
+    "make_clocks",
+    "random_start_offsets",
+]
+
+CLOCK_MODELS = ("perfect", "constant", "random_walk", "sinusoidal")
+
+
+def _vector_schedule(
+    name: str, network: M2HeWNetwork, delta_est: Optional[int]
+) -> VectorSchedule:
+    sizes = np.array(
+        [len(network.channels_of(nid)) for nid in network.node_ids], dtype=np.int64
+    )
+    if name == "algorithm1":
+        if delta_est is None:
+            raise ConfigurationError("algorithm1 requires delta_est")
+        return StagedSchedule(sizes, delta_est)
+    if name == "algorithm2":
+        return GrowingEstimateSchedule(sizes)
+    if name == "algorithm3":
+        if delta_est is None:
+            raise ConfigurationError("algorithm3 requires delta_est")
+        return FlatSchedule(sizes, delta_est)
+    raise ConfigurationError(
+        f"protocol {name!r} has no vectorized schedule; use engine='reference'"
+    )
+
+
+def run_synchronous(
+    network: M2HeWNetwork,
+    protocol: str,
+    *,
+    seed: SeedLike,
+    max_slots: int,
+    delta_est: Optional[int] = None,
+    start_offsets: Optional[Mapping[int, int]] = None,
+    engine: str = "fast",
+    erasure_prob: float = 0.0,
+    stop_on_full_coverage: bool = True,
+    universal_channels: Optional[Sequence[int]] = None,
+    id_space_size: Optional[int] = None,
+    trace: Optional[ExecutionTrace] = None,
+) -> DiscoveryResult:
+    """Run one synchronous discovery trial.
+
+    Args:
+        network: The network instance.
+        protocol: ``algorithm1|algorithm2|algorithm3|universal_sweep|
+            deterministic_scan``.
+        seed: Trial seed (int or SeedSequence).
+        max_slots: Hard slot budget.
+        delta_est: Degree bound for the protocols that need one.
+        start_offsets: Per-node start slots (variable start times).
+        engine: ``"fast"`` (numpy; paper algorithms only) or
+            ``"reference"`` (object-per-node; any protocol).
+        erasure_prob: Unreliable-channel loss probability.
+        stop_on_full_coverage: Oracle early stop.
+        universal_channels / id_space_size: Baseline parameters.
+        trace: Optional slot trace (reference engine only).
+    """
+    rng_factory = RngFactory(seed)
+    stopping = StoppingCondition(
+        max_slots=max_slots, stop_on_full_coverage=stop_on_full_coverage
+    )
+    if engine == "fast":
+        if trace is not None:
+            raise ConfigurationError("the fast engine does not record traces")
+        schedule = _vector_schedule(protocol, network, delta_est)
+        sim = FastSlottedSimulator(
+            network,
+            schedule,
+            rng_factory,
+            start_offsets=start_offsets,
+            erasure_prob=erasure_prob,
+        )
+        result = sim.run(stopping)
+    elif engine == "reference":
+        factory = make_sync_factory(
+            protocol,
+            delta_est=delta_est,
+            universal_channels=universal_channels,
+            id_space_size=id_space_size,
+        )
+        sim = SlottedSimulator(
+            network,
+            factory,
+            rng_factory,
+            start_offsets=start_offsets,
+            erasure_prob=erasure_prob,
+            trace=trace,
+        )
+        result = sim.run(stopping)
+    else:
+        raise ConfigurationError(f"unknown engine {engine!r}; use 'fast' or 'reference'")
+    result.metadata["protocol"] = protocol
+    result.metadata["delta_est"] = delta_est
+    return result
+
+
+def make_clocks(
+    network: M2HeWNetwork,
+    model: str,
+    drift_bound: float,
+    rng: np.random.Generator,
+    mean_segment: float = 10.0,
+    period: float = 50.0,
+) -> Dict[int, Clock]:
+    """Per-node clocks under a named drift model.
+
+    * ``perfect`` — ideal clocks;
+    * ``constant`` — each node a fixed drift drawn uniformly from
+      ``[−δ, +δ]`` (worst pairs: one fast, one slow);
+    * ``random_walk`` — rate re-drawn at exponential intervals;
+    * ``sinusoidal`` — rate ``1 + δ·cos``, random phase per node.
+    """
+    if model not in CLOCK_MODELS:
+        raise ConfigurationError(
+            f"unknown clock model {model!r}; choose from {CLOCK_MODELS}"
+        )
+    clocks: Dict[int, Clock] = {}
+    for nid in network.node_ids:
+        offset = float(rng.uniform(0.0, 1000.0))
+        if model == "perfect" or drift_bound == 0.0:
+            clocks[nid] = PerfectClock(offset=offset)
+        elif model == "constant":
+            drift = float(rng.uniform(-drift_bound, drift_bound))
+            clocks[nid] = ConstantDriftClock(
+                drift, offset=offset, drift_bound=drift_bound
+            )
+        elif model == "random_walk":
+            clocks[nid] = RandomWalkDriftClock(
+                drift_bound, rng, mean_segment=mean_segment, offset=offset
+            )
+        else:
+            clocks[nid] = SinusoidalDriftClock(
+                drift_bound,
+                period=period,
+                phase=float(rng.uniform(0.0, 2.0 * np.pi)),
+                offset=offset,
+            )
+    return clocks
+
+
+def run_asynchronous(
+    network: M2HeWNetwork,
+    *,
+    seed: SeedLike,
+    delta_est: int,
+    frame_length: float = 1.0,
+    max_frames_per_node: Optional[int] = None,
+    max_real_time: Optional[float] = None,
+    drift_bound: float = 0.0,
+    clock_model: str = "constant",
+    start_spread: float = 0.0,
+    erasure_prob: float = 0.0,
+    stop_on_full_coverage: bool = True,
+    trace: Optional[ExecutionTrace] = None,
+) -> DiscoveryResult:
+    """Run one asynchronous (Algorithm 4) discovery trial.
+
+    Args:
+        network: The network instance.
+        seed: Trial seed.
+        delta_est: Degree bound for Algorithm 4.
+        frame_length: ``L`` in local time units.
+        max_frames_per_node: Stop once every node ran this many full
+            frames after ``T_s`` (Theorem 9's horizon).
+        max_real_time: Hard real-time cap.
+        drift_bound: ``δ`` for the clock model.
+        clock_model: One of ``perfect|constant|random_walk|sinusoidal``.
+        start_spread: Node start times drawn uniformly from
+            ``[0, start_spread]`` (0 = simultaneous).
+        erasure_prob: Unreliable-channel loss probability.
+        stop_on_full_coverage: Oracle early stop.
+        trace: Optional frame trace for alignment analysis.
+    """
+    if start_spread < 0:
+        raise ConfigurationError(f"start_spread must be >= 0, got {start_spread}")
+    rng_factory = RngFactory(seed)
+    env_rng = rng_factory.stream("environment")
+    clocks = make_clocks(network, clock_model, drift_bound, env_rng)
+    starts = {
+        nid: float(env_rng.uniform(0.0, start_spread)) if start_spread > 0 else 0.0
+        for nid in network.node_ids
+    }
+    sim = AsyncSimulator(
+        network,
+        make_async_factory("algorithm4", delta_est=delta_est),
+        rng_factory,
+        frame_length=frame_length,
+        clocks=clocks,
+        start_times=starts,
+        erasure_prob=erasure_prob,
+        trace=trace,
+    )
+    stopping = StoppingCondition(
+        max_real_time=max_real_time,
+        max_frames_per_node=max_frames_per_node,
+        stop_on_full_coverage=stop_on_full_coverage,
+    )
+    result = sim.run(stopping)
+    result.metadata["protocol"] = "algorithm4"
+    result.metadata["delta_est"] = delta_est
+    result.metadata["drift_bound"] = drift_bound
+    result.metadata["clock_model"] = clock_model
+    return result
+
+
+def run_trials(
+    trial_fn: Callable[[np.random.SeedSequence], DiscoveryResult],
+    num_trials: int,
+    base_seed: Optional[int],
+) -> List[DiscoveryResult]:
+    """Run ``trial_fn`` for ``num_trials`` independent derived seeds."""
+    if num_trials <= 0:
+        raise ConfigurationError(f"num_trials must be positive, got {num_trials}")
+    return [
+        trial_fn(derive_trial_seed(base_seed, i)) for i in range(num_trials)
+    ]
+
+
+def random_start_offsets(
+    network: M2HeWNetwork,
+    max_offset: int,
+    rng: np.random.Generator,
+) -> Dict[int, int]:
+    """Uniform random start slots in ``[0, max_offset]`` per node."""
+    if max_offset < 0:
+        raise ConfigurationError(f"max_offset must be >= 0, got {max_offset}")
+    return {
+        nid: int(rng.integers(0, max_offset + 1)) for nid in network.node_ids
+    }

@@ -1,0 +1,81 @@
+"""Stopping conditions for discovery runs.
+
+The paper's protocols run forever (``while true``); termination is an
+experiment-level concern. Engines accept a :class:`StoppingCondition`
+that combines a hard budget with an oracle "stop when every link is
+covered" rule (the oracle sees global state that nodes themselves
+cannot — lightweight distributed termination detection is the subject
+of the authors' companion work [22] and out of scope here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["StoppingCondition"]
+
+
+@dataclass(frozen=True)
+class StoppingCondition:
+    """When a discovery run ends.
+
+    Attributes:
+        max_slots: Slot budget for synchronous engines (global slots).
+        max_real_time: Real-time budget for the asynchronous engine.
+        max_frames_per_node: Frame budget for the asynchronous engine —
+            stop once *every* node has executed this many full frames
+            since its start (this is how Theorem 9's ``T_f`` is defined).
+        stop_on_full_coverage: End the run as soon as every directed
+            link has been covered (oracle termination).
+    """
+
+    max_slots: Optional[int] = None
+    max_real_time: Optional[float] = None
+    max_frames_per_node: Optional[int] = None
+    stop_on_full_coverage: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_slots is not None and self.max_slots <= 0:
+            raise ConfigurationError(f"max_slots must be positive, got {self.max_slots}")
+        if self.max_real_time is not None and self.max_real_time <= 0:
+            raise ConfigurationError(
+                f"max_real_time must be positive, got {self.max_real_time}"
+            )
+        if self.max_frames_per_node is not None and self.max_frames_per_node <= 0:
+            raise ConfigurationError(
+                f"max_frames_per_node must be positive, got {self.max_frames_per_node}"
+            )
+
+    def require_slot_budget(self) -> int:
+        """The slot budget, which synchronous engines must have."""
+        if self.max_slots is None:
+            raise ConfigurationError(
+                "synchronous runs require max_slots (protocols never "
+                "terminate on their own)"
+            )
+        return self.max_slots
+
+    def require_async_budget(self) -> None:
+        """Asynchronous runs need at least one budget dimension."""
+        if self.max_real_time is None and self.max_frames_per_node is None:
+            raise ConfigurationError(
+                "asynchronous runs require max_real_time and/or "
+                "max_frames_per_node"
+            )
+
+    @classmethod
+    def slots(cls, budget: int, stop_on_full_coverage: bool = True) -> "StoppingCondition":
+        """Shorthand for a synchronous slot budget."""
+        return cls(max_slots=budget, stop_on_full_coverage=stop_on_full_coverage)
+
+    @classmethod
+    def frames(
+        cls, budget: int, stop_on_full_coverage: bool = True
+    ) -> "StoppingCondition":
+        """Shorthand for an asynchronous per-node frame budget."""
+        return cls(
+            max_frames_per_node=budget, stop_on_full_coverage=stop_on_full_coverage
+        )

@@ -1,0 +1,166 @@
+"""Runner for self-terminating discovery (termination-detection extension).
+
+Runs a synchronous or asynchronous algorithm wrapped in the quiescence
+stop rule of :mod:`repro.core.termination` and reports, besides the
+usual :class:`~repro.sim.results.DiscoveryResult`:
+
+* when each node stopped (local slot / frame);
+* *false stops* — nodes that stopped while still missing one of their
+  own neighbors;
+* whether the global output was complete despite everyone stopping on
+  their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.registry import make_async_factory, make_sync_factory
+from ..core.termination import (
+    SelfTerminatingAsyncProtocol,
+    SelfTerminatingProtocol,
+    TerminationPolicy,
+)
+from ..net.network import M2HeWNetwork
+from .async_engine import AsyncSimulator
+from .results import DiscoveryResult
+from .rng import RngFactory, SeedLike
+from .runner import make_clocks
+from .slotted import SlottedSimulator
+from .stopping import StoppingCondition
+
+__all__ = ["TerminationOutcome", "run_terminating_sync", "run_terminating_async"]
+
+
+@dataclass
+class TerminationOutcome:
+    """Result of a self-terminating discovery run.
+
+    Attributes:
+        result: The usual discovery result (run to the full budget; the
+            oracle stop is disabled since nodes stop themselves).
+        terminated_at: Local stop time per node; ``None`` = never stopped.
+        false_stops: Nodes that stopped with their own table incomplete.
+        all_stopped: Every node terminated within the budget.
+        output_complete: Every node's final table equals ground truth.
+    """
+
+    result: DiscoveryResult
+    terminated_at: Dict[int, Optional[float]]
+    false_stops: List[int]
+    all_stopped: bool
+    output_complete: bool
+
+
+def _grade(network: M2HeWNetwork, result: DiscoveryResult, stops) -> TerminationOutcome:
+    false_stops = []
+    complete = True
+    for nid in network.node_ids:
+        truth = network.discoverable_neighbors(nid)
+        found = frozenset(result.neighbor_tables[nid])
+        if found != truth:
+            complete = False
+            if stops[nid] is not None:
+                false_stops.append(nid)
+    return TerminationOutcome(
+        result=result,
+        terminated_at=dict(stops),
+        false_stops=sorted(false_stops),
+        all_stopped=all(v is not None for v in stops.values()),
+        output_complete=complete,
+    )
+
+
+def run_terminating_sync(
+    network: M2HeWNetwork,
+    protocol: str,
+    *,
+    seed: SeedLike,
+    max_slots: int,
+    quiet_threshold: int,
+    delta_est: Optional[int] = None,
+    policy: TerminationPolicy = TerminationPolicy.BEACON,
+) -> TerminationOutcome:
+    """Synchronous discovery where nodes stop via the quiescence rule.
+
+    Args:
+        network: The network instance.
+        protocol: One of the synchronous algorithm names.
+        seed: Trial seed.
+        max_slots: Hard budget (runs to the end; no oracle stop).
+        quiet_threshold: Slots without a new neighbor before stopping.
+        delta_est: Degree bound where the protocol needs one.
+        policy: SLEEP or BEACON after stopping.
+    """
+    inner_factory = make_sync_factory(protocol, delta_est=delta_est)
+
+    def factory(nid, chs, rng):
+        return SelfTerminatingProtocol(
+            inner_factory(nid, chs, rng), quiet_threshold, policy
+        )
+
+    sim = SlottedSimulator(network, factory, RngFactory(seed))
+    result = sim.run(
+        StoppingCondition(max_slots=max_slots, stop_on_full_coverage=False)
+    )
+    result.metadata["protocol"] = protocol
+    result.metadata["quiet_threshold"] = quiet_threshold
+    result.metadata["termination_policy"] = policy.value
+    stops = {
+        nid: proto.terminated_at for nid, proto in sim.protocols.items()
+    }
+    return _grade(network, result, stops)
+
+
+def run_terminating_async(
+    network: M2HeWNetwork,
+    *,
+    seed: SeedLike,
+    max_frames_per_node: int,
+    quiet_threshold: int,
+    delta_est: int,
+    frame_length: float = 1.0,
+    drift_bound: float = 0.0,
+    clock_model: str = "constant",
+    start_spread: float = 0.0,
+    policy: TerminationPolicy = TerminationPolicy.BEACON,
+) -> TerminationOutcome:
+    """Asynchronous (Algorithm 4) twin of :func:`run_terminating_sync`."""
+    rng_factory = RngFactory(seed)
+    inner_factory = make_async_factory("algorithm4", delta_est=delta_est)
+
+    wrappers: Dict[int, SelfTerminatingAsyncProtocol] = {}
+
+    def factory(nid, chs, rng):
+        wrapper = SelfTerminatingAsyncProtocol(
+            inner_factory(nid, chs, rng), quiet_threshold, policy
+        )
+        wrappers[nid] = wrapper
+        return wrapper
+
+    env_rng = rng_factory.stream("environment")
+    clocks = make_clocks(network, clock_model, drift_bound, env_rng)
+    starts = {
+        nid: float(env_rng.uniform(0.0, start_spread)) if start_spread > 0 else 0.0
+        for nid in network.node_ids
+    }
+    sim = AsyncSimulator(
+        network,
+        factory,
+        rng_factory,
+        frame_length=frame_length,
+        clocks=clocks,
+        start_times=starts,
+    )
+    result = sim.run(
+        StoppingCondition(
+            max_frames_per_node=max_frames_per_node,
+            stop_on_full_coverage=False,
+        )
+    )
+    result.metadata["protocol"] = "algorithm4"
+    result.metadata["quiet_threshold"] = quiet_threshold
+    result.metadata["termination_policy"] = policy.value
+    stops = {nid: wrappers[nid].terminated_at for nid in network.node_ids}
+    return _grade(network, result, stops)

@@ -1,0 +1,14 @@
+"""Workload configurations and named scenarios."""
+
+from __future__ import annotations
+
+from .generator import WorkloadConfig, generate_network
+from .scenarios import SCENARIOS, scenario, scenario_names
+
+__all__ = [
+    "SCENARIOS",
+    "WorkloadConfig",
+    "generate_network",
+    "scenario",
+    "scenario_names",
+]

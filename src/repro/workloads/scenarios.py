@@ -1,0 +1,218 @@
+"""Named scenarios — the workloads the paper's introduction motivates.
+
+Each scenario is a :class:`WorkloadConfig` plus recommended protocol
+parameters, capturing a deployment story:
+
+* ``campus_cr`` — cognitive-radio nodes across a campus; availability
+  carved out of a 12-channel universal set by randomly placed licensed
+  primary users (spatial heterogeneity, the paper's core motivation).
+* ``urban_dense`` — dense single-hop cluster, moderately heterogeneous
+  random channel subsets with a guaranteed common control channel.
+* ``rural_sparse`` — a sparse multi-hop chain with few channels and
+  homogeneous availability (the easy, ρ = 1 regime).
+* ``single_common_channel`` — the §I adversarial case: a large
+  universal set but every pair shares exactly one channel; the
+  universal-sweep baseline pays Θ(|U|) here.
+* ``adversarial_heterogeneous`` — minimum span-ratio everywhere; the
+  worst case for the paper's 1/ρ running-time factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..exceptions import ConfigurationError
+from ..net.network import M2HeWNetwork
+from ..sim.rng import SeedLike
+from .generator import WorkloadConfig, generate_network
+
+__all__ = ["Scenario", "SCENARIOS", "scenario", "scenario_names"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload plus recommended protocol parameters.
+
+    Attributes:
+        name: Scenario identifier.
+        description: One-line story.
+        config: The network recipe.
+        delta_est: Recommended degree bound for the knowledge-assuming
+            algorithms (a loose but safe bound for this workload).
+        epsilon: Recommended failure-probability target.
+    """
+
+    name: str
+    description: str
+    config: WorkloadConfig
+    delta_est: int
+    epsilon: float = 0.1
+
+    def build(self, seed: SeedLike) -> M2HeWNetwork:
+        """Realize the scenario's network from a seed."""
+        return generate_network(self.config, seed)
+
+
+def _campus_cr() -> Scenario:
+    return Scenario(
+        name="campus_cr",
+        description=(
+            "30 CR nodes on a campus; availability = 12-channel universal "
+            "set minus channels blocked by 18 randomly placed primary users"
+        ),
+        config=WorkloadConfig(
+            topology="random_geometric",
+            topology_params={
+                "num_nodes": 30,
+                "radius": 0.28,
+                "require_connected": True,
+            },
+            channel_model="primary_users",
+            channel_params={
+                "universal_size": 12,
+                "num_users": 18,
+                "radius": 0.22,
+                "min_channels": 2,
+            },
+        ),
+        delta_est=16,
+    )
+
+
+def _urban_dense() -> Scenario:
+    return Scenario(
+        name="urban_dense",
+        description=(
+            "20-node single-hop cluster; random 4-channel subsets of a "
+            "10-channel universal set sharing a common control channel"
+        ),
+        config=WorkloadConfig(
+            topology="clique",
+            topology_params={"num_nodes": 20},
+            channel_model="common_channel_plus_random",
+            channel_params={"universal_size": 10, "set_size": 4},
+        ),
+        delta_est=32,
+    )
+
+
+def _rural_sparse() -> Scenario:
+    return Scenario(
+        name="rural_sparse",
+        description=(
+            "16-node multi-hop chain with 3 homogeneous channels (rho = 1)"
+        ),
+        config=WorkloadConfig(
+            topology="line",
+            topology_params={"num_nodes": 16},
+            channel_model="homogeneous",
+            channel_params={"num_channels": 3},
+        ),
+        delta_est=4,
+    )
+
+
+def _single_common_channel() -> Scenario:
+    return Scenario(
+        name="single_common_channel",
+        description=(
+            "10-node clique; 41-channel universal set but every pair of "
+            "nodes shares exactly one channel (the Section I strawman-killer)"
+        ),
+        config=WorkloadConfig(
+            topology="clique",
+            topology_params={"num_nodes": 10},
+            channel_model="single_common_channel",
+            channel_params={"universal_size": 41, "set_size": 5},
+        ),
+        delta_est=16,
+    )
+
+
+def _adversarial_heterogeneous() -> Scenario:
+    return Scenario(
+        name="adversarial_heterogeneous",
+        description=(
+            "4x4 grid with 6-channel sets overlapping in exactly one "
+            "channel per link (rho = 1/6 everywhere)"
+        ),
+        config=WorkloadConfig(
+            topology="grid",
+            topology_params={"rows": 4, "cols": 4},
+            channel_model="adversarial_min_overlap",
+            channel_params={"set_size": 6, "overlap": 1},
+        ),
+        delta_est=8,
+    )
+
+
+def _suburban_asymmetric() -> Scenario:
+    return Scenario(
+        name="suburban_asymmetric",
+        description=(
+            "14 nodes with unequal transmit power (0.2-0.7 range): strong "
+            "transmitters reach weak ones that cannot answer (Section V(a))"
+        ),
+        config=WorkloadConfig(
+            topology="asymmetric_random_geometric",
+            topology_params={
+                "num_nodes": 14,
+                "min_range": 0.2,
+                "max_range": 0.7,
+            },
+            channel_model="common_channel_plus_random",
+            channel_params={"universal_size": 6, "set_size": 3},
+            mode="asymmetric",
+        ),
+        delta_est=16,
+    )
+
+
+def _wideband_campus() -> Scenario:
+    return Scenario(
+        name="wideband_campus",
+        description=(
+            "16 nodes on a wide band: the highest channel reaches half as "
+            "far as the lowest, shrinking link spans (Section V(c))"
+        ),
+        config=WorkloadConfig(
+            topology="random_geometric",
+            topology_params={
+                "num_nodes": 16,
+                "radius": 0.42,
+                "require_connected": True,
+            },
+            channel_model="homogeneous",
+            channel_params={"num_channels": 6},
+            mode="channel_dependent",
+            propagation_params={"base_radius": 0.42, "range_decay": 0.5},
+        ),
+        delta_est=16,
+    )
+
+
+SCENARIOS: Dict[str, Callable[[], Scenario]] = {
+    "campus_cr": _campus_cr,
+    "urban_dense": _urban_dense,
+    "rural_sparse": _rural_sparse,
+    "single_common_channel": _single_common_channel,
+    "adversarial_heterogeneous": _adversarial_heterogeneous,
+    "suburban_asymmetric": _suburban_asymmetric,
+    "wideband_campus": _wideband_campus,
+}
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def scenario(name: str) -> Scenario:
+    """Look up a scenario by name."""
+    try:
+        return SCENARIOS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        ) from None

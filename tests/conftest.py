@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import net
+from repro.net import M2HeWNetwork, NodeSpec, build_network
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_pair() -> M2HeWNetwork:
+    """Two nodes sharing channels {0, 1}; node 1 also has {2}."""
+    nodes = [
+        NodeSpec(0, frozenset({0, 1})),
+        NodeSpec(1, frozenset({0, 1, 2})),
+    ]
+    return M2HeWNetwork(nodes, adjacency=[(0, 1)])
+
+
+@pytest.fixture
+def triangle() -> M2HeWNetwork:
+    """Three mutually adjacent nodes with heterogeneous channel sets."""
+    nodes = [
+        NodeSpec(0, frozenset({0, 1})),
+        NodeSpec(1, frozenset({0, 2})),
+        NodeSpec(2, frozenset({0, 1, 2})),
+    ]
+    return M2HeWNetwork(nodes, adjacency=[(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def star_net() -> M2HeWNetwork:
+    """A hub with 4 leaves, homogeneous channels {0, 1}."""
+    topo = net.topology.star(4)
+    assignment = net.channels.homogeneous(topo.num_nodes, 2)
+    return build_network(topo, assignment)
+
+
+@pytest.fixture
+def small_geometric(rng) -> M2HeWNetwork:
+    """A connected 10-node geometric network with a common channel."""
+    topo = net.topology.random_geometric(
+        10, radius=0.45, rng=rng, require_connected=True
+    )
+    assignment = net.channels.common_channel_plus_random(
+        topo.num_nodes, universal_size=6, set_size=3, rng=rng
+    )
+    return build_network(topo, assignment)

@@ -1,0 +1,78 @@
+"""Unit tests for Algorithm 1 (StagedSyncDiscovery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import StagedSyncDiscovery
+from repro.core.base import Mode
+from repro.exceptions import ConfigurationError
+
+
+def make(channels=(0, 1, 2, 3), delta_est=8, seed=0):
+    return StagedSyncDiscovery(
+        0, channels, np.random.default_rng(seed), delta_est=delta_est
+    )
+
+
+class TestSchedule:
+    def test_stage_length(self):
+        assert make(delta_est=8).slots_per_stage == 3
+        assert make(delta_est=2).slots_per_stage == 1
+        assert make(delta_est=9).slots_per_stage == 4
+
+    def test_slot_in_stage_cycles(self):
+        p = make(delta_est=8)  # stage length 3
+        assert [p.slot_in_stage(i) for i in range(7)] == [1, 2, 3, 1, 2, 3, 1]
+
+    def test_probability_formula(self):
+        # |A| = 4: slot 1 -> min(1/2, 4/2) = 1/2; slot 2 -> min(1/2, 1) = 1/2;
+        # slot 3 -> 4/8 = 1/2 ... need a case below 1/2:
+        p = make(channels=(0,), delta_est=8)  # |A| = 1
+        assert p.transmit_probability(0) == pytest.approx(0.5)  # 1/2 vs 1/2
+        assert p.transmit_probability(1) == pytest.approx(0.25)  # 1/4
+        assert p.transmit_probability(2) == pytest.approx(0.125)  # 1/8
+
+    def test_probability_capped_at_half(self):
+        p = make(channels=tuple(range(10)), delta_est=4)
+        for slot in range(4):
+            assert p.transmit_probability(slot) <= 0.5
+
+    def test_probability_sweeps_geometrically(self):
+        p = make(channels=(0, 1), delta_est=64)  # stage length 6
+        probs = [p.transmit_probability(i) for i in range(6)]
+        # min(1/2, 2/2^i): 1/2, 1/2, 1/4, 1/8, 1/16, 1/32
+        assert probs == pytest.approx([0.5, 0.5, 0.25, 0.125, 0.0625, 0.03125])
+
+    def test_delta_est_validated(self):
+        with pytest.raises(ConfigurationError):
+            make(delta_est=1)
+
+    def test_delta_est_property(self):
+        assert make(delta_est=32).delta_est == 32
+
+
+class TestBehavior:
+    def test_decisions_never_quiet(self):
+        p = make()
+        for slot in range(50):
+            assert p.decide_slot(slot).mode in (Mode.TRANSMIT, Mode.LISTEN)
+
+    def test_empirical_transmit_rate_matches_slot_probability(self):
+        p = make(channels=(0,), delta_est=16, seed=3)
+        # slot-in-stage 4 has p = min(1/2, 1/16)
+        slot = 3  # 0-based slot 3 -> i = 4
+        n = 30_000
+        hits = sum(
+            p.decide_slot(slot + k * p.slots_per_stage).mode is Mode.TRANSMIT
+            for k in range(n)
+        )
+        assert hits / n == pytest.approx(1.0 / 16.0, abs=0.006)
+
+    def test_deterministic_given_seed(self):
+        a = make(seed=9)
+        b = make(seed=9)
+        for slot in range(100):
+            da, db = a.decide_slot(slot), b.decide_slot(slot)
+            assert (da.mode, da.channel) == (db.mode, db.channel)

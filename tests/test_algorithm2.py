@@ -1,0 +1,86 @@
+"""Unit tests for Algorithm 2 (GrowingEstimateSyncDiscovery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm2 import GrowingEstimateSyncDiscovery
+from repro.core.params import stage_length
+
+
+def make(channels=(0, 1), seed=0):
+    return GrowingEstimateSyncDiscovery(0, channels, np.random.default_rng(seed))
+
+
+class TestSchedule:
+    def test_estimate_starts_at_two(self):
+        p = make()
+        assert p.current_estimate(0) == 2
+
+    def test_stage_boundaries(self):
+        p = make()
+        # d=2: 1 slot; d=3: 2 slots; d=4: 2 slots; d=5: 3 slots ...
+        expected = []
+        for d in (2, 3, 4, 5):
+            expected.extend([d] * stage_length(d))
+        got = [p.current_estimate(i) for i in range(len(expected))]
+        assert got == expected
+
+    def test_schedule_position_slot_in_stage(self):
+        p = make()
+        # slot 0 -> (2, 1); slots 1,2 -> (3, 1..2); slots 3,4 -> (4, 1..2)
+        assert p.schedule_position(0) == (2, 1)
+        assert p.schedule_position(1) == (3, 1)
+        assert p.schedule_position(2) == (3, 2)
+        assert p.schedule_position(3) == (4, 1)
+        assert p.schedule_position(4) == (4, 2)
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            make().schedule_position(-1)
+
+    def test_identical_across_nodes(self):
+        # The schedule must be common knowledge: identical for all nodes
+        # regardless of their channel sets or randomness.
+        a = make(channels=(0,), seed=1)
+        b = make(channels=tuple(range(7)), seed=99)
+        for slot in range(200):
+            assert a.schedule_position(slot) == b.schedule_position(slot)
+
+    def test_probability_formula(self):
+        p = make(channels=(0, 1, 2, 3))  # |A| = 4
+        # slot 0: stage d=2, i=1 -> min(1/2, 4/2) = 1/2
+        assert p.transmit_probability(0) == pytest.approx(0.5)
+        # find a deep slot: estimate d=17 has stage length 5; its last
+        # slot has i=5 -> p = min(1/2, 4/32) = 1/8
+        first = GrowingEstimateSyncDiscovery.slots_until_estimate(17)
+        assert p.schedule_position(first + 4) == (17, 5)
+        assert p.transmit_probability(first + 4) == pytest.approx(4 / 32)
+
+    def test_slots_until_estimate(self):
+        assert GrowingEstimateSyncDiscovery.slots_until_estimate(2) == 0
+        assert GrowingEstimateSyncDiscovery.slots_until_estimate(3) == 1
+        assert GrowingEstimateSyncDiscovery.slots_until_estimate(5) == 5
+
+    def test_slots_until_estimate_invalid(self):
+        with pytest.raises(ValueError):
+            GrowingEstimateSyncDiscovery.slots_until_estimate(1)
+
+
+class TestBehavior:
+    def test_decisions_valid(self):
+        from repro.core.base import Mode
+
+        p = make()
+        for slot in range(300):
+            d = p.decide_slot(slot)
+            assert d.mode in (Mode.TRANSMIT, Mode.LISTEN)
+            assert d.channel in p.channels
+
+    def test_boundary_binary_search_random_access(self):
+        # Jumping to a far slot without visiting earlier ones must work.
+        p = make()
+        d, i = p.schedule_position(10_000)
+        assert d >= 2
+        assert 1 <= i <= stage_length(d)

@@ -1,0 +1,59 @@
+"""Unit tests for Algorithm 3 (FlatSyncDiscovery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm3 import FlatSyncDiscovery
+from repro.core.base import Mode
+from repro.exceptions import ConfigurationError
+
+
+def make(channels=(0, 1, 2), delta_est=12, seed=0):
+    return FlatSyncDiscovery(
+        0, channels, np.random.default_rng(seed), delta_est=delta_est
+    )
+
+
+class TestProbability:
+    def test_formula(self):
+        p = make(channels=(0, 1, 2), delta_est=12)
+        assert p.transmit_probability(0) == pytest.approx(3 / 12)
+
+    def test_capped_at_half(self):
+        p = make(channels=tuple(range(20)), delta_est=4)
+        assert p.transmit_probability(0) == 0.5
+
+    def test_constant_across_slots(self):
+        # The whole point of Algorithm 3: same probability every slot so
+        # misaligned starts do not matter.
+        p = make()
+        probs = {p.transmit_probability(i) for i in range(1000)}
+        assert len(probs) == 1
+
+    def test_different_nodes_may_differ(self):
+        a = make(channels=(0,), delta_est=12)
+        b = make(channels=(0, 1, 2, 3), delta_est=12)
+        assert a.transmit_probability(0) != b.transmit_probability(0)
+
+    def test_delta_est_validated(self):
+        with pytest.raises(ConfigurationError):
+            make(delta_est=0)
+
+
+class TestBehavior:
+    def test_empirical_rate(self):
+        p = make(channels=(0,), delta_est=10, seed=5)  # p = 0.1
+        n = 30_000
+        hits = sum(p.decide_slot(i).mode is Mode.TRANSMIT for i in range(n))
+        assert hits / n == pytest.approx(0.1, abs=0.01)
+
+    def test_channels_uniform(self):
+        p = make(channels=(3, 5, 7), seed=2)
+        counts = {3: 0, 5: 0, 7: 0}
+        n = 30_000
+        for i in range(n):
+            counts[p.decide_slot(i).channel] += 1
+        for c in counts.values():
+            assert c / n == pytest.approx(1 / 3, abs=0.02)

@@ -1,0 +1,57 @@
+"""Unit tests for Algorithm 4 (AsyncFrameDiscovery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm4 import SLOTS_PER_FRAME, AsyncFrameDiscovery
+from repro.core.base import Mode
+from repro.exceptions import ConfigurationError
+
+
+def make(channels=(0, 1), delta_est=4, seed=0):
+    return AsyncFrameDiscovery(
+        0, channels, np.random.default_rng(seed), delta_est=delta_est
+    )
+
+
+class TestParameters:
+    def test_three_slots_per_frame(self):
+        assert SLOTS_PER_FRAME == 3
+
+    def test_probability_formula(self):
+        p = make(channels=(0, 1), delta_est=4)
+        # min(1/2, 2 / (3*4)) = 1/6
+        assert p.frame_transmit_probability == pytest.approx(1 / 6)
+
+    def test_probability_capped(self):
+        p = make(channels=tuple(range(30)), delta_est=2)
+        assert p.frame_transmit_probability == 0.5
+
+    def test_delta_est_validated(self):
+        with pytest.raises(ConfigurationError):
+            make(delta_est=1)
+
+
+class TestBehavior:
+    def test_decisions_transmit_or_listen(self):
+        p = make()
+        for k in range(200):
+            d = p.decide_frame(k)
+            assert d.mode in (Mode.TRANSMIT, Mode.LISTEN)
+            assert d.channel in p.channels
+
+    def test_empirical_transmit_rate(self):
+        p = make(channels=(0,), delta_est=5, seed=4)  # p = 1/15
+        n = 45_000
+        hits = sum(p.decide_frame(k).mode is Mode.TRANSMIT for k in range(n))
+        assert hits / n == pytest.approx(1 / 15, abs=0.006)
+
+    def test_probability_same_every_frame(self):
+        # Like Algorithm 3, the per-frame probability never changes.
+        p = make()
+        assert p.frame_transmit_probability == p.frame_transmit_probability
+        d1 = make(seed=1).decide_frame(0)
+        d2 = make(seed=1).decide_frame(0)
+        assert (d1.mode, d1.channel) == (d2.mode, d2.channel)

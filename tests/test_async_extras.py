@@ -1,0 +1,109 @@
+"""Additional asynchronous-engine behaviors: erasure, heard-on, QUIET."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import mean
+from repro.core.registry import make_async_factory
+from repro.net import build_network, channels, topology
+from repro.sim.async_engine import AsyncSimulator
+from repro.sim.rng import RngFactory
+from repro.sim.runner import run_asynchronous, run_trials
+from repro.sim.stopping import StoppingCondition
+
+
+@pytest.fixture
+def small_net():
+    topo = topology.clique(5)
+    return build_network(topo, channels.homogeneous(5, 2))
+
+
+class TestAsyncErasure:
+    def test_erasure_slows_but_completes(self, small_net):
+        def mean_time(erasure):
+            results = run_trials(
+                lambda seed: run_asynchronous(
+                    small_net,
+                    seed=seed,
+                    delta_est=8,
+                    max_frames_per_node=300_000,
+                    erasure_prob=erasure,
+                ),
+                num_trials=5,
+                base_seed=4,
+            )
+            assert all(r.completed for r in results)
+            return mean([r.completion_time for r in results])
+
+        assert mean_time(0.6) > mean_time(0.0)
+
+
+class TestAsyncHeardOn:
+    def test_confirmed_channels_subset_of_span(self, small_net):
+        protocols = {}
+        base_factory = make_async_factory("algorithm4", delta_est=8)
+
+        def factory(nid, chs, rng):
+            proto = base_factory(nid, chs, rng)
+            protocols[nid] = proto
+            return proto
+
+        sim = AsyncSimulator(small_net, factory, RngFactory(5))
+        sim.run(StoppingCondition(max_frames_per_node=100_000))
+        confirmed_any = False
+        for nid, proto in protocols.items():
+            for v in proto.neighbor_table.neighbor_ids:
+                confirmed = proto.neighbor_table.confirmed_channels(v)
+                assert confirmed <= small_net.span(v, nid)
+                if confirmed:
+                    confirmed_any = True
+        assert confirmed_any
+
+
+class TestFastEngineModesWithErasure:
+    def test_channel_dependent_with_erasure(self):
+        from repro.net import M2HeWNetwork, NodeSpec
+        from repro.sim.runner import run_synchronous
+
+        nodes = [
+            NodeSpec(i, frozenset({0, 1}), position=(float(i), 0.0))
+            for i in range(3)
+        ]
+        net = M2HeWNetwork(
+            nodes,
+            channel_adjacency={0: [(0, 1), (1, 2), (0, 2)], 1: [(0, 1), (1, 2)]},
+        )
+        result = run_synchronous(
+            net,
+            "algorithm3",
+            seed=0,
+            max_slots=100_000,
+            delta_est=4,
+            erasure_prob=0.3,
+        )
+        assert result.completed
+        for nid in net.node_ids:
+            assert (
+                frozenset(result.neighbor_tables[nid])
+                == net.discoverable_neighbors(nid)
+            )
+
+    def test_asymmetric_with_erasure(self, rng):
+        from repro.net import build_asymmetric_network
+        from repro.net.topology import asymmetric_random_geometric
+        from repro.sim.runner import run_synchronous
+
+        topo = asymmetric_random_geometric(
+            8, min_range=0.3, max_range=0.8, rng=rng
+        )
+        net = build_asymmetric_network(topo, {i: {0, 1} for i in range(8)})
+        result = run_synchronous(
+            net,
+            "algorithm3",
+            seed=1,
+            max_slots=200_000,
+            delta_est=8,
+            erasure_prob=0.3,
+        )
+        assert result.completed

@@ -1,0 +1,90 @@
+"""Unit tests for repro.core.base (protocol interfaces)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import (
+    FrameDecision,
+    Mode,
+    SlotDecision,
+    SynchronousProtocol,
+    UniformChannelMixin,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestSlotDecision:
+    def test_factories(self):
+        assert SlotDecision.transmit(3).mode is Mode.TRANSMIT
+        assert SlotDecision.listen(3).channel == 3
+        assert SlotDecision.quiet().channel is None
+
+    def test_quiet_with_channel_rejected(self):
+        with pytest.raises(ConfigurationError, match="quiet"):
+            SlotDecision(Mode.QUIET, 3)
+
+    def test_active_without_channel_rejected(self):
+        with pytest.raises(ConfigurationError, match="requires a channel"):
+            SlotDecision(Mode.TRANSMIT, None)
+        with pytest.raises(ConfigurationError, match="requires a channel"):
+            SlotDecision(Mode.LISTEN, None)
+
+
+class TestFrameDecision:
+    def test_same_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrameDecision(Mode.QUIET, 1)
+        with pytest.raises(ConfigurationError):
+            FrameDecision(Mode.LISTEN, None)
+
+
+class _FixedProtocol(UniformChannelMixin, SynchronousProtocol):
+    """Minimal protocol used to exercise the shared base machinery."""
+
+    def __init__(self, node_id, channels, rng, p=0.5):
+        super().__init__(node_id, channels, rng)
+        self._p = p
+
+    def decide_slot(self, local_slot):
+        return self._uniform_slot_decision(self._p)
+
+
+class TestDiscoveryProtocolBase:
+    def test_empty_channels_rejected(self):
+        with pytest.raises(ConfigurationError, match="no available channels"):
+            _FixedProtocol(0, [], np.random.default_rng(0))
+
+    def test_hello_carries_own_channels(self):
+        p = _FixedProtocol(4, [3, 1], np.random.default_rng(0))
+        msg = p.hello()
+        assert msg.sender == 4
+        assert msg.channels == {1, 3}
+
+    def test_random_channel_only_from_available(self):
+        p = _FixedProtocol(0, [2, 5, 9], np.random.default_rng(0))
+        seen = {p._random_channel() for _ in range(200)}
+        assert seen == {2, 5, 9}
+
+    def test_decision_channel_always_available(self):
+        p = _FixedProtocol(0, [7, 8], np.random.default_rng(1))
+        for slot in range(100):
+            d = p.decide_slot(slot)
+            assert d.channel in {7, 8}
+            assert d.mode in (Mode.TRANSMIT, Mode.LISTEN)
+
+    def test_transmit_frequency_matches_probability(self):
+        p = _FixedProtocol(0, [0], np.random.default_rng(2), p=0.25)
+        n = 20_000
+        transmits = sum(
+            p.decide_slot(i).mode is Mode.TRANSMIT for i in range(n)
+        )
+        assert transmits / n == pytest.approx(0.25, abs=0.02)
+
+    def test_on_receive_updates_table(self):
+        p = _FixedProtocol(0, [0, 1], np.random.default_rng(0))
+        from repro.core.messages import HelloMessage
+
+        assert p.on_receive(HelloMessage(1, frozenset({1, 2})), 3.0)
+        assert p.neighbor_table.as_dict() == {1: frozenset({1})}

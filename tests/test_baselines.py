@@ -1,0 +1,140 @@
+"""Unit tests for the baseline protocols."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.birthday import BirthdayProtocol, optimal_birthday_probability
+from repro.baselines.deterministic_scan import DeterministicScanProtocol
+from repro.baselines.universal_sweep import UniversalSweepProtocol
+from repro.core.base import Mode
+from repro.exceptions import ConfigurationError
+
+
+class TestOptimalBirthdayProbability:
+    def test_formula(self):
+        assert optimal_birthday_probability(1) == 0.5
+        assert optimal_birthday_probability(2) == 0.5
+        assert optimal_birthday_probability(10) == pytest.approx(0.1)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            optimal_birthday_probability(0)
+
+
+class TestBirthdayProtocol:
+    def make(self, **kwargs):
+        defaults = dict(
+            node_id=0,
+            channels=(0, 1),
+            rng=np.random.default_rng(0),
+            channel=1,
+            delta_est=4,
+        )
+        defaults.update(kwargs)
+        return BirthdayProtocol(**defaults)
+
+    def test_fixed_channel(self):
+        p = self.make()
+        assert all(p.decide_slot(i).channel == 1 for i in range(50))
+
+    def test_channel_must_be_available(self):
+        with pytest.raises(ConfigurationError, match="not in its available"):
+            self.make(channel=9)
+
+    def test_needs_probability_or_delta_est(self):
+        with pytest.raises(ConfigurationError, match="transmit_prob or delta_est"):
+            BirthdayProtocol(
+                0, (0,), np.random.default_rng(0), channel=0
+            )
+
+    def test_explicit_probability_respected(self):
+        p = self.make(transmit_prob=1.0, delta_est=None)
+        assert all(p.decide_slot(i).mode is Mode.TRANSMIT for i in range(20))
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError, match="transmit_prob"):
+            self.make(transmit_prob=0.0, delta_est=None)
+
+    def test_empirical_rate(self):
+        p = self.make(delta_est=8, rng=np.random.default_rng(3))
+        n = 20_000
+        hits = sum(p.decide_slot(i).mode is Mode.TRANSMIT for i in range(n))
+        assert hits / n == pytest.approx(1 / 8, abs=0.01)
+
+
+class TestUniversalSweep:
+    def make(self, channels=(0, 2), universal=(0, 1, 2, 3), seed=0):
+        return UniversalSweepProtocol(
+            0, channels, np.random.default_rng(seed), list(universal), delta_est=4
+        )
+
+    def test_channel_for_slot_cycles(self):
+        p = self.make()
+        assert [p.channel_for_slot(i) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_quiet_on_unavailable_channel(self):
+        p = self.make(channels=(0, 2))
+        # Slots 1 and 3 are dedicated to channels 1 and 3, unavailable here.
+        assert p.decide_slot(1).mode is Mode.QUIET
+        assert p.decide_slot(3).mode is Mode.QUIET
+        assert p.decide_slot(0).mode in (Mode.TRANSMIT, Mode.LISTEN)
+
+    def test_universal_must_cover_available(self):
+        with pytest.raises(ConfigurationError, match="missing from"):
+            self.make(channels=(0, 9))
+
+    def test_duplicate_universal_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicates"):
+            self.make(universal=(0, 0, 1, 2))
+
+    def test_universal_size(self):
+        assert self.make().universal_size == 4
+
+
+class TestDeterministicScan:
+    def make(self, node_id=1, channels=(0, 1), universal=(0, 1), n_max=3):
+        return DeterministicScanProtocol(
+            node_id,
+            channels,
+            np.random.default_rng(0),
+            list(universal),
+            id_space_size=n_max,
+        )
+
+    def test_epoch_length(self):
+        assert self.make().epoch_length == 6
+
+    def test_schedule_position(self):
+        p = self.make()
+        # Slots 0..2: channel 0, speakers 0..2; slots 3..5: channel 1.
+        assert p.schedule_position(0) == (0, 0)
+        assert p.schedule_position(2) == (0, 2)
+        assert p.schedule_position(3) == (1, 0)
+        assert p.schedule_position(5) == (1, 2)
+        assert p.schedule_position(6) == (0, 0)  # wraps
+
+    def test_speaks_only_in_own_slot(self):
+        p = self.make(node_id=1)
+        modes = [p.decide_slot(i).mode for i in range(6)]
+        assert modes[1] is Mode.TRANSMIT  # channel 0, speaker 1
+        assert modes[4] is Mode.TRANSMIT  # channel 1, speaker 1
+        assert all(
+            m is Mode.LISTEN for j, m in enumerate(modes) if j not in (1, 4)
+        )
+
+    def test_quiet_when_channel_unavailable(self):
+        p = self.make(channels=(0,), universal=(0, 1))
+        assert p.decide_slot(4).mode is Mode.QUIET  # channel 1 block
+
+    def test_node_id_must_fit_id_space(self):
+        with pytest.raises(ConfigurationError, match="outside id space"):
+            self.make(node_id=5, n_max=3)
+
+    def test_deterministic_no_randomness(self):
+        a = self.make()
+        b = self.make()
+        for i in range(12):
+            da, db = a.decide_slot(i), b.decide_slot(i)
+            assert (da.mode, da.channel) == (db.mode, db.channel)

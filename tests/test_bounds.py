@@ -1,0 +1,148 @@
+"""Unit tests for repro.core.bounds (the paper's closed forms)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import bounds
+from repro.exceptions import ConfigurationError
+
+
+class TestEventBounds:
+    def test_eq3(self):
+        assert bounds.pr_transmit_event_alg1(4, 8) == pytest.approx(1 / 16)
+        assert bounds.pr_transmit_event_alg1(10, 2) == pytest.approx(1 / 20)
+
+    def test_eq4(self):
+        assert bounds.pr_listen_event(3) == pytest.approx(1 / 6)
+
+    def test_eq5(self):
+        assert bounds.pr_no_interference_event() == 0.25
+
+    def test_eq6(self):
+        # rho / (16 max(S, Delta))
+        assert bounds.stage_coverage_alg1(4, 8, 0.5) == pytest.approx(
+            0.5 / (16 * 8)
+        )
+
+    def test_eq9(self):
+        assert bounds.pr_transmit_event_alg3(4, 16) == pytest.approx(1 / 16)
+        assert bounds.pr_transmit_event_alg3(16, 4) == pytest.approx(1 / 32)
+
+    def test_invalid_core_params(self):
+        with pytest.raises(ConfigurationError):
+            bounds.stage_coverage_alg1(0, 1, 0.5)
+        with pytest.raises(ConfigurationError):
+            bounds.stage_coverage_alg1(1, 0, 0.5)
+        with pytest.raises(ConfigurationError):
+            bounds.stage_coverage_alg1(1, 1, 0.0)
+        with pytest.raises(ConfigurationError):
+            bounds.stage_coverage_alg1(1, 1, 1.5)
+
+
+class TestTheorem1:
+    def test_stage_budget_formula(self):
+        s, d, rho, n, eps = 4, 8, 0.5, 20, 0.1
+        expected = math.ceil((16 * 8 / 0.5) * math.log(400 / 0.1))
+        assert bounds.theorem1_stage_budget(s, d, rho, n, eps) == expected
+
+    def test_slot_budget_multiplies_stage_length(self):
+        stages = bounds.theorem1_stage_budget(4, 8, 0.5, 20, 0.1)
+        assert bounds.theorem1_slot_budget(4, 8, 0.5, 20, 0.1, 16) == stages * 4
+
+    def test_monotone_in_epsilon(self):
+        tight = bounds.theorem1_stage_budget(4, 8, 0.5, 20, 0.01)
+        loose = bounds.theorem1_stage_budget(4, 8, 0.5, 20, 0.5)
+        assert tight > loose
+
+    def test_population_validated(self):
+        with pytest.raises(ConfigurationError):
+            bounds.theorem1_stage_budget(4, 8, 0.5, 1, 0.1)
+        with pytest.raises(ConfigurationError):
+            bounds.theorem1_stage_budget(4, 8, 0.5, 20, 0.0)
+
+
+class TestTheorem2:
+    def test_stage_budget_adds_delta(self):
+        m = bounds.theorem1_stage_budget(4, 8, 0.5, 20, 0.1)
+        assert bounds.theorem2_stage_budget(4, 8, 0.5, 20, 0.1) == 8 + m
+
+    def test_slot_budget_counts_growing_stages(self):
+        stages = bounds.theorem2_stage_budget(2, 2, 1.0, 4, 0.5)
+        slots = bounds.theorem2_slot_budget(2, 2, 1.0, 4, 0.5)
+        # Each stage has ceil(log2 d) slots with d = 2 .. 2 + stages - 1.
+        from repro.core.params import stage_length
+
+        assert slots == sum(stage_length(d) for d in range(2, 2 + stages))
+
+    def test_alg2_pays_log_factor_over_alg1(self):
+        # Theorem 2's O(M log M) must exceed Theorem 1's M stages.
+        m1 = bounds.theorem1_stage_budget(4, 8, 0.5, 20, 0.1)
+        slots2 = bounds.theorem2_slot_budget(4, 8, 0.5, 20, 0.1)
+        assert slots2 > m1
+
+
+class TestTheorem3:
+    def test_slot_budget_formula(self):
+        s, de, rho, n, eps = 4, 16, 0.5, 20, 0.1
+        per_slot = rho / (8 * max(2 * s, de))
+        assert bounds.theorem3_slot_budget(s, de, rho, n, eps) == math.ceil(
+            math.log(400 / 0.1) / per_slot
+        )
+
+    def test_no_stage_factor(self):
+        # With a tight delta_est, Theorem 3 beats Theorem 1 (no log factor).
+        t1 = bounds.theorem1_slot_budget(4, 8, 1.0, 20, 0.1, delta_est=8)
+        t3 = bounds.theorem3_slot_budget(4, 8, 1.0, 20, 0.1)
+        assert t3 < t1
+
+
+class TestAsyncBounds:
+    def test_lemma4(self):
+        assert bounds.lemma4_max_overlap() == 3
+        assert bounds.lemma4_drift_threshold() == pytest.approx(1 / 3)
+
+    def test_lemma5(self):
+        assert bounds.lemma5_pair_coverage(4, 4, 1.0) == pytest.approx(
+            1.0 / (8 * 12)
+        )
+        # 2S dominates when S is large.
+        assert bounds.lemma5_pair_coverage(10, 2, 1.0) == pytest.approx(
+            1.0 / (8 * 20)
+        )
+
+    def test_lemma6_budget(self):
+        per_pair = bounds.lemma5_pair_coverage(4, 4, 0.5)
+        expected = math.ceil(math.log(100 / 0.1) / per_pair)
+        assert bounds.lemma6_pair_budget(4, 4, 0.5, 10, 0.1) == expected
+
+    def test_lemma7_threshold(self):
+        assert bounds.lemma7_drift_threshold() == pytest.approx(1 / 7)
+
+    def test_theorem9_is_six_times_lemma6(self):
+        l6 = bounds.lemma6_pair_budget(4, 4, 0.5, 10, 0.1)
+        assert bounds.theorem9_frame_budget(4, 4, 0.5, 10, 0.1) == 6 * l6
+
+    def test_theorem10_realtime(self):
+        frames = bounds.theorem9_frame_budget(4, 4, 1.0, 10, 0.1)
+        bound = bounds.theorem10_realtime_bound(4, 4, 1.0, 10, 0.1, 2.0, 0.1)
+        assert bound == pytest.approx((frames + 1) * 2.0 / 0.9)
+
+    def test_theorem10_enforces_assumption1(self):
+        with pytest.raises(ConfigurationError, match="Assumption 1"):
+            bounds.theorem10_realtime_bound(4, 4, 1.0, 10, 0.1, 1.0, 0.3)
+
+
+class TestSummary:
+    def test_keys(self):
+        summary = bounds.summary(4, 8, 0.5, 20, 0.1, 16)
+        assert set(summary) == {
+            "theorem1_slots",
+            "theorem2_slots",
+            "theorem3_slots",
+            "theorem9_frames",
+            "theorem10_realtime",
+        }
+        assert all(v > 0 for v in summary.values())

@@ -1,0 +1,174 @@
+"""Unit tests for the m2hew CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenarios_command(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "campus_cr" in out
+        assert "single_common_channel" in out
+
+    def test_info_command(self, capsys):
+        assert main(["info", "rural_sparse", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "rho" in out
+        assert "Delta" in out
+
+    def test_bounds_command(self, capsys):
+        code = main(
+            [
+                "bounds",
+                "--s", "4",
+                "--delta", "5",
+                "--rho", "0.5",
+                "--n", "10",
+                "--delta-est", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "theorem1_slots" in out
+        assert "theorem9_frames" in out
+
+    def test_run_sync_completes(self, capsys):
+        code = main(
+            [
+                "run-sync",
+                "rural_sparse",
+                "--protocol", "algorithm3",
+                "--seed", "0",
+                "--max-slots", "50000",
+            ]
+        )
+        assert code == 0
+        assert "completed" in capsys.readouterr().out
+
+    def test_run_sync_staggered(self, capsys):
+        code = main(
+            [
+                "run-sync",
+                "rural_sparse",
+                "--protocol", "algorithm3",
+                "--seed", "0",
+                "--max-slots", "50000",
+                "--stagger", "40",
+            ]
+        )
+        assert code == 0
+
+    def test_run_sync_budget_too_small_fails(self, capsys):
+        code = main(
+            [
+                "run-sync",
+                "rural_sparse",
+                "--protocol", "algorithm3",
+                "--seed", "0",
+                "--max-slots", "2",
+            ]
+        )
+        assert code == 1
+
+    def test_run_async_budget_too_small_fails(self, capsys):
+        code = main(
+            [
+                "run-async",
+                "rural_sparse",
+                "--seed", "0",
+                "--max-frames", "1",
+            ]
+        )
+        assert code == 1
+
+    def test_run_async_completes(self, capsys):
+        code = main(
+            [
+                "run-async",
+                "rural_sparse",
+                "--seed", "0",
+                "--drift", "0.05",
+                "--max-frames", "200000",
+            ]
+        )
+        assert code == 0
+
+    def test_invalid_scenario_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["info", "nowhere"])
+
+    def test_profile_command(self, capsys):
+        assert main(["profile", "urban_dense", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "heterogeneity_index" in out
+        assert "Per-channel structure" in out
+
+    def test_terminate_command(self, capsys):
+        code = main(
+            [
+                "terminate",
+                "rural_sparse",
+                "--seed", "0",
+                "--policy", "beacon",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quiet_threshold" in out
+        assert "total_joules" in out
+
+    def test_timeline_command(self, capsys):
+        code = main(
+            [
+                "timeline",
+                "rural_sparse",
+                "--seed", "0",
+                "--drift", "0.1",
+                "--start", "5",
+                "--end", "15",
+                "--nodes", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "node" in out
+        assert "|" in out
+
+    def test_compare_command(self, capsys):
+        code = main(
+            [
+                "compare",
+                "rural_sparse",
+                "--trials", "2",
+                "--protocols", "algorithm1", "algorithm3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm1" in out
+        assert "algorithm3" in out
+        assert "mean_slots" in out
+
+    def test_compare_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "rural_sparse", "--protocols", "warp_drive"])
+
+    def test_terminate_sleep_policy(self, capsys):
+        code = main(
+            [
+                "terminate",
+                "rural_sparse",
+                "--seed", "1",
+                "--policy", "sleep",
+                "--local-epsilon", "0.0001",
+            ]
+        )
+        assert code == 0

@@ -1,0 +1,170 @@
+"""Unit tests for repro.sim.clock (drifting clock models)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ClockModelError
+from repro.sim.clock import (
+    ConstantDriftClock,
+    PerfectClock,
+    PiecewiseDriftClock,
+    RandomWalkDriftClock,
+    SinusoidalDriftClock,
+    check_drift_bound,
+)
+
+
+class TestPerfectClock:
+    def test_identity_with_offset(self):
+        clock = PerfectClock(offset=10.0)
+        assert clock.local_from_real(5.0) == 15.0
+        assert clock.real_from_local(15.0) == 5.0
+        assert clock.drift_bound == 0.0
+
+    def test_elapsed(self):
+        clock = PerfectClock(offset=3.0)
+        assert clock.elapsed_local(1.0, 4.0) == pytest.approx(3.0)
+
+
+class TestConstantDriftClock:
+    def test_rate(self):
+        clock = ConstantDriftClock(0.1, offset=2.0)
+        assert clock.rate == pytest.approx(1.1)
+        assert clock.local_from_real(10.0) == pytest.approx(13.0)
+        assert clock.real_from_local(13.0) == pytest.approx(10.0)
+
+    def test_negative_drift(self):
+        clock = ConstantDriftClock(-0.1)
+        assert clock.local_from_real(10.0) == pytest.approx(9.0)
+
+    def test_declared_bound_enforced(self):
+        with pytest.raises(ClockModelError, match="exceeds declared bound"):
+            ConstantDriftClock(0.2, drift_bound=0.1)
+
+    def test_bound_defaults_to_abs_drift(self):
+        assert ConstantDriftClock(-0.05).drift_bound == pytest.approx(0.05)
+
+    def test_bound_must_be_below_one(self):
+        with pytest.raises(ClockModelError):
+            ConstantDriftClock(1.0)
+
+
+class TestPiecewiseDriftClock:
+    def test_two_segments(self):
+        # rate 1.1 on [0, 10), rate 0.9 after.
+        clock = PiecewiseDriftClock([10.0], [1.1, 0.9], offset=0.0)
+        assert clock.local_from_real(10.0) == pytest.approx(11.0)
+        assert clock.local_from_real(20.0) == pytest.approx(11.0 + 9.0)
+        assert clock.real_from_local(11.0) == pytest.approx(10.0)
+        assert clock.real_from_local(20.0) == pytest.approx(20.0)
+
+    def test_rate_count_mismatch(self):
+        with pytest.raises(ClockModelError, match="len"):
+            PiecewiseDriftClock([5.0], [1.0])
+
+    def test_breakpoints_must_increase(self):
+        with pytest.raises(ClockModelError, match="increasing"):
+            PiecewiseDriftClock([5.0, 5.0], [1.0, 1.0, 1.0])
+
+    def test_declared_bound_enforced(self):
+        with pytest.raises(ClockModelError, match="max drift"):
+            PiecewiseDriftClock([1.0], [1.3, 1.0], drift_bound=0.1)
+
+    def test_negative_real_rejected(self):
+        clock = PiecewiseDriftClock([1.0], [1.0, 1.0])
+        with pytest.raises(ClockModelError):
+            clock.local_from_real(-1.0)
+
+    def test_local_before_origin_rejected(self):
+        clock = PiecewiseDriftClock([1.0], [1.0, 1.0], offset=5.0)
+        with pytest.raises(ClockModelError, match="precedes"):
+            clock.real_from_local(4.0)
+
+    def test_roundtrip_many_points(self):
+        clock = PiecewiseDriftClock(
+            [3.0, 7.0, 12.0], [1.1, 0.95, 1.05, 0.9], offset=100.0
+        )
+        for t in np.linspace(0.0, 30.0, 61):
+            assert clock.real_from_local(clock.local_from_real(t)) == pytest.approx(
+                t, abs=1e-9
+            )
+
+
+class TestSinusoidalDriftClock:
+    def test_drift_bound_respected(self):
+        clock = SinusoidalDriftClock(amplitude=0.1, period=10.0)
+        check_drift_bound(clock, horizon=50.0, samples=500)
+
+    def test_roundtrip(self):
+        clock = SinusoidalDriftClock(
+            amplitude=0.14, period=7.0, phase=1.2, offset=42.0
+        )
+        for t in np.linspace(0.0, 40.0, 81):
+            local = clock.local_from_real(t)
+            assert clock.real_from_local(local) == pytest.approx(t, abs=1e-7)
+
+    def test_invalid_period(self):
+        with pytest.raises(ClockModelError, match="period"):
+            SinusoidalDriftClock(0.1, period=0.0)
+
+    def test_zero_amplitude_is_perfect(self):
+        clock = SinusoidalDriftClock(0.0, period=5.0, offset=1.0)
+        assert clock.local_from_real(3.0) == pytest.approx(4.0)
+
+
+class TestRandomWalkDriftClock:
+    def make(self, bound=0.1, seed=0, **kwargs):
+        return RandomWalkDriftClock(
+            bound, np.random.default_rng(seed), **kwargs
+        )
+
+    def test_monotone_increasing(self):
+        clock = self.make()
+        values = [clock.local_from_real(t) for t in np.linspace(0, 200, 400)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_drift_bound_holds(self):
+        clock = self.make(bound=0.12, seed=5, mean_segment=3.0)
+        check_drift_bound(clock, horizon=150.0, samples=1000)
+
+    def test_roundtrip(self):
+        clock = self.make(bound=0.14, seed=2, mean_segment=2.0, offset=7.0)
+        for t in np.linspace(0.0, 100.0, 101):
+            local = clock.local_from_real(t)
+            assert clock.real_from_local(local) == pytest.approx(t, abs=1e-9)
+
+    def test_deterministic_given_seed(self):
+        a = self.make(seed=4)
+        b = self.make(seed=4)
+        ts = np.linspace(0, 50, 100)
+        assert [a.local_from_real(t) for t in ts] == [
+            b.local_from_real(t) for t in ts
+        ]
+
+    def test_lazy_extension_out_of_order_queries(self):
+        clock = self.make(seed=1)
+        far = clock.local_from_real(500.0)
+        near = clock.local_from_real(1.0)
+        assert near < far
+
+    def test_invalid_mean_segment(self):
+        with pytest.raises(ClockModelError, match="mean_segment"):
+            self.make(mean_segment=0.0)
+
+
+class TestCheckDriftBound:
+    def test_catches_violation(self):
+        # Declared bound 0.01 but actual drift 0.2.
+        clock = ConstantDriftClock(0.2)
+        object.__setattr__(clock, "_drift_bound", 0.01)
+        with pytest.raises(ClockModelError, match="violated"):
+            check_drift_bound(clock, horizon=10.0)
+
+    def test_invalid_args(self):
+        clock = PerfectClock()
+        with pytest.raises(ClockModelError):
+            check_drift_bound(clock, horizon=0.0)
+        with pytest.raises(ClockModelError):
+            check_drift_bound(clock, horizon=1.0, samples=1)

@@ -1,0 +1,135 @@
+"""Tests for the engines' collision/clear-reception counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import SlotDecision, SynchronousProtocol
+from repro.net import M2HeWNetwork, NodeSpec, build_network, channels, topology
+from repro.sim.rng import RngFactory
+from repro.sim.slotted import SlottedSimulator
+from repro.sim.stopping import StoppingCondition
+from repro.sim.runner import run_synchronous
+
+
+class Scripted(SynchronousProtocol):
+    actions = {}
+
+    def decide_slot(self, local_slot):
+        return self.actions[self.node_id]
+
+
+def run_scripted(net, actions, slots=1):
+    Scripted.actions = actions
+    sim = SlottedSimulator(
+        net, lambda nid, chs, rng: Scripted(nid, chs, rng), RngFactory(0)
+    )
+    return sim.run(StoppingCondition.slots(slots, stop_on_full_coverage=False))
+
+
+def star3():
+    return M2HeWNetwork(
+        [
+            NodeSpec(0, frozenset({0})),
+            NodeSpec(1, frozenset({0})),
+            NodeSpec(2, frozenset({0})),
+        ],
+        adjacency=[(0, 1), (0, 2)],
+    )
+
+
+class TestReferenceCounters:
+    def test_collision_counted_at_listener(self):
+        result = run_scripted(
+            star3(),
+            {
+                0: SlotDecision.listen(0),
+                1: SlotDecision.transmit(0),
+                2: SlotDecision.transmit(0),
+            },
+        )
+        assert result.metadata["collisions"][0] == 1
+        assert result.metadata["clear_receptions"][0] == 0
+
+    def test_clear_reception_counted(self):
+        result = run_scripted(
+            star3(),
+            {
+                0: SlotDecision.listen(0),
+                1: SlotDecision.transmit(0),
+                2: SlotDecision.listen(0),
+            },
+        )
+        assert result.metadata["clear_receptions"][0] == 1
+        assert result.metadata["collisions"][0] == 0
+        # Node 2 cannot hear node 1 (not adjacent): silence for it.
+        assert result.metadata["clear_receptions"][2] == 0
+
+    def test_silence_counts_nothing(self):
+        result = run_scripted(
+            star3(),
+            {
+                0: SlotDecision.listen(0),
+                1: SlotDecision.listen(0),
+                2: SlotDecision.listen(0),
+            },
+        )
+        assert all(v == 0 for v in result.metadata["collisions"].values())
+        assert all(
+            v == 0 for v in result.metadata["clear_receptions"].values()
+        )
+
+    def test_repeat_hellos_counted_each_time(self):
+        result = run_scripted(
+            star3(),
+            {
+                0: SlotDecision.listen(0),
+                1: SlotDecision.transmit(0),
+                2: SlotDecision.listen(0),
+            },
+            slots=5,
+        )
+        assert result.metadata["clear_receptions"][0] == 5
+
+
+class TestEnginesAgreeOnContention:
+    def test_fast_and_reference_rates_similar(self):
+        net = build_network(topology.clique(8), channels.homogeneous(8, 2))
+
+        def totals(engine, seed):
+            result = run_synchronous(
+                net,
+                "algorithm3",
+                seed=seed,
+                max_slots=3000,
+                delta_est=4,
+                engine=engine,
+                stop_on_full_coverage=False,
+            )
+            meta = result.metadata
+            return (
+                sum(meta["collisions"].values()) / result.horizon,
+                sum(meta["clear_receptions"].values()) / result.horizon,
+            )
+
+        col_fast, clear_fast = totals("fast", 1)
+        col_ref, clear_ref = totals("reference", 2)
+        assert col_fast == pytest.approx(col_ref, rel=0.25)
+        assert clear_fast == pytest.approx(clear_ref, rel=0.25)
+
+    def test_higher_transmit_pressure_more_collisions(self):
+        net = build_network(topology.clique(10), channels.homogeneous(10, 1))
+
+        def collisions(delta_est):
+            result = run_synchronous(
+                net,
+                "algorithm3",
+                seed=3,
+                max_slots=2000,
+                delta_est=delta_est,
+                stop_on_full_coverage=False,
+            )
+            return sum(result.metadata["collisions"].values())
+
+        # delta_est=2 means p=1/2: heavy contention; delta_est=64: light.
+        assert collisions(2) > 3 * collisions(64)

@@ -1,0 +1,162 @@
+"""Unit tests for repro.analysis.energy and the engines' activity counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.energy import EnergyModel, energy_report
+from repro.exceptions import ConfigurationError
+from repro.net import build_network, channels, topology
+from repro.sim.results import DiscoveryResult
+from repro.sim.runner import run_asynchronous, run_synchronous
+
+
+def make_result(activity, unit="slots", covered=1):
+    coverage = {(0, i + 1): 1.0 for i in range(covered)}
+    return DiscoveryResult(
+        time_unit=unit,
+        coverage=coverage,
+        horizon=10.0,
+        completed=True,
+        neighbor_tables={},
+        start_times={0: 0.0},
+        network_params={},
+        metadata={"radio_activity": activity},
+    )
+
+
+class TestEnergyModel:
+    def test_energy_formula(self):
+        model = EnergyModel(tx_watts=2.0, rx_watts=1.0, quiet_watts=0.1)
+        assert model.energy(3.0, 4.0, 10.0) == pytest.approx(6 + 4 + 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(tx_watts=-1.0, rx_watts=1.0)
+
+    def test_presets(self):
+        cc = EnergyModel.cc2420()
+        assert cc.rx_watts > cc.tx_watts > cc.quiet_watts
+        unit = EnergyModel.unit()
+        assert unit.energy(1.0, 2.0, 100.0) == 3.0
+
+
+class TestEnergyReport:
+    def test_slot_scaling(self):
+        result = make_result({0: {"tx": 10, "rx": 20, "quiet": 5}})
+        report = energy_report(result, EnergyModel.unit(), slot_seconds=0.01)
+        node = report.per_node[0]
+        assert node.tx_seconds == pytest.approx(0.1)
+        assert node.rx_seconds == pytest.approx(0.2)
+        assert node.joules == pytest.approx(0.3)
+
+    def test_seconds_not_scaled(self):
+        result = make_result({0: {"tx": 2.0, "rx": 3.0, "quiet": 0.0}}, unit="seconds")
+        report = energy_report(result, EnergyModel.unit(), slot_seconds=99.0)
+        assert report.per_node[0].joules == pytest.approx(5.0)
+
+    def test_aggregates(self):
+        result = make_result(
+            {0: {"tx": 1, "rx": 1, "quiet": 0}, 1: {"tx": 3, "rx": 1, "quiet": 0}},
+            covered=2,
+        )
+        report = energy_report(result, EnergyModel.unit())
+        assert report.total_joules == pytest.approx(6.0)
+        assert report.mean_joules == pytest.approx(3.0)
+        assert report.max_joules == pytest.approx(4.0)
+        assert report.joules_per_link == pytest.approx(3.0)
+
+    def test_duty_cycle(self):
+        result = make_result({0: {"tx": 1, "rx": 1, "quiet": 2}})
+        report = energy_report(result, EnergyModel.unit())
+        assert report.per_node[0].duty_cycle == pytest.approx(0.5)
+
+    def test_missing_activity_metadata(self):
+        result = make_result({0: {"tx": 1}})
+        result.metadata.pop("radio_activity")
+        with pytest.raises(ConfigurationError, match="radio_activity"):
+            energy_report(result, EnergyModel.unit())
+
+    def test_invalid_slot_seconds(self):
+        result = make_result({0: {"tx": 1}})
+        with pytest.raises(ConfigurationError, match="slot_seconds"):
+            energy_report(result, EnergyModel.unit(), slot_seconds=0.0)
+
+    def test_as_rows(self):
+        result = make_result({0: {"tx": 1, "rx": 2, "quiet": 0}})
+        rows = energy_report(result, EnergyModel.unit()).as_rows()
+        assert rows[0]["node"] == 0
+        assert {"tx_s", "rx_s", "joules", "duty_cycle"} <= set(rows[0])
+
+
+class TestEngineCounters:
+    @pytest.fixture
+    def net(self):
+        topo = topology.clique(4)
+        return build_network(topo, channels.homogeneous(4, 2))
+
+    def test_fast_engine_counts_every_active_slot(self, net):
+        result = run_synchronous(
+            net, "algorithm3", seed=0, max_slots=10_000, delta_est=8
+        )
+        activity = result.metadata["radio_activity"]
+        slots = result.horizon
+        for nid in net.node_ids:
+            modes = activity[nid]
+            assert modes["tx"] + modes["rx"] + modes["quiet"] == slots
+
+    def test_reference_engine_counts_match_horizon(self, net):
+        result = run_synchronous(
+            net,
+            "algorithm1",
+            seed=0,
+            max_slots=10_000,
+            delta_est=8,
+            engine="reference",
+        )
+        activity = result.metadata["radio_activity"]
+        for nid in net.node_ids:
+            modes = activity[nid]
+            assert modes["tx"] + modes["rx"] + modes["quiet"] == result.horizon
+
+    def test_offsets_reduce_counted_slots(self, net):
+        result = run_synchronous(
+            net,
+            "algorithm3",
+            seed=0,
+            max_slots=10_000,
+            delta_est=8,
+            start_offsets={0: 50},
+            engine="reference",
+        )
+        activity = result.metadata["radio_activity"]
+        total0 = sum(activity[0].values())
+        total1 = sum(activity[1].values())
+        assert total0 == total1 - 50
+
+    def test_async_engine_seconds(self, net):
+        result = run_asynchronous(
+            net, seed=0, delta_est=8, max_frames_per_node=50_000, drift_bound=0.0
+        )
+        activity = result.metadata["radio_activity"]
+        for nid in net.node_ids:
+            modes = activity[nid]
+            active = modes["tx"] + modes["rx"] + modes["quiet"]
+            assert active > 0
+        report = energy_report(result, EnergyModel.cc2420())
+        assert report.total_joules > 0
+
+    def test_alg3_transmit_fraction_matches_probability(self, net):
+        # p = min(1/2, 2/8) = 0.25: about a quarter of slots are tx.
+        result = run_synchronous(
+            net,
+            "algorithm3",
+            seed=1,
+            max_slots=4000,
+            delta_est=8,
+            stop_on_full_coverage=False,
+        )
+        activity = result.metadata["radio_activity"]
+        for nid in net.node_ids:
+            frac = activity[nid]["tx"] / result.horizon
+            assert frac == pytest.approx(0.25, abs=0.03)

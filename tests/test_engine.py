@@ -1,0 +1,74 @@
+"""Unit tests for repro.sim.engine (generic DES driver)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import DiscreteEventEngine
+
+
+class TestDiscreteEventEngine:
+    def test_runs_to_exhaustion(self):
+        engine = DiscreteEventEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(2.0, lambda: fired.append(2))
+        end = engine.run()
+        assert fired == [1, 2]
+        assert end == 2.0
+        assert engine.events_executed == 2
+
+    def test_until_leaves_future_events_queued(self):
+        engine = DiscreteEventEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(5.0, lambda: fired.append(5))
+        end = engine.run(until=3.0)
+        assert fired == [1]
+        assert end == 3.0
+        engine.run()
+        assert fired == [1, 5]
+
+    def test_max_events(self):
+        engine = DiscreteEventEngine()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda t=t: fired.append(t))
+        engine.run(max_events=2)
+        assert fired == [1.0, 2.0]
+
+    def test_request_stop_from_handler(self):
+        engine = DiscreteEventEngine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.request_stop()
+
+        engine.schedule(1.0, first)
+        engine.schedule(2.0, lambda: fired.append("second"))
+        engine.run()
+        assert fired == ["first"]
+        # A later run resumes with remaining events.
+        engine.run()
+        assert fired == ["first", "second"]
+
+    def test_events_can_schedule_events(self):
+        engine = DiscreteEventEngine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                engine.schedule_after(1.0, lambda: chain(n + 1))
+
+        engine.schedule(0.0, lambda: chain(0))
+        end = engine.run()
+        assert fired == [0, 1, 2, 3]
+        assert end == 3.0
+
+    def test_schedule_after_negative_delay_rejected(self):
+        engine = DiscreteEventEngine()
+        with pytest.raises(SimulationError, match="non-negative"):
+            engine.schedule_after(-1.0, lambda: None)

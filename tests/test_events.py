@@ -1,0 +1,79 @@
+"""Unit tests for repro.sim.events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.schedule(3.0, lambda: order.append("c"))
+        q.schedule(1.0, lambda: order.append("a"))
+        q.schedule(2.0, lambda: order.append("b"))
+        while (e := q.pop_next()) is not None:
+            e.action()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_simultaneous(self):
+        q = EventQueue()
+        order = []
+        for name in "abc":
+            q.schedule(1.0, lambda n=name: order.append(n))
+        while (e := q.pop_next()) is not None:
+            e.action()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: None)
+        assert q.now == 0.0
+        q.pop_next()
+        assert q.now == 5.0
+
+    def test_scheduling_into_past_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: None)
+        q.pop_next()
+        with pytest.raises(SimulationError, match="before now"):
+            q.schedule(1.0, lambda: None)
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        fired = []
+        handle = q.schedule(1.0, lambda: fired.append(1))
+        q.schedule(2.0, lambda: fired.append(2))
+        handle.cancel()
+        while (e := q.pop_next()) is not None:
+            e.action()
+        assert fired == [2]
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        h = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        assert len(q) == 2
+        h.cancel()
+        assert len(q) == 1
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        h = q.schedule(4.0, lambda: None)
+        q.schedule(7.0, lambda: None)
+        assert q.peek_time() == 4.0
+        h.cancel()
+        assert q.peek_time() == 7.0
+
+    def test_tiny_negative_jitter_clamped(self):
+        # Floating-point round-trips may produce times a hair before now;
+        # those are clamped to now rather than rejected.
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.pop_next()
+        event = q.schedule(1.0 - 1e-15, lambda: None)
+        assert event.time == 1.0

@@ -1,0 +1,154 @@
+"""Unit tests for the vectorized engine and its schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import StagedSyncDiscovery
+from repro.core.algorithm2 import GrowingEstimateSyncDiscovery
+from repro.core.algorithm3 import FlatSyncDiscovery
+from repro.exceptions import ConfigurationError
+from repro.net import M2HeWNetwork, NodeSpec, build_network, channels, topology
+from repro.sim.fast_slotted import (
+    FastSlottedSimulator,
+    FlatSchedule,
+    GrowingEstimateSchedule,
+    StagedSchedule,
+)
+from repro.sim.rng import RngFactory
+from repro.sim.stopping import StoppingCondition
+
+
+class TestSchedulesMatchProtocols:
+    """The vector schedules must reproduce the protocol objects' p."""
+
+    def test_staged_matches_algorithm1(self):
+        sizes = np.array([1, 3, 7])
+        schedule = StagedSchedule(sizes, delta_est=16)
+        protos = [
+            StagedSyncDiscovery(i, range(s), np.random.default_rng(0), 16)
+            for i, s in enumerate(sizes)
+        ]
+        for slot in range(20):
+            p_vec = schedule.probabilities(np.full(3, slot))
+            for i, proto in enumerate(protos):
+                assert p_vec[i] == pytest.approx(proto.transmit_probability(slot))
+
+    def test_growing_matches_algorithm2(self):
+        sizes = np.array([2, 5])
+        schedule = GrowingEstimateSchedule(sizes)
+        protos = [
+            GrowingEstimateSyncDiscovery(i, range(s), np.random.default_rng(0))
+            for i, s in enumerate(sizes)
+        ]
+        for slot in range(200):
+            p_vec = schedule.probabilities(np.full(2, slot))
+            for i, proto in enumerate(protos):
+                assert p_vec[i] == pytest.approx(proto.transmit_probability(slot))
+
+    def test_flat_matches_algorithm3(self):
+        sizes = np.array([1, 4, 9])
+        schedule = FlatSchedule(sizes, delta_est=8)
+        protos = [
+            FlatSyncDiscovery(i, range(s), np.random.default_rng(0), 8)
+            for i, s in enumerate(sizes)
+        ]
+        p_vec = schedule.probabilities(np.zeros(3, dtype=np.int64))
+        for i, proto in enumerate(protos):
+            assert p_vec[i] == pytest.approx(proto.transmit_probability(0))
+
+    def test_mixed_local_slots(self):
+        # Different nodes at different local slots (staggered starts).
+        schedule = StagedSchedule(np.array([1, 1]), delta_est=16)
+        p = schedule.probabilities(np.array([0, 3]))
+        assert p[0] == pytest.approx(min(0.5, 1 / 2))
+        assert p[1] == pytest.approx(min(0.5, 1 / 16))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            FlatSchedule(np.array([0]), delta_est=4)
+
+
+class TestFastEngine:
+    def make_network(self):
+        topo = topology.clique(6)
+        return build_network(topo, channels.homogeneous(6, 2))
+
+    def test_completes_on_clique(self):
+        net = self.make_network()
+        sim = FastSlottedSimulator(
+            net, FlatSchedule(np.full(6, 2), delta_est=8), RngFactory(3)
+        )
+        result = sim.run(StoppingCondition.slots(20_000))
+        assert result.completed
+        assert result.metadata["engine"] == "slotted-fast"
+
+    def test_neighbor_tables_reconstructed_from_spans(self):
+        net = self.make_network()
+        sim = FastSlottedSimulator(
+            net, FlatSchedule(np.full(6, 2), delta_est=8), RngFactory(3)
+        )
+        result = sim.run(StoppingCondition.slots(20_000))
+        for nid in net.node_ids:
+            expected = {v: net.span(v, nid) for v in net.discoverable_neighbors(nid)}
+            assert result.neighbor_tables[nid] == expected
+
+    def test_schedule_size_mismatch_rejected(self):
+        net = self.make_network()
+        with pytest.raises(ConfigurationError, match="covers"):
+            FastSlottedSimulator(
+                net, FlatSchedule(np.full(4, 2), delta_est=8), RngFactory(0)
+            )
+
+    def test_start_offsets_delay_discovery(self):
+        net = self.make_network()
+        offsets = {nid: 50 for nid in net.node_ids}
+        sim = FastSlottedSimulator(
+            net,
+            FlatSchedule(np.full(6, 2), delta_est=8),
+            RngFactory(3),
+            start_offsets=offsets,
+        )
+        result = sim.run(StoppingCondition.slots(20_000))
+        assert result.completed
+        assert min(result.covered_times()) >= 50.0
+        assert result.last_start_time == 50.0
+
+    def test_heavy_erasure_blocks_everything(self):
+        net = self.make_network()
+        sim = FastSlottedSimulator(
+            net,
+            FlatSchedule(np.full(6, 2), delta_est=8),
+            RngFactory(3),
+            erasure_prob=0.999999,
+        )
+        result = sim.run(StoppingCondition.slots(500))
+        assert result.num_covered == 0
+
+    def test_isolated_pair_no_shared_channel(self):
+        net = M2HeWNetwork(
+            [NodeSpec(0, frozenset({0})), NodeSpec(1, frozenset({1}))],
+            adjacency=[(0, 1)],
+        )
+        sim = FastSlottedSimulator(
+            net, FlatSchedule(np.array([1, 1]), delta_est=2), RngFactory(0)
+        )
+        result = sim.run(StoppingCondition.slots(100))
+        # No links to cover: vacuously complete immediately.
+        assert result.completed
+        assert result.num_links == 0
+
+    def test_deterministic_given_seed(self):
+        net = self.make_network()
+
+        def run(seed):
+            sim = FastSlottedSimulator(
+                net, FlatSchedule(np.full(6, 2), delta_est=8), RngFactory(seed)
+            )
+            return sim.run(StoppingCondition.slots(20_000))
+
+        a, b = run(11), run(11)
+        assert a.coverage == b.coverage
+        c = run(12)
+        assert a.coverage != c.coverage

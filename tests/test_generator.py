@@ -1,0 +1,180 @@
+"""Unit tests for repro.workloads.generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.generator import WorkloadConfig, generate_network
+
+
+class TestWorkloadConfig:
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown topology"):
+            WorkloadConfig(topology="torus")
+
+    def test_unknown_channel_model_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown channel model"):
+            WorkloadConfig(topology="clique", channel_model="psychic")
+
+    def test_describe_is_json_compatible(self):
+        import json
+
+        cfg = WorkloadConfig(
+            topology="grid",
+            topology_params={"rows": 2, "cols": 2},
+            channel_model="homogeneous",
+            channel_params={"num_channels": 3},
+        )
+        json.dumps(cfg.describe())
+
+
+class TestGenerateNetwork:
+    def test_deterministic(self):
+        cfg = WorkloadConfig(
+            topology="random_geometric",
+            topology_params={"num_nodes": 12, "radius": 0.4},
+            channel_model="uniform_random_subsets",
+            channel_params={"universal_size": 6, "set_size": 3},
+        )
+        a = generate_network(cfg, seed=4)
+        b = generate_network(cfg, seed=4)
+        assert a.node_ids == b.node_ids
+        assert all(a.channels_of(n) == b.channels_of(n) for n in a.node_ids)
+        assert [l.key for l in a.links()] == [l.key for l in b.links()]
+
+    def test_channel_model_independent_of_topology_stream(self):
+        base = WorkloadConfig(
+            topology="random_geometric",
+            topology_params={"num_nodes": 10, "radius": 0.4},
+            channel_model="homogeneous",
+            channel_params={"num_channels": 3},
+        )
+        other = WorkloadConfig(
+            topology="random_geometric",
+            topology_params={"num_nodes": 10, "radius": 0.4},
+            channel_model="uniform_random_subsets",
+            channel_params={"universal_size": 6, "set_size": 3},
+        )
+        a = generate_network(base, seed=8)
+        b = generate_network(other, seed=8)
+        # Same placement stream: positions identical despite the
+        # different channel model.
+        assert all(
+            a.node(n).position == b.node(n).position for n in a.node_ids
+        )
+
+    def test_repair_overlap_applied(self):
+        cfg = WorkloadConfig(
+            topology="line",
+            topology_params={"num_nodes": 6},
+            channel_model="uniform_random_subsets",
+            channel_params={"universal_size": 30, "set_size": 2},
+            repair_overlap=True,
+        )
+        network = generate_network(cfg, seed=0)
+        # After repair, every radio-adjacent pair shares a channel, so
+        # every adjacency carries a link in both directions.
+        assert network.num_links == 2 * 5
+
+    def test_primary_user_model(self):
+        cfg = WorkloadConfig(
+            topology="grid",
+            topology_params={"rows": 3, "cols": 3},
+            channel_model="primary_users",
+            channel_params={
+                "universal_size": 8,
+                "num_users": 5,
+                "radius": 1.2,
+                "min_channels": 1,
+            },
+        )
+        network = generate_network(cfg, seed=1)
+        assert network.num_nodes == 9
+        assert all(len(network.channels_of(n)) >= 1 for n in network.node_ids)
+
+    def test_adversarial_model_uses_topology(self):
+        cfg = WorkloadConfig(
+            topology="ring",
+            topology_params={"num_nodes": 5},
+            channel_model="adversarial_min_overlap",
+            channel_params={"set_size": 4, "overlap": 1},
+        )
+        network = generate_network(cfg, seed=0)
+        assert network.min_span_ratio == pytest.approx(0.25)
+
+
+class TestModes:
+    def test_asymmetric_mode(self):
+        cfg = WorkloadConfig(
+            topology="asymmetric_random_geometric",
+            topology_params={"num_nodes": 10, "min_range": 0.2, "max_range": 0.7},
+            channel_model="common_channel_plus_random",
+            channel_params={"universal_size": 5, "set_size": 2},
+            mode="asymmetric",
+        )
+        network = generate_network(cfg, seed=2)
+        assert not network.is_symmetric
+        keys = {l.key for l in network.links()}
+        assert any((b, a) not in keys for (a, b) in keys)
+
+    def test_channel_dependent_mode(self):
+        cfg = WorkloadConfig(
+            topology="random_geometric",
+            topology_params={"num_nodes": 10, "radius": 0.5},
+            channel_model="homogeneous",
+            channel_params={"num_channels": 4},
+            mode="channel_dependent",
+            propagation_params={"base_radius": 0.5, "range_decay": 0.5},
+        )
+        network = generate_network(cfg, seed=2)
+        assert network.is_channel_dependent
+
+    def test_asymmetric_mode_requires_matching_topology(self):
+        with pytest.raises(ConfigurationError, match="together"):
+            WorkloadConfig(
+                topology="clique",
+                topology_params={"num_nodes": 4},
+                mode="asymmetric",
+            )
+        with pytest.raises(ConfigurationError, match="together"):
+            WorkloadConfig(
+                topology="asymmetric_random_geometric",
+                topology_params={"num_nodes": 4, "min_range": 0.1, "max_range": 0.2},
+            )
+
+    def test_channel_dependent_requires_propagation_params(self):
+        with pytest.raises(ConfigurationError, match="propagation_params"):
+            WorkloadConfig(
+                topology="random_geometric",
+                topology_params={"num_nodes": 4, "radius": 0.5},
+                mode="channel_dependent",
+            )
+
+    def test_propagation_params_rejected_elsewhere(self):
+        with pytest.raises(ConfigurationError, match="only apply"):
+            WorkloadConfig(
+                topology="clique",
+                topology_params={"num_nodes": 4},
+                propagation_params={"base_radius": 1.0, "range_decay": 0.1},
+            )
+
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigurationError, match="unknown mode"):
+            WorkloadConfig(
+                topology="clique",
+                topology_params={"num_nodes": 4},
+                mode="quantum",
+            )
+
+    def test_repair_overlap_incompatible_with_asymmetric(self):
+        cfg = WorkloadConfig(
+            topology="asymmetric_random_geometric",
+            topology_params={"num_nodes": 6, "min_range": 0.2, "max_range": 0.5},
+            channel_model="uniform_random_subsets",
+            channel_params={"universal_size": 8, "set_size": 2},
+            mode="asymmetric",
+            repair_overlap=True,
+        )
+        with pytest.raises(ConfigurationError, match="symmetric"):
+            generate_network(cfg, seed=0)

@@ -1,0 +1,116 @@
+"""Tests for the genie TDMA reference schedule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.genie import (
+    GenieScheduleProtocol,
+    build_genie_schedule,
+    genie_schedule_length,
+)
+from repro.exceptions import ConfigurationError
+from repro.net import M2HeWNetwork, NodeSpec, build_network, channels, topology
+from repro.sim.rng import RngFactory
+from repro.sim.slotted import SlottedSimulator
+from repro.sim.stopping import StoppingCondition
+
+
+def run_genie(network, budget=None):
+    schedule = build_genie_schedule(network)
+    sim = SlottedSimulator(
+        network,
+        lambda nid, chs, rng: GenieScheduleProtocol(nid, chs, rng, schedule),
+        RngFactory(0),
+    )
+    return schedule, sim.run(
+        StoppingCondition.slots(budget or len(schedule))
+    )
+
+
+class TestScheduleConstruction:
+    def test_no_conflicting_transmitters_in_a_round(self):
+        rng = np.random.default_rng(1)
+        topo = topology.random_geometric(12, 0.5, rng, require_connected=True)
+        net = build_network(
+            topo,
+            channels.common_channel_plus_random(12, 6, 3, rng),
+        )
+        for channel, txs in build_genie_schedule(net):
+            txs = sorted(txs)
+            for i, a in enumerate(txs):
+                for b in txs[i + 1 :]:
+                    # No listener may hear both; they may not hear each other.
+                    assert b not in net.hears_on(a, channel)
+                    for u in net.node_ids:
+                        audible = net.hears_on(u, channel)
+                        assert not (a in audible and b in audible), (
+                            channel, a, b, u,
+                        )
+
+    def test_empty_network_rejected(self):
+        net = M2HeWNetwork([NodeSpec(0, frozenset({0}))], adjacency=[])
+        with pytest.raises(ConfigurationError, match="nothing to schedule"):
+            build_genie_schedule(net)
+
+    def test_schedule_length_helper(self):
+        net = build_network(topology.clique(4), channels.homogeneous(4, 2))
+        assert genie_schedule_length(net) == len(build_genie_schedule(net))
+
+
+class TestGenieDiscovery:
+    def test_one_pass_covers_everything(self):
+        rng = np.random.default_rng(2)
+        topo = topology.random_geometric(10, 0.5, rng, require_connected=True)
+        net = build_network(
+            topo, channels.common_channel_plus_random(10, 5, 3, rng)
+        )
+        schedule, result = run_genie(net)
+        assert result.completed
+        assert result.completion_time < len(schedule)
+
+    def test_clique_schedule_is_n_per_channel(self):
+        # In a clique every pair of speakers conflicts, so each channel
+        # needs exactly N rounds.
+        n, n_channels = 5, 3
+        net = build_network(
+            topology.clique(n), channels.homogeneous(n, n_channels)
+        )
+        assert genie_schedule_length(net) == n * n_channels
+
+    def test_genie_beats_every_distributed_algorithm(self):
+        from repro.sim.runner import run_synchronous, run_trials
+        from repro.analysis.stats import mean
+
+        rng = np.random.default_rng(3)
+        topo = topology.random_geometric(12, 0.5, rng, require_connected=True)
+        net = build_network(
+            topo, channels.common_channel_plus_random(12, 6, 3, rng)
+        )
+        _, genie_result = run_genie(net)
+        genie_time = genie_result.completion_time
+
+        results = run_trials(
+            lambda seed: run_synchronous(
+                net, "algorithm3", seed=seed, max_slots=200_000, delta_est=8
+            ),
+            num_trials=6,
+            base_seed=4,
+        )
+        alg3_mean = mean([r.completion_time for r in results])
+        assert genie_time < alg3_mean
+
+    def test_sparse_channel_usage_skipped(self):
+        # A channel nobody shares produces no schedule entries.
+        nodes = [
+            NodeSpec(0, frozenset({0, 9})),
+            NodeSpec(1, frozenset({0})),
+        ]
+        net = M2HeWNetwork(nodes, adjacency=[(0, 1)])
+        channels_used = {c for c, _ in build_genie_schedule(net)}
+        assert channels_used == {0}
+
+    def test_protocol_validates_schedule(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            GenieScheduleProtocol(0, (0,), np.random.default_rng(0), [])

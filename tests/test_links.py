@@ -1,0 +1,37 @@
+"""Unit tests for repro.net.links."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NetworkModelError
+from repro.net.links import DirectedLink
+
+
+class TestDirectedLink:
+    def test_basic(self):
+        link = DirectedLink(1, 2, frozenset({0, 3}), receiver_channel_count=4)
+        assert link.key == (1, 2)
+        assert link.reverse_key() == (2, 1)
+        assert link.span == {0, 3}
+
+    def test_span_ratio_uses_receiver_set(self):
+        # Paper: span-ratio of (u, v) is |span| / |A(receiver)|.
+        link = DirectedLink(0, 1, frozenset({0}), receiver_channel_count=4)
+        assert link.span_ratio == pytest.approx(0.25)
+
+    def test_span_ratio_bounds(self):
+        full = DirectedLink(0, 1, frozenset({0, 1}), receiver_channel_count=2)
+        assert full.span_ratio == pytest.approx(1.0)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(NetworkModelError, match="self-link"):
+            DirectedLink(3, 3, frozenset({0}), receiver_channel_count=1)
+
+    def test_empty_span_rejected(self):
+        with pytest.raises(NetworkModelError, match="empty span"):
+            DirectedLink(0, 1, frozenset(), receiver_channel_count=1)
+
+    def test_span_larger_than_receiver_set_rejected(self):
+        with pytest.raises(NetworkModelError, match="exceeds"):
+            DirectedLink(0, 1, frozenset({0, 1, 2}), receiver_channel_count=2)

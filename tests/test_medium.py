@@ -1,0 +1,99 @@
+"""Unit tests for repro.sim.medium."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import HelloMessage
+from repro.exceptions import SimulationError
+from repro.sim.medium import Medium, Transmission
+
+
+def tx(sender, channel=0, start=0.0, end=1.0):
+    return Transmission(
+        sender=sender,
+        channel=channel,
+        start=start,
+        end=end,
+        message=HelloMessage(sender, frozenset({channel})),
+    )
+
+
+class TestTransmission:
+    def test_duration_validated(self):
+        with pytest.raises(SimulationError, match="duration"):
+            tx(0, start=2.0, end=2.0)
+
+    def test_overlaps_interval_strict(self):
+        t = tx(0, start=1.0, end=2.0)
+        assert t.overlaps_interval(1.5, 3.0)
+        assert t.overlaps_interval(0.0, 1.5)
+        assert not t.overlaps_interval(2.0, 3.0)  # touching boundary
+        assert not t.overlaps_interval(0.0, 1.0)
+
+    def test_interferers_filters_by_audibility(self):
+        t = tx(0, start=0.0, end=1.0)
+        noisy = tx(1, start=0.5, end=1.5)
+        silent_far = tx(2, start=0.5, end=1.5)
+        t.overlapped.extend([noisy, silent_far])
+        assert t.interferers(audible={1}) == [1]
+        assert t.interferers(audible={1, 2}) == [1, 2]
+        assert t.interferers(audible=set()) == []
+
+    def test_interferers_excludes_own_sender(self):
+        t = tx(0)
+        t.overlapped.append(tx(0, start=0.5, end=1.5))
+        assert t.interferers(audible={0}) == []
+
+    def test_interferers_excludes_boundary_touchers(self):
+        t = tx(0, start=0.0, end=1.0)
+        toucher = tx(1, start=1.0, end=2.0)
+        t.overlapped.append(toucher)  # registered but not truly overlapping
+        assert t.interferers(audible={1}) == []
+
+
+class TestMedium:
+    def test_begin_links_overlaps_both_ways(self):
+        medium = Medium()
+        a, b = tx(0), tx(1, start=0.5, end=1.5)
+        medium.begin(a)
+        medium.begin(b)
+        assert b in a.overlapped
+        assert a in b.overlapped
+
+    def test_channels_isolated(self):
+        medium = Medium()
+        a, b = tx(0, channel=0), tx(1, channel=1)
+        medium.begin(a)
+        medium.begin(b)
+        assert a.overlapped == []
+        assert b.overlapped == []
+
+    def test_end_removes_from_active(self):
+        medium = Medium()
+        a = tx(0)
+        medium.begin(a)
+        assert medium.total_active == 1
+        medium.end(a)
+        assert medium.total_active == 0
+
+    def test_ended_transmission_no_longer_linked(self):
+        medium = Medium()
+        a = tx(0, start=0.0, end=1.0)
+        medium.begin(a)
+        medium.end(a)
+        later = tx(1, start=2.0, end=3.0)
+        medium.begin(later)
+        assert later.overlapped == []
+
+    def test_end_unknown_raises(self):
+        medium = Medium()
+        with pytest.raises(SimulationError, match="unknown transmission"):
+            medium.end(tx(0))
+
+    def test_active_on(self):
+        medium = Medium()
+        a = tx(0, channel=3)
+        medium.begin(a)
+        assert medium.active_on(3) == [a]
+        assert medium.active_on(4) == []

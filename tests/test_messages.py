@@ -1,0 +1,38 @@
+"""Unit tests for repro.core.messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import HelloMessage
+from repro.exceptions import ConfigurationError
+
+
+class TestHelloMessage:
+    def test_basic(self):
+        msg = HelloMessage(sender=3, channels=frozenset({1, 2}))
+        assert msg.sender == 3
+        assert msg.channels == {1, 2}
+
+    def test_channels_coerced(self):
+        msg = HelloMessage(sender=0, channels={4})  # type: ignore[arg-type]
+        assert isinstance(msg.channels, frozenset)
+
+    def test_empty_channels_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty channel set"):
+            HelloMessage(sender=0, channels=frozenset())
+
+    def test_common_channels_is_intersection(self):
+        msg = HelloMessage(sender=0, channels=frozenset({1, 2, 3}))
+        assert msg.common_channels({2, 3, 4}) == {2, 3}
+        assert msg.common_channels({9}) == frozenset()
+
+    def test_size_bytes(self):
+        msg = HelloMessage(sender=0, channels=frozenset({1, 2, 3}))
+        assert msg.size_bytes == 4 + 2 * 3
+
+    def test_hashable_and_equal(self):
+        a = HelloMessage(0, frozenset({1}))
+        b = HelloMessage(0, frozenset({1}))
+        assert a == b
+        assert hash(a) == hash(b)

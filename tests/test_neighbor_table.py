@@ -1,0 +1,71 @@
+"""Unit tests for repro.core.neighbor_table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import HelloMessage
+from repro.core.neighbor_table import NeighborTable
+from repro.exceptions import SimulationError
+
+
+@pytest.fixture
+def table() -> NeighborTable:
+    return NeighborTable(owner_id=0, owner_channels={0, 1, 2})
+
+
+class TestRecordHello:
+    def test_first_hello_is_new(self, table):
+        assert table.record_hello(HelloMessage(1, frozenset({1, 5})), 10.0)
+        assert 1 in table
+        assert len(table) == 1
+
+    def test_channels_intersected_with_owner(self, table):
+        table.record_hello(HelloMessage(1, frozenset({1, 2, 9})), 0.0)
+        assert table.common_channels(1) == {1, 2}
+
+    def test_repeat_hello_not_new_and_counted(self, table):
+        msg = HelloMessage(1, frozenset({0}))
+        assert table.record_hello(msg, 1.0)
+        assert not table.record_hello(msg, 2.0)
+        assert table.record(1).hello_count == 2
+
+    def test_first_heard_time_kept(self, table):
+        msg = HelloMessage(1, frozenset({0}))
+        table.record_hello(msg, 5.0)
+        table.record_hello(msg, 9.0)
+        assert table.first_heard_at(1) == 5.0
+
+    def test_own_hello_is_engine_bug(self, table):
+        with pytest.raises(SimulationError, match="own hello"):
+            table.record_hello(HelloMessage(0, frozenset({0})), 0.0)
+
+
+class TestQueries:
+    def test_unknown_neighbor_raises(self, table):
+        with pytest.raises(SimulationError, match="not discovered"):
+            table.record(9)
+
+    def test_first_heard_none_for_unknown(self, table):
+        assert table.first_heard_at(9) is None
+
+    def test_neighbor_ids(self, table):
+        table.record_hello(HelloMessage(1, frozenset({0})), 0.0)
+        table.record_hello(HelloMessage(2, frozenset({1})), 1.0)
+        assert table.neighbor_ids == {1, 2}
+
+    def test_as_dict_is_paper_output(self, table):
+        table.record_hello(HelloMessage(1, frozenset({0, 9})), 0.0)
+        assert table.as_dict() == {1: frozenset({0})}
+
+    def test_total_hellos(self, table):
+        msg1 = HelloMessage(1, frozenset({0}))
+        msg2 = HelloMessage(2, frozenset({1}))
+        table.record_hello(msg1, 0.0)
+        table.record_hello(msg1, 1.0)
+        table.record_hello(msg2, 2.0)
+        assert table.total_hellos() == 3
+
+    def test_owner_metadata(self, table):
+        assert table.owner_id == 0
+        assert table.owner_channels == {0, 1, 2}

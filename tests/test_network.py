@@ -1,0 +1,163 @@
+"""Unit tests for repro.net.network (the M2HeW model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NetworkModelError
+from repro.net import M2HeWNetwork, NodeSpec
+
+
+def make(nodes, pairs, directed=False):
+    if directed:
+        return M2HeWNetwork(nodes, directed_adjacency=pairs)
+    return M2HeWNetwork(nodes, adjacency=pairs)
+
+
+class TestConstruction:
+    def test_duplicate_node_ids_rejected(self):
+        nodes = [NodeSpec(0, frozenset({0})), NodeSpec(0, frozenset({1}))]
+        with pytest.raises(NetworkModelError, match="duplicate"):
+            make(nodes, [])
+
+    def test_unknown_adjacency_node_rejected(self):
+        with pytest.raises(NetworkModelError, match="unknown node"):
+            make([NodeSpec(0, frozenset({0}))], [(0, 9)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(NetworkModelError, match="self-loop"):
+            make([NodeSpec(0, frozenset({0}))], [(0, 0)])
+
+    def test_needs_exactly_one_adjacency_kind(self):
+        nodes = [NodeSpec(0, frozenset({0}))]
+        with pytest.raises(NetworkModelError, match="exactly one"):
+            M2HeWNetwork(nodes)
+        with pytest.raises(NetworkModelError, match="exactly one"):
+            M2HeWNetwork(nodes, adjacency=[], directed_adjacency=[])
+
+
+class TestNeighborRelations:
+    def test_neighbors_require_shared_channel(self, tiny_pair):
+        assert tiny_pair.neighbors_on(0, 0) == {1}
+        assert tiny_pair.neighbors_on(0, 1) == {1}
+        # Channel 2 is only available to node 1, so no neighbors there.
+        assert tiny_pair.neighbors_on(1, 2) == frozenset()
+
+    def test_neighbors_on_unavailable_channel_empty(self, tiny_pair):
+        assert tiny_pair.neighbors_on(0, 99) == frozenset()
+
+    def test_degree_on(self, triangle):
+        # Channel 0 is shared by everyone: degree 2 at each node.
+        for nid in triangle.node_ids:
+            assert triangle.degree_on(nid, 0) == 2
+        # Channel 1 shared by 0 and 2 only.
+        assert triangle.degree_on(0, 1) == 1
+        assert triangle.degree_on(1, 1) == 0
+
+    def test_discoverable_neighbors(self, triangle):
+        assert triangle.discoverable_neighbors(0) == {1, 2}
+
+    def test_hears_unknown_node_raises(self, triangle):
+        with pytest.raises(NetworkModelError, match="unknown node"):
+            triangle.hears(99)
+
+    def test_radio_adjacent_pair_with_no_shared_channel_is_not_linked(self):
+        nodes = [NodeSpec(0, frozenset({0})), NodeSpec(1, frozenset({1}))]
+        network = make(nodes, [(0, 1)])
+        assert network.num_links == 0
+        assert network.discoverable_neighbors(0) == frozenset()
+        # But they are radio-adjacent.
+        assert network.hears(0) == {1}
+
+
+class TestLinks:
+    def test_symmetric_links_come_in_pairs(self, triangle):
+        keys = {link.key for link in triangle.links()}
+        for (a, b) in keys:
+            assert (b, a) in keys
+
+    def test_span_is_intersection(self, triangle):
+        assert triangle.span(0, 1) == {0}
+        assert triangle.span(0, 2) == {0, 1}
+        assert triangle.span(1, 2) == {0, 2}
+
+    def test_link_lookup_missing_raises(self, tiny_pair):
+        with pytest.raises(NetworkModelError, match="no link"):
+            tiny_pair.link(0, 0)
+
+    def test_num_links(self, triangle):
+        assert triangle.num_links == 6  # 3 undirected edges x 2 directions
+
+
+class TestPaperParameters:
+    def test_parameters_on_triangle(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.max_channel_set_size == 3  # node 2
+        assert triangle.max_degree == 2  # everyone on channel 0
+        # Worst span-ratio: link into node 2 with span {0} would not
+        # exist; actual worst is span {0} into node 0 or 1 (|A| = 2)
+        # vs spans of size 2 into node 2 (|A| = 3): 1/2 vs 2/3.
+        assert triangle.min_span_ratio == pytest.approx(0.5)
+
+    def test_rho_undefined_without_links(self):
+        nodes = [NodeSpec(0, frozenset({0})), NodeSpec(1, frozenset({1}))]
+        network = make(nodes, [(0, 1)])
+        with pytest.raises(NetworkModelError, match="rho"):
+            _ = network.min_span_ratio
+
+    def test_max_degree_zero_without_links(self):
+        network = make([NodeSpec(0, frozenset({0}))], [])
+        assert network.max_degree == 0
+
+    def test_universal_channel_set(self, triangle):
+        assert triangle.universal_channel_set == {0, 1, 2}
+
+    def test_parameter_summary_keys(self, triangle):
+        summary = triangle.parameter_summary()
+        assert set(summary) == {"N", "S", "Delta", "rho", "links"}
+
+    def test_validate_passes_on_good_network(self, triangle):
+        triangle.validate()
+
+
+class TestAsymmetric:
+    def test_directed_adjacency_one_way(self):
+        nodes = [NodeSpec(0, frozenset({0})), NodeSpec(1, frozenset({0}))]
+        network = make(nodes, [(0, 1)], directed=True)  # 1 hears 0
+        assert not network.is_symmetric
+        assert network.hears(1) == {0}
+        assert network.hears(0) == frozenset()
+        assert network.num_links == 1
+        assert network.link(0, 1).key == (0, 1)
+
+    def test_directed_degree_counts_in_neighbors(self):
+        nodes = [
+            NodeSpec(0, frozenset({0})),
+            NodeSpec(1, frozenset({0})),
+            NodeSpec(2, frozenset({0})),
+        ]
+        network = make(nodes, [(0, 2), (1, 2)], directed=True)
+        assert network.degree_on(2, 0) == 2
+        assert network.degree_on(0, 0) == 0
+
+
+class TestTransforms:
+    def test_restricted_to_subset(self, triangle):
+        sub = triangle.restricted_to([0, 2])
+        assert sub.node_ids == [0, 2]
+        assert sub.num_links == 2
+        assert sub.span(0, 2) == {0, 1}
+
+    def test_with_channel_assignment(self, tiny_pair):
+        new = tiny_pair.with_channel_assignment({0: {5}, 1: {5, 6}})
+        assert new.channels_of(0) == {5}
+        assert new.span(0, 1) == {5}
+        # Original untouched.
+        assert tiny_pair.channels_of(0) == {0, 1}
+
+    def test_iteration_order_sorted(self, triangle):
+        assert [n.node_id for n in triangle] == [0, 1, 2]
+
+    def test_contains(self, triangle):
+        assert 1 in triangle
+        assert 99 not in triangle

@@ -1,0 +1,61 @@
+"""Unit tests for repro.analysis.network_stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.network_stats import profile_network
+from repro.exceptions import NetworkModelError
+from repro.net import M2HeWNetwork, NodeSpec, build_network, channels, topology
+
+
+class TestProfileNetwork:
+    def test_homogeneous_clique(self):
+        net = build_network(topology.clique(4), channels.homogeneous(4, 3))
+        profile = profile_network(net)
+        assert profile.channel_set_sizes == {3: 4}
+        assert profile.span_sizes == {3: 12}
+        assert profile.mean_span_ratio == pytest.approx(1.0)
+        assert profile.heterogeneity_index == pytest.approx(0.0)
+        assert profile.asymmetric_links == 0
+        assert profile.isolated_nodes == ()
+        assert all(v == 12 for v in profile.per_channel_links.values())
+        assert all(v == 3 for v in profile.per_channel_max_degree.values())
+
+    def test_heterogeneous_triangle(self, triangle):
+        profile = profile_network(triangle)
+        assert profile.channel_set_sizes == {2: 2, 3: 1}
+        # Channel 0 shared by all three nodes: 6 links use it.
+        assert profile.per_channel_links[0] == 6
+        assert profile.per_channel_max_degree[0] == 2
+        assert 0 < profile.heterogeneity_index < 1
+
+    def test_isolated_node_listed(self):
+        nodes = [
+            NodeSpec(0, frozenset({0})),
+            NodeSpec(1, frozenset({0})),
+            NodeSpec(2, frozenset({1})),  # no shared channel with anyone
+        ]
+        net = M2HeWNetwork(nodes, adjacency=[(0, 1), (1, 2)])
+        profile = profile_network(net)
+        assert profile.isolated_nodes == (2,)
+
+    def test_asymmetric_links_counted(self):
+        nodes = [NodeSpec(0, frozenset({0})), NodeSpec(1, frozenset({0}))]
+        net = M2HeWNetwork(nodes, directed_adjacency=[(0, 1)])
+        assert profile_network(net).asymmetric_links == 1
+
+    def test_span_ratios_sorted(self, triangle):
+        ratios = profile_network(triangle).span_ratios
+        assert list(ratios) == sorted(ratios)
+        assert ratios[0] == pytest.approx(triangle.min_span_ratio)
+
+    def test_as_rows(self, triangle):
+        rows = profile_network(triangle).as_rows()
+        assert {r["channel"] for r in rows} == {0, 1, 2}
+        assert all({"links_using", "max_degree"} <= set(r) for r in rows)
+
+    def test_no_links_rejected(self):
+        net = M2HeWNetwork([NodeSpec(0, frozenset({0}))], adjacency=[])
+        with pytest.raises(NetworkModelError, match="no links"):
+            profile_network(net)

@@ -1,0 +1,64 @@
+"""Unit tests for repro.net.node."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NetworkModelError
+from repro.net.node import NodeSpec
+
+
+class TestNodeSpec:
+    def test_basic_construction(self):
+        node = NodeSpec(3, frozenset({1, 2}))
+        assert node.node_id == 3
+        assert node.channels == {1, 2}
+        assert node.position is None
+
+    def test_channel_count(self):
+        assert NodeSpec(0, frozenset({5, 7, 9})).channel_count == 3
+
+    def test_channels_coerced_to_frozenset(self):
+        node = NodeSpec(0, {1, 2})  # type: ignore[arg-type]
+        assert isinstance(node.channels, frozenset)
+
+    def test_empty_channels_rejected(self):
+        with pytest.raises(NetworkModelError, match="empty available channel set"):
+            NodeSpec(0, frozenset())
+
+    def test_negative_node_id_rejected(self):
+        with pytest.raises(NetworkModelError, match="non-negative"):
+            NodeSpec(-1, frozenset({0}))
+
+    def test_negative_channel_rejected(self):
+        with pytest.raises(NetworkModelError, match="negative channel"):
+            NodeSpec(0, frozenset({-3, 1}))
+
+    def test_position_coerced_to_float_tuple(self):
+        node = NodeSpec(0, frozenset({0}), position=(1, 2))
+        assert node.position == (1.0, 2.0)
+        assert isinstance(node.position[0], float)
+
+    def test_with_channels_preserves_identity_and_position(self):
+        node = NodeSpec(4, frozenset({0}), position=(0.5, 0.5))
+        other = node.with_channels({1, 2})
+        assert other.node_id == 4
+        assert other.position == (0.5, 0.5)
+        assert other.channels == {1, 2}
+        assert node.channels == {0}  # original untouched
+
+    def test_distance(self):
+        a = NodeSpec(0, frozenset({0}), position=(0.0, 0.0))
+        b = NodeSpec(1, frozenset({0}), position=(3.0, 4.0))
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_distance_requires_positions(self):
+        a = NodeSpec(0, frozenset({0}))
+        b = NodeSpec(1, frozenset({0}), position=(1.0, 1.0))
+        with pytest.raises(NetworkModelError, match="positions"):
+            a.distance_to(b)
+
+    def test_frozen(self):
+        node = NodeSpec(0, frozenset({0}))
+        with pytest.raises(AttributeError):
+            node.node_id = 5  # type: ignore[misc]

@@ -1,0 +1,75 @@
+"""Unit tests for repro.core.params."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import (
+    MAX_DRIFT_RATE,
+    stage_length,
+    validate_delta_est,
+    validate_drift,
+    validate_epsilon,
+    validate_frame_length,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestValidateDeltaEst:
+    def test_accepts_two_and_above(self):
+        assert validate_delta_est(2) == 2
+        assert validate_delta_est(1000) == 1000
+
+    @pytest.mark.parametrize("bad", [1, 0, -3])
+    def test_rejects_below_two(self, bad):
+        with pytest.raises(ConfigurationError):
+            validate_delta_est(bad)
+
+    @pytest.mark.parametrize("bad", [2.0, "2", True])
+    def test_rejects_non_int(self, bad):
+        with pytest.raises(ConfigurationError):
+            validate_delta_est(bad)  # type: ignore[arg-type]
+
+
+class TestValidateEpsilon:
+    def test_open_interval(self):
+        assert validate_epsilon(0.1) == 0.1
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                validate_epsilon(bad)
+
+
+class TestValidateDrift:
+    def test_basic_range(self):
+        assert validate_drift(0.0) == 0.0
+        assert validate_drift(0.5) == 0.5
+        with pytest.raises(ConfigurationError):
+            validate_drift(-0.1)
+        with pytest.raises(ConfigurationError):
+            validate_drift(1.0)
+
+    def test_assumption_one_enforced(self):
+        assert validate_drift(MAX_DRIFT_RATE, enforce_assumption=True) == pytest.approx(
+            1.0 / 7.0
+        )
+        with pytest.raises(ConfigurationError, match="Assumption 1"):
+            validate_drift(0.2, enforce_assumption=True)
+
+    def test_assumption_constant(self):
+        assert MAX_DRIFT_RATE == pytest.approx(1.0 / 7.0)
+
+
+class TestFrameLength:
+    def test_positive_only(self):
+        assert validate_frame_length(2.5) == 2.5
+        with pytest.raises(ConfigurationError):
+            validate_frame_length(0.0)
+
+
+class TestStageLength:
+    @pytest.mark.parametrize(
+        "delta_est,expected",
+        [(2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4), (17, 5)],
+    )
+    def test_ceil_log2(self, delta_est, expected):
+        assert stage_length(delta_est) == expected

@@ -1,0 +1,99 @@
+"""Unit tests for repro.net.primary_users."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.net import topology
+from repro.net.primary_users import (
+    PrimaryUser,
+    PrimaryUserField,
+    availability_from_primary_users,
+)
+
+
+class TestPrimaryUser:
+    def test_blocks_inside_radius(self):
+        pu = PrimaryUser(position=(0.5, 0.5), channel=2, radius=0.3)
+        assert pu.blocks((0.5, 0.7))
+        assert not pu.blocks((0.5, 0.9))
+
+    def test_blocks_on_boundary(self):
+        pu = PrimaryUser(position=(0.0, 0.0), channel=0, radius=1.0)
+        assert pu.blocks((1.0, 0.0))
+
+    def test_invalid_radius(self):
+        with pytest.raises(ConfigurationError, match="radius"):
+            PrimaryUser(position=(0, 0), channel=0, radius=0.0)
+
+    def test_invalid_channel(self):
+        with pytest.raises(ConfigurationError, match="channel"):
+            PrimaryUser(position=(0, 0), channel=-1, radius=1.0)
+
+
+class TestPrimaryUserField:
+    def test_channel_outside_universal_rejected(self):
+        with pytest.raises(ConfigurationError, match="outside universal"):
+            PrimaryUserField(
+                universal_size=2,
+                users=[PrimaryUser(position=(0, 0), channel=2, radius=0.5)],
+            )
+
+    def test_available_channels_subtracts_blockers(self):
+        field = PrimaryUserField(
+            universal_size=4,
+            users=[
+                PrimaryUser(position=(0.0, 0.0), channel=1, radius=0.5),
+                PrimaryUser(position=(1.0, 1.0), channel=3, radius=0.5),
+            ],
+        )
+        assert field.available_channels((0.0, 0.1)) == {0, 2, 3}
+        assert field.available_channels((1.0, 0.9)) == {0, 1, 2}
+        assert field.available_channels((0.5, 0.5)) == {0, 1, 2, 3}
+
+    def test_random_field_deterministic(self):
+        a = PrimaryUserField.random(6, 5, 0.2, np.random.default_rng(3))
+        b = PrimaryUserField.random(6, 5, 0.2, np.random.default_rng(3))
+        assert [(u.position, u.channel) for u in a.users] == [
+            (u.position, u.channel) for u in b.users
+        ]
+
+    def test_random_field_count(self, rng):
+        field = PrimaryUserField.random(6, 7, 0.2, rng)
+        assert len(field.users) == 7
+
+
+class TestAvailabilityFromPrimaryUsers:
+    def test_requires_positions(self, rng):
+        topo = topology.clique(3)  # no positions
+        field = PrimaryUserField(universal_size=3, users=[])
+        with pytest.raises(ConfigurationError, match="positions"):
+            availability_from_primary_users(topo, field)
+
+    def test_no_users_gives_universal_everywhere(self):
+        topo = topology.grid(2, 2)
+        field = PrimaryUserField(universal_size=3, users=[])
+        a = availability_from_primary_users(topo, field)
+        assert all(a[i] == {0, 1, 2} for i in range(4))
+
+    def test_spatial_heterogeneity(self):
+        topo = topology.line(3)  # positions (0,0), (1,0), (2,0)
+        field = PrimaryUserField(
+            universal_size=2,
+            users=[PrimaryUser(position=(0.0, 0.0), channel=1, radius=0.5)],
+        )
+        a = availability_from_primary_users(topo, field)
+        assert a[0] == {0}
+        assert a[1] == {0, 1}
+        assert a[2] == {0, 1}
+
+    def test_min_channels_floor_enforced(self):
+        topo = topology.line(2)
+        field = PrimaryUserField(
+            universal_size=1,
+            users=[PrimaryUser(position=(0.0, 0.0), channel=0, radius=5.0)],
+        )
+        with pytest.raises(ConfigurationError, match="too dense"):
+            availability_from_primary_users(topo, field, min_channels=1)

@@ -1,0 +1,118 @@
+"""Unit tests for repro.analysis.progress."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.progress import (
+    CoverageCurve,
+    coverage_curve,
+    mean_coverage_curve,
+    reliability_curve,
+    time_to_fraction,
+)
+from repro.exceptions import ConfigurationError
+from repro.sim.results import DiscoveryResult
+
+
+def make_result(times, starts=None):
+    coverage = {(0, i + 1): t for i, t in enumerate(times)}
+    return DiscoveryResult(
+        time_unit="slots",
+        coverage=coverage,
+        horizon=100.0,
+        completed=all(t is not None for t in times),
+        neighbor_tables={},
+        start_times=starts or {0: 0.0},
+        network_params={},
+    )
+
+
+class TestCoverageCurveType:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoverageCurve((1.0, 1.0), (0.5, 1.0))  # non-increasing times
+        with pytest.raises(ConfigurationError):
+            CoverageCurve((1.0, 2.0), (0.9, 0.5))  # decreasing fractions
+        with pytest.raises(ConfigurationError):
+            CoverageCurve((1.0,), (0.5, 1.0))  # misaligned
+
+    def test_value_at(self):
+        curve = CoverageCurve((1.0, 3.0), (0.5, 1.0))
+        assert curve.value_at(0.5) == 0.0
+        assert curve.value_at(1.0) == 0.5
+        assert curve.value_at(2.9) == 0.5
+        assert curve.value_at(10.0) == 1.0
+
+    def test_first_time_reaching(self):
+        curve = CoverageCurve((1.0, 3.0), (0.5, 1.0))
+        assert curve.first_time_reaching(0.4) == 1.0
+        assert curve.first_time_reaching(1.0) == 3.0
+
+    def test_first_time_unreached(self):
+        curve = CoverageCurve((1.0,), (0.5,))
+        assert curve.first_time_reaching(0.9) is None
+
+    def test_area_above(self):
+        # Uncovered until t=2 (area 2), half-covered until t=4 (area 1),
+        # fully covered after.
+        curve = CoverageCurve((2.0, 4.0), (0.5, 1.0))
+        assert curve.area_above(6.0) == pytest.approx(3.0)
+
+    def test_area_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoverageCurve((1.0,), (1.0,)).area_above(0.0)
+
+
+class TestCoverageCurveFromResult:
+    def test_steps(self):
+        result = make_result([2.0, 2.0, 6.0, None])
+        curve = coverage_curve(result)
+        assert curve.times == (2.0, 6.0)
+        assert curve.fractions == (0.5, 0.75)
+
+    def test_complete_run_reaches_one(self):
+        curve = coverage_curve(make_result([1.0, 5.0]))
+        assert curve.fractions[-1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coverage_curve(make_result([]))
+
+
+class TestAggregates:
+    def test_mean_curve(self):
+        a = make_result([2.0, 4.0])
+        b = make_result([4.0, 8.0])
+        curve = mean_coverage_curve([a, b], grid=[1.0, 3.0, 5.0, 9.0])
+        assert curve.value_at(1.0) == 0.0
+        assert curve.value_at(3.0) == pytest.approx(0.25)  # a half, b zero
+        assert curve.value_at(5.0) == pytest.approx(0.75)
+        assert curve.value_at(9.0) == 1.0
+
+    def test_reliability_curve(self):
+        trials = [make_result([3.0]), make_result([7.0]), make_result([None])]
+        curve = reliability_curve(trials, grid=[1.0, 5.0, 10.0])
+        assert curve.fractions == (0.0, pytest.approx(1 / 3), pytest.approx(2 / 3))
+
+    def test_reliability_after_all_started(self):
+        r = make_result([20.0], starts={0: 15.0})
+        curve = reliability_curve([r], grid=[6.0], after_all_started=True)
+        assert curve.fractions == (1.0,)
+
+    def test_time_to_fraction(self):
+        trials = [make_result([2.0, 4.0]), make_result([6.0, 8.0])]
+        assert time_to_fraction(trials, 1.0) == pytest.approx(6.0)  # median of 4, 8
+        assert time_to_fraction(trials, 0.5) == pytest.approx(4.0)  # median of 2, 6
+
+    def test_time_to_fraction_unreached(self):
+        trials = [make_result([2.0, None])]
+        assert time_to_fraction(trials, 1.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mean_coverage_curve([], grid=[1.0])
+        with pytest.raises(ConfigurationError):
+            mean_coverage_curve([make_result([1.0])], grid=[])
+        with pytest.raises(ConfigurationError):
+            reliability_curve([], grid=[1.0])

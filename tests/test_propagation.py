@@ -1,0 +1,261 @@
+"""Tests for channel-dependent propagation (§V extension (c))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NetworkModelError
+from repro.net import M2HeWNetwork, NodeSpec, network_from_dict, network_to_dict
+from repro.net.propagation import (
+    build_channel_dependent_network,
+    channel_dependent_adjacency,
+    channel_radius,
+)
+from repro.net.topology import Topology, line
+from repro.sim.runner import run_asynchronous, run_synchronous
+
+
+class TestChannelRadius:
+    def test_linear_decay(self):
+        assert channel_radius(0, 4, 1.0, 0.5) == pytest.approx(1.0)
+        assert channel_radius(3, 4, 1.0, 0.5) == pytest.approx(0.5)
+        assert channel_radius(1, 4, 1.0, 0.5) == pytest.approx(1.0 - 0.5 / 3)
+
+    def test_zero_decay_uniform(self):
+        for c in range(5):
+            assert channel_radius(c, 5, 0.7, 0.0) == pytest.approx(0.7)
+
+    def test_single_channel(self):
+        assert channel_radius(0, 1, 2.0, 0.9) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            channel_radius(5, 4, 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            channel_radius(0, 4, 0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            channel_radius(0, 4, 1.0, 1.0)
+
+
+class TestChannelDependentAdjacency:
+    def test_low_channels_reach_further(self):
+        positions = {0: (0.0, 0.0), 1: (0.8, 0.0)}
+        adjacency = channel_dependent_adjacency(
+            positions, num_channels=2, base_radius=1.0, range_decay=0.5
+        )
+        assert adjacency[0] == [(0, 1)]  # radius 1.0 reaches 0.8
+        assert adjacency[1] == []  # radius 0.5 does not
+
+
+class TestChannelDependentNetwork:
+    def net(self):
+        # Three collinear nodes at x = 0, 1, 2; channels {0, 1}; channel 0
+        # reaches 2.5 (all pairs), channel 1 reaches 1.25 (adjacent only).
+        nodes = [NodeSpec(i, frozenset({0, 1}), position=(float(i), 0.0)) for i in range(3)]
+        channel_adjacency = {
+            0: [(0, 1), (1, 2), (0, 2)],
+            1: [(0, 1), (1, 2)],
+        }
+        return M2HeWNetwork(nodes, channel_adjacency=channel_adjacency)
+
+    def test_span_differs_per_pair(self):
+        net = self.net()
+        assert net.span(0, 1) == {0, 1}
+        assert net.span(0, 2) == {0}  # only the long-range channel
+
+    def test_span_subset_of_intersection(self):
+        net = self.net()
+        net.validate()
+
+    def test_neighbors_per_channel(self):
+        net = self.net()
+        assert net.neighbors_on(0, 0) == {1, 2}
+        assert net.neighbors_on(0, 1) == {1}
+        assert net.hears_on(0, 1) == {1}
+        assert net.hears(0) == {1, 2}
+
+    def test_rho_reflects_partial_spans(self):
+        net = self.net()
+        # Worst link: (0, 2) with span {0} and |A(2)| = 2.
+        assert net.min_span_ratio == pytest.approx(0.5)
+
+    def test_flags(self):
+        net = self.net()
+        assert net.is_channel_dependent
+        assert net.is_symmetric
+
+    def test_serialization_roundtrip(self):
+        net = self.net()
+        restored = network_from_dict(network_to_dict(net))
+        assert restored.is_channel_dependent
+        assert restored.span(0, 2) == {0}
+        assert restored.channel_adjacency_pairs() == net.channel_adjacency_pairs()
+
+    def test_restriction(self):
+        sub = self.net().restricted_to([0, 2])
+        assert sub.span(0, 2) == {0}
+        assert sub.num_links == 2
+
+    def test_with_channel_assignment(self):
+        new = self.net().with_channel_assignment({0: {0}, 1: {0}, 2: {0, 1}})
+        assert new.span(0, 1) == {0}
+        assert new.is_channel_dependent
+
+    def test_channel_adjacency_pairs_requires_mode(self):
+        plain = M2HeWNetwork(
+            [NodeSpec(0, frozenset({0})), NodeSpec(1, frozenset({0}))],
+            adjacency=[(0, 1)],
+        )
+        with pytest.raises(NetworkModelError, match="channel-dependent"):
+            plain.channel_adjacency_pairs()
+
+    def test_exactly_one_mode_enforced(self):
+        nodes = [NodeSpec(0, frozenset({0}))]
+        with pytest.raises(NetworkModelError, match="exactly one"):
+            M2HeWNetwork(nodes, adjacency=[], channel_adjacency={})
+
+
+class TestBuilder:
+    def test_build_from_line(self):
+        topo = line(3)  # positions x = 0, 1, 2
+        assignment = {i: {0, 1} for i in range(3)}
+        net = build_channel_dependent_network(
+            topo, assignment, base_radius=2.5, range_decay=0.6
+        )
+        # channel 0 radius 2.5 (all pairs); channel 1 radius 1.0 (adjacent).
+        assert net.span(0, 2) == {0}
+        assert net.span(0, 1) == {0, 1}
+
+    def test_requires_positions(self):
+        from repro.net.topology import clique
+
+        with pytest.raises(ConfigurationError, match="positions"):
+            build_channel_dependent_network(
+                clique(3), {i: {0} for i in range(3)}, 1.0, 0.1
+            )
+
+    def test_missing_assignment(self):
+        with pytest.raises(ConfigurationError, match="missing node"):
+            build_channel_dependent_network(line(3), {0: {0}}, 1.0, 0.1)
+
+    def test_zero_decay_matches_uniform_model(self):
+        from repro.net import build_network
+        from repro.net.topology import random_geometric
+
+        rng = np.random.default_rng(4)
+        topo = random_geometric(10, radius=0.4, rng=rng)
+        assignment = {i: {0, 1, 2} for i in range(10)}
+        uniform = build_network(topo, assignment)
+        diverse = build_channel_dependent_network(
+            topo, assignment, base_radius=0.4, range_decay=0.0
+        )
+        assert {l.key for l in uniform.links()} == {l.key for l in diverse.links()}
+        for link in uniform.links():
+            assert diverse.span(*link.key) == link.span
+
+
+class TestDiscoveryOnChannelDependentNetworks:
+    def net(self):
+        nodes = [
+            NodeSpec(i, frozenset({0, 1}), position=(float(i), 0.0))
+            for i in range(4)
+        ]
+        channel_adjacency = {
+            0: [(0, 1), (1, 2), (2, 3), (0, 2), (1, 3)],
+            1: [(0, 1), (1, 2), (2, 3)],
+        }
+        return M2HeWNetwork(nodes, channel_adjacency=channel_adjacency)
+
+    def test_sync_discovery_complete_with_bracketed_channels(self):
+        # Under diverse propagation the hello still claims A(v), so the
+        # recorded common set is an upper bound on the true span; the
+        # channels actually heard on are a confirmed lower bound ([23]).
+        net = self.net()
+        for engine in ("fast", "reference"):
+            result = run_synchronous(
+                net,
+                "algorithm3",
+                seed=3,
+                max_slots=60_000,
+                delta_est=8,
+                engine=engine,
+            )
+            assert result.completed, engine
+            for nid in net.node_ids:
+                truth = net.discoverable_neighbors(nid)
+                table = result.neighbor_tables[nid]
+                assert frozenset(table) == truth, engine
+                for v, recorded in table.items():
+                    span = net.span(v, nid)
+                    claimed = net.channels_of(v) & net.channels_of(nid)
+                    assert span <= recorded <= claimed, (engine, v, nid)
+
+    def test_reference_engine_confirms_heard_channels(self):
+        from repro.core.registry import make_sync_factory
+        from repro.sim.rng import RngFactory
+        from repro.sim.slotted import SlottedSimulator
+        from repro.sim.stopping import StoppingCondition
+
+        net = self.net()
+        sim = SlottedSimulator(
+            net,
+            make_sync_factory("algorithm3", delta_est=8),
+            RngFactory(3),
+        )
+        sim.run(StoppingCondition.slots(60_000))
+        for nid, proto in sim.protocols.items():
+            for v in proto.neighbor_table.neighbor_ids:
+                confirmed = proto.neighbor_table.confirmed_channels(v)
+                assert confirmed  # heard at least once somewhere
+                assert confirmed <= net.span(v, nid)
+
+    def test_async_discovery_complete_with_bracketed_channels(self):
+        net = self.net()
+        result = run_asynchronous(
+            net,
+            seed=4,
+            delta_est=8,
+            max_frames_per_node=120_000,
+            drift_bound=0.05,
+            start_spread=3.0,
+        )
+        assert result.completed
+        for nid in net.node_ids:
+            truth = net.discoverable_neighbors(nid)
+            table = result.neighbor_tables[nid]
+            assert frozenset(table) == truth
+            for v, recorded in table.items():
+                assert net.span(v, nid) <= recorded
+
+    def test_interference_is_per_channel(self):
+        # Node 3 transmits on channel 0 and is audible to node 0 on
+        # channel 0 only via... actually (0,3) not adjacent on 0? pairs
+        # include (1,3) not (0,3): so 3's transmissions never reach 0.
+        # Use the reference engine with scripts to pin the semantics.
+        from repro.core.base import SlotDecision, SynchronousProtocol
+        from repro.sim.rng import RngFactory
+        from repro.sim.slotted import SlottedSimulator
+        from repro.sim.stopping import StoppingCondition
+
+        net = self.net()
+
+        class Scripted(SynchronousProtocol):
+            actions = {
+                0: SlotDecision.listen(0),
+                1: SlotDecision.transmit(0),
+                3: SlotDecision.transmit(0),
+                2: SlotDecision.quiet(),
+            }
+
+            def decide_slot(self, local_slot):
+                return self.actions[self.node_id]
+
+        sim = SlottedSimulator(
+            net, lambda nid, chs, rng: Scripted(nid, chs, rng), RngFactory(0)
+        )
+        result = sim.run(StoppingCondition.slots(1, stop_on_full_coverage=False))
+        # Node 3's transmission does not reach node 0 on channel 0
+        # (no (0,3) adjacency on that channel), so node 1's hello is
+        # received clear despite the simultaneous transmission.
+        assert result.coverage[(1, 0)] == 0.0

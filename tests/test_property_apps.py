@@ -1,0 +1,131 @@
+"""Property-based tests for the downstream applications."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.apps.clustering import lowest_id_clusters
+from repro.apps.link_scheduling import schedule_links
+
+
+@st.composite
+def random_tables(draw):
+    """Random symmetric neighbor tables over <= 8 nodes, <= 3 channels."""
+    n = draw(st.integers(2, 8))
+    all_pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(st.sets(st.sampled_from(all_pairs)))
+    tables = {i: {} for i in range(n)}
+    for u, v in chosen:
+        chans = draw(
+            st.frozensets(st.integers(0, 2), min_size=1, max_size=3)
+        )
+        tables[u][v] = chans
+        tables[v][u] = chans
+    return tables
+
+
+class TestClusteringProperties:
+    @given(random_tables())
+    @settings(max_examples=150, deadline=None)
+    def test_every_node_assigned(self, tables):
+        clusters = lowest_id_clusters(tables)
+        assert set(clusters.head_of) == set(tables)
+
+    @given(random_tables())
+    @settings(max_examples=150, deadline=None)
+    def test_heads_map_to_themselves(self, tables):
+        clusters = lowest_id_clusters(tables)
+        for head, members in clusters.members_of.items():
+            assert clusters.head_of[head] == head
+            assert head in members
+
+    @given(random_tables())
+    @settings(max_examples=150, deadline=None)
+    def test_members_partition_nodes(self, tables):
+        clusters = lowest_id_clusters(tables)
+        seen = []
+        for members in clusters.members_of.values():
+            seen.extend(members)
+        assert sorted(seen) == sorted(tables)
+
+    @given(random_tables())
+    @settings(max_examples=150, deadline=None)
+    def test_members_discovered_their_head(self, tables):
+        clusters = lowest_id_clusters(tables)
+        for nid, head in clusters.head_of.items():
+            if nid != head:
+                assert head in tables[nid]
+                assert nid in tables[head]
+
+    @given(random_tables())
+    @settings(max_examples=150, deadline=None)
+    def test_head_has_smallest_id_in_cluster(self, tables):
+        clusters = lowest_id_clusters(tables)
+        for head, members in clusters.members_of.items():
+            assert head == min(members)
+
+
+def has_bidirectional_link(tables):
+    return any(
+        v in tables and u in tables[v] and (tables[u][v] & tables[v][u])
+        for u in tables
+        for v in tables[u]
+    )
+
+
+class TestSchedulingProperties:
+    @given(random_tables())
+    @settings(max_examples=150, deadline=None)
+    def test_schedule_internally_consistent(self, tables):
+        if not has_bidirectional_link(tables):
+            return
+        schedule = schedule_links(tables)
+        # Every bidirectional link scheduled exactly once; slots valid.
+        for (t, r), (slot, channel) in schedule.assignment.items():
+            assert 0 <= slot < schedule.num_slots
+            assert channel in (tables[t][r] & tables[r][t])
+
+    @given(random_tables())
+    @settings(max_examples=150, deadline=None)
+    def test_no_node_double_booked_per_slot(self, tables):
+        if not has_bidirectional_link(tables):
+            return
+        schedule = schedule_links(tables)
+        for slot in range(schedule.num_slots):
+            nodes = [
+                n for (link, _) in schedule.links_in_slot(slot) for n in link
+            ]
+            assert len(nodes) == len(set(nodes))
+
+    @given(random_tables())
+    @settings(max_examples=150, deadline=None)
+    def test_no_known_interference_within_slot(self, tables):
+        if not has_bidirectional_link(tables):
+            return
+        schedule = schedule_links(tables)
+        for slot in range(schedule.num_slots):
+            active = schedule.links_in_slot(slot)
+            for i, ((t1, r1), c1) in enumerate(active):
+                for ((t2, r2), c2) in active[i + 1 :]:
+                    if c1 != c2:
+                        continue
+                    # Per the discovered tables, neither transmitter is a
+                    # same-channel neighbor of the other link's receiver.
+                    assert not (
+                        t1 in tables.get(r2, {})
+                        and c1 in tables[r2].get(t1, frozenset())
+                    )
+                    assert not (
+                        t2 in tables.get(r1, {})
+                        and c1 in tables[r1].get(t2, frozenset())
+                    )
+
+    @given(random_tables())
+    @settings(max_examples=100, deadline=None)
+    def test_every_slot_nonempty(self, tables):
+        if not has_bidirectional_link(tables):
+            return
+        schedule = schedule_links(tables)
+        for slot in range(schedule.num_slots):
+            assert schedule.links_in_slot(slot)

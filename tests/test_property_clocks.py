@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for the drifting clock models."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.sim.clock import (
+    ConstantDriftClock,
+    PiecewiseDriftClock,
+    RandomWalkDriftClock,
+    SinusoidalDriftClock,
+)
+
+
+@st.composite
+def piecewise_clocks(draw):
+    bound = draw(st.floats(min_value=0.0, max_value=0.3))
+    segments = draw(st.integers(min_value=1, max_value=5))
+    breakpoints = sorted(
+        draw(
+            st.sets(
+                st.floats(min_value=0.1, max_value=50.0),
+                min_size=segments - 1,
+                max_size=segments - 1,
+            )
+        )
+    )
+    rates = [
+        1.0 + draw(st.floats(min_value=-bound, max_value=bound))
+        for _ in range(segments)
+    ]
+    offset = draw(st.floats(min_value=-100.0, max_value=100.0))
+    return PiecewiseDriftClock(breakpoints, rates, offset=offset, drift_bound=bound)
+
+
+class TestClockProperties:
+    @given(piecewise_clocks(), st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_piecewise(self, clock, t):
+        local = clock.local_from_real(t)
+        assert abs(clock.real_from_local(local) - t) < 1e-6
+
+    @given(
+        piecewise_clocks(),
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=1e-6, max_value=50.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bounded_drift_eq1(self, clock, t, dt):
+        # Paper eq. (1): (1-d) dt <= C(t+dt) - C(t) <= (1+d) dt.
+        delta = clock.drift_bound
+        elapsed = clock.elapsed_local(t, t + dt)
+        assert (1 - delta) * dt - 1e-9 <= elapsed <= (1 + delta) * dt + 1e-9
+
+    @given(
+        piecewise_clocks(),
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=1e-3, max_value=10.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_strictly_monotone(self, clock, t, dt):
+        assert clock.local_from_real(t + dt) > clock.local_from_real(t)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.3),
+        st.floats(min_value=-0.3, max_value=0.3),
+        st.floats(min_value=0.0, max_value=50.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_constant_clock_roundtrip(self, bound, drift, t):
+        drift = max(-bound, min(bound, drift))
+        clock = ConstantDriftClock(drift, offset=3.0, drift_bound=bound)
+        assert abs(clock.real_from_local(clock.local_from_real(t)) - t) < 1e-9
+
+    @given(
+        st.floats(min_value=0.01, max_value=1.0 / 7.0),
+        st.floats(min_value=1.0, max_value=40.0),
+        st.floats(min_value=0.0, max_value=6.28),
+        st.floats(min_value=0.0, max_value=60.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sinusoidal_roundtrip_and_bound(self, amp, period, phase, t):
+        clock = SinusoidalDriftClock(amp, period, phase=phase, offset=-5.0)
+        local = clock.local_from_real(t)
+        assert abs(clock.real_from_local(local) - t) < 1e-5
+        elapsed = clock.elapsed_local(t, t + 1.0)
+        assert (1 - amp) - 1e-9 <= elapsed <= (1 + amp) + 1e-9
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.floats(min_value=0.01, max_value=1.0 / 7.0),
+        st.floats(min_value=0.0, max_value=80.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_walk_frame_lengths_within_eq10(self, seed, bound, start):
+        # Eq. (10): frame real length within [L/(1+d), L/(1-d)].
+        clock = RandomWalkDriftClock(
+            bound, np.random.default_rng(seed), mean_segment=3.0
+        )
+        L = 1.0
+        local_start = clock.local_from_real(start)
+        a = clock.real_from_local(local_start)
+        b = clock.real_from_local(local_start + L)
+        length = b - a
+        assert L / (1 + bound) - 1e-9 <= length <= L / (1 - bound) + 1e-9

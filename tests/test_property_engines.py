@@ -1,0 +1,174 @@
+"""Property-based invariants of the engines, plus closed-form anchors.
+
+Two kinds of check:
+
+* **invariants** over randomized runs — coverage times never precede
+  both endpoints' starts, tables never exceed ground truth, counter
+  arithmetic is conserved;
+* **closed-form anchors** — on an isolated pair the per-slot coverage
+  probability has an exact formula, so measured mean discovery time
+  must match the geometric expectation within sampling error, for both
+  synchronous engines.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.stats import mean
+from repro.analysis.theory import (
+    exact_pair_coverage_probability,
+    expected_pair_discovery_slots,
+)
+from repro.net import M2HeWNetwork, NodeSpec
+from repro.sim.runner import run_synchronous, run_trials
+
+
+@st.composite
+def pair_configs(draw):
+    tx_n = draw(st.integers(1, 6))
+    rx_n = draw(st.integers(1, 6))
+    span = draw(st.integers(1, min(tx_n, rx_n)))
+    return tx_n, rx_n, span
+
+
+class TestExactPairFormula:
+    @given(pair_configs())
+    @settings(max_examples=100, deadline=None)
+    def test_probability_in_unit_interval(self, cfg):
+        tx_n, rx_n, span = cfg
+        q = exact_pair_coverage_probability(tx_n, rx_n, span, 0.5, 0.5)
+        assert 0.0 < q <= 1.0
+
+    def test_known_value(self):
+        # 2 channels each, full span, p = 1/2 both: q = 2 * (1/4)*(1/4) = 1/8.
+        q = exact_pair_coverage_probability(2, 2, 2, 0.5, 0.5)
+        assert q == pytest.approx(1 / 8)
+
+    def test_expected_slots_inverse(self):
+        assert expected_pair_discovery_slots(2, 2, 2, 0.5, 0.5) == pytest.approx(8.0)
+
+
+def make_pair(tx_channels, rx_channels):
+    """Two adjacent nodes with the given channel sets."""
+    return M2HeWNetwork(
+        [
+            NodeSpec(0, frozenset(tx_channels)),
+            NodeSpec(1, frozenset(rx_channels)),
+        ],
+        adjacency=[(0, 1)],
+    )
+
+
+class TestEngineMatchesClosedForm:
+    """Mean measured discovery time ≈ 1/q on an isolated pair."""
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_pair_mean_matches_geometric(self, engine):
+        # A(0) = {0,1}, A(1) = {0,1,2}; algorithm 3 with delta_est=4:
+        # p0 = 1/2, p1 = min(1/2, 3/4) = 1/2; span = 2.
+        net = make_pair((0, 1), (0, 1, 2))
+        q = exact_pair_coverage_probability(2, 3, 2, 0.5, 0.5)
+        trials = 300
+        results = run_trials(
+            lambda seed: run_synchronous(
+                net,
+                "algorithm3",
+                seed=seed,
+                max_slots=10_000,
+                delta_est=4,
+                engine=engine,
+            ),
+            num_trials=trials,
+            base_seed=99,
+        )
+        assert all(r.completed for r in results)
+        times = [r.coverage[(0, 1)] + 1 for r in results]  # slots consumed
+        expected = 1.0 / q
+        # Standard error of a geometric mean estimate ~ expected/sqrt(n).
+        tolerance = 4 * expected / np.sqrt(trials)
+        assert mean(times) == pytest.approx(expected, abs=tolerance)
+
+
+@st.composite
+def random_runs(draw):
+    n = draw(st.integers(2, 6))
+    nodes = []
+    for nid in range(n):
+        extra = draw(st.sets(st.integers(0, 3), max_size=3))
+        nodes.append(NodeSpec(nid, frozenset({0} | extra)))
+    all_pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(st.sets(st.sampled_from(all_pairs), min_size=1))
+    offsets = {
+        nid: draw(st.integers(0, 40)) for nid in range(n)
+    }
+    seed = draw(st.integers(0, 10_000))
+    return M2HeWNetwork(nodes, adjacency=sorted(chosen)), offsets, seed
+
+
+class TestRunInvariants:
+    @given(random_runs(), st.sampled_from(["fast", "reference"]))
+    @settings(max_examples=30, deadline=None)
+    def test_coverage_never_precedes_starts(self, run_cfg, engine):
+        net, offsets, seed = run_cfg
+        result = run_synchronous(
+            net,
+            "algorithm3",
+            seed=seed,
+            max_slots=5000,
+            delta_est=4,
+            start_offsets=offsets,
+            engine=engine,
+        )
+        for (v, u), t in result.coverage.items():
+            if t is not None:
+                assert t >= offsets[v]
+                assert t >= offsets[u]
+
+    @given(random_runs())
+    @settings(max_examples=30, deadline=None)
+    def test_tables_sound_and_channels_exact(self, run_cfg):
+        net, offsets, seed = run_cfg
+        result = run_synchronous(
+            net,
+            "algorithm3",
+            seed=seed,
+            max_slots=5000,
+            delta_est=4,
+            start_offsets=offsets,
+        )
+        for nid in net.node_ids:
+            truth = net.discoverable_neighbors(nid)
+            for v, common in result.neighbor_tables[nid].items():
+                assert v in truth
+                assert common == net.span(v, nid)
+
+    @given(random_runs())
+    @settings(max_examples=20, deadline=None)
+    def test_reference_counter_conservation(self, run_cfg):
+        net, offsets, seed = run_cfg
+        result = run_synchronous(
+            net,
+            "algorithm3",
+            seed=seed,
+            max_slots=500,
+            delta_est=4,
+            start_offsets=offsets,
+            engine="reference",
+            stop_on_full_coverage=False,
+        )
+        activity = result.metadata["radio_activity"]
+        clear = result.metadata["clear_receptions"]
+        for nid in net.node_ids:
+            modes = activity[nid]
+            active_slots = max(0, int(result.horizon) - offsets[nid])
+            assert modes["tx"] + modes["rx"] + modes["quiet"] == active_slots
+            # Clear receptions can't exceed listening slots; discovered
+            # neighbors can't exceed clear receptions.
+            assert clear[nid] <= modes["rx"]
+            assert len(result.neighbor_tables[nid]) <= clear[nid] or clear[
+                nid
+            ] == 0

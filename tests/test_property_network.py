@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for the M2HeW network model."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.net import M2HeWNetwork, NodeSpec
+
+
+@st.composite
+def networks(draw):
+    """Random small symmetric M2HeW networks."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    universe = draw(st.integers(min_value=1, max_value=6))
+    nodes = []
+    for nid in range(n):
+        size = draw(st.integers(min_value=1, max_value=universe))
+        chans = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=universe - 1),
+                min_size=size,
+                max_size=size,
+            )
+        )
+        nodes.append(NodeSpec(nid, frozenset(chans)))
+    pairs = draw(
+        st.sets(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda p: p[0] < p[1]),
+            max_size=n * (n - 1) // 2,
+        )
+    )
+    return M2HeWNetwork(nodes, adjacency=sorted(pairs))
+
+
+class TestModelInvariants:
+    @given(networks())
+    @settings(max_examples=150, deadline=None)
+    def test_span_ratio_within_paper_range(self, network):
+        # Paper Section II: span-ratio of any link lies in [1/S, 1].
+        s = network.max_channel_set_size
+        for link in network.links():
+            assert 1.0 / s - 1e-12 <= link.span_ratio <= 1.0 + 1e-12
+
+    @given(networks())
+    @settings(max_examples=150, deadline=None)
+    def test_links_symmetric(self, network):
+        keys = {l.key for l in network.links()}
+        assert {(b, a) for a, b in keys} == keys
+
+    @given(networks())
+    @settings(max_examples=150, deadline=None)
+    def test_span_is_channel_intersection(self, network):
+        for link in network.links():
+            expected = network.channels_of(link.transmitter) & network.channels_of(
+                link.receiver
+            )
+            assert link.span == expected
+
+    @given(networks())
+    @settings(max_examples=150, deadline=None)
+    def test_degree_consistent_with_links(self, network):
+        for nid in network.node_ids:
+            for c in network.channels_of(nid):
+                neighbors = network.neighbors_on(nid, c)
+                for v in neighbors:
+                    assert c in network.span(v, nid)
+                assert network.degree_on(nid, c) == len(neighbors)
+
+    @given(networks())
+    @settings(max_examples=150, deadline=None)
+    def test_max_degree_is_max_over_channels(self, network):
+        computed = 0
+        for nid in network.node_ids:
+            for c in network.channels_of(nid):
+                computed = max(computed, network.degree_on(nid, c))
+        assert network.max_degree == computed
+
+    @given(networks())
+    @settings(max_examples=150, deadline=None)
+    def test_validate_never_raises_on_constructed(self, network):
+        network.validate()
+
+    @given(networks())
+    @settings(max_examples=100, deadline=None)
+    def test_serialization_roundtrip(self, network):
+        from repro.net import network_from_dict, network_to_dict
+
+        restored = network_from_dict(network_to_dict(network))
+        assert restored.node_ids == network.node_ids
+        assert {l.key for l in restored.links()} == {
+            l.key for l in network.links()
+        }
+        for nid in network.node_ids:
+            assert restored.channels_of(nid) == network.channels_of(nid)
+
+    @given(networks())
+    @settings(max_examples=100, deadline=None)
+    def test_restriction_preserves_spans(self, network):
+        keep = network.node_ids[: max(1, len(network.node_ids) // 2)]
+        sub = network.restricted_to(keep)
+        for link in sub.links():
+            assert link.span == network.span(link.transmitter, link.receiver)

@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) for the protocol layer."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.algorithm1 import StagedSyncDiscovery
+from repro.core.algorithm2 import GrowingEstimateSyncDiscovery
+from repro.core.algorithm3 import FlatSyncDiscovery
+from repro.core.algorithm4 import AsyncFrameDiscovery
+from repro.core.base import Mode
+from repro.core.params import stage_length
+
+channel_sets = st.sets(
+    st.integers(min_value=0, max_value=30), min_size=1, max_size=10
+)
+delta_ests = st.integers(min_value=2, max_value=200)
+seeds = st.integers(min_value=0, max_value=2**31)
+slots = st.integers(min_value=0, max_value=5000)
+
+
+class TestProbabilityRanges:
+    @given(channel_sets, delta_ests, slots)
+    @settings(max_examples=200, deadline=None)
+    def test_alg1_probability_in_range(self, chans, delta_est, slot):
+        p = StagedSyncDiscovery(0, chans, np.random.default_rng(0), delta_est)
+        prob = p.transmit_probability(slot)
+        assert 0.0 < prob <= 0.5
+        i = p.slot_in_stage(slot)
+        assert prob == min(0.5, len(chans) / 2**i)
+
+    @given(channel_sets, slots)
+    @settings(max_examples=200, deadline=None)
+    def test_alg2_probability_in_range(self, chans, slot):
+        p = GrowingEstimateSyncDiscovery(0, chans, np.random.default_rng(0))
+        prob = p.transmit_probability(slot)
+        assert 0.0 < prob <= 0.5
+        d, i = p.schedule_position(slot)
+        assert 1 <= i <= stage_length(d)
+
+    @given(channel_sets, delta_ests)
+    @settings(max_examples=200, deadline=None)
+    def test_alg3_probability_formula(self, chans, delta_est):
+        p = FlatSyncDiscovery(0, chans, np.random.default_rng(0), delta_est)
+        assert p.transmit_probability(0) == min(0.5, len(chans) / delta_est)
+
+    @given(channel_sets, delta_ests)
+    @settings(max_examples=200, deadline=None)
+    def test_alg4_probability_formula(self, chans, delta_est):
+        p = AsyncFrameDiscovery(0, chans, np.random.default_rng(0), delta_est)
+        assert p.frame_transmit_probability == min(
+            0.5, len(chans) / (3 * delta_est)
+        )
+
+
+class TestDecisionValidity:
+    @given(channel_sets, delta_ests, seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_sync_decisions_use_available_channels(self, chans, delta_est, seed):
+        rng = np.random.default_rng(seed)
+        for proto in (
+            StagedSyncDiscovery(0, chans, rng, delta_est),
+            GrowingEstimateSyncDiscovery(0, chans, rng),
+            FlatSyncDiscovery(0, chans, rng, delta_est),
+        ):
+            for slot in range(30):
+                d = proto.decide_slot(slot)
+                assert d.mode in (Mode.TRANSMIT, Mode.LISTEN)
+                assert d.channel in chans
+
+    @given(channel_sets, delta_ests, seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_async_decisions_use_available_channels(self, chans, delta_est, seed):
+        proto = AsyncFrameDiscovery(
+            0, chans, np.random.default_rng(seed), delta_est
+        )
+        for frame in range(30):
+            d = proto.decide_frame(frame)
+            assert d.mode in (Mode.TRANSMIT, Mode.LISTEN)
+            assert d.channel in chans
+
+
+class TestAlgorithm2Schedule:
+    @given(slots)
+    @settings(max_examples=300, deadline=None)
+    def test_estimates_nondecreasing(self, slot):
+        p = GrowingEstimateSyncDiscovery(0, {0}, np.random.default_rng(0))
+        d1 = p.current_estimate(slot)
+        d2 = p.current_estimate(slot + 1)
+        assert d2 in (d1, d1 + 1)
+
+    @given(st.integers(min_value=2, max_value=500))
+    @settings(max_examples=100, deadline=None)
+    def test_slots_until_estimate_matches_positions(self, target):
+        p = GrowingEstimateSyncDiscovery(0, {0}, np.random.default_rng(0))
+        first = GrowingEstimateSyncDiscovery.slots_until_estimate(target)
+        assert p.schedule_position(first) == (target, 1)

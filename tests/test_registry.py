@@ -1,0 +1,80 @@
+"""Unit tests for repro.core.registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DeterministicScanProtocol, UniversalSweepProtocol
+from repro.core import (
+    AsyncFrameDiscovery,
+    FlatSyncDiscovery,
+    GrowingEstimateSyncDiscovery,
+    StagedSyncDiscovery,
+    make_async_factory,
+    make_sync_factory,
+)
+from repro.exceptions import ConfigurationError
+
+
+def build(factory, channels=(0, 1)):
+    return factory(0, frozenset(channels), np.random.default_rng(0))
+
+
+class TestSyncFactory:
+    def test_algorithm1(self):
+        proto = build(make_sync_factory("algorithm1", delta_est=8))
+        assert isinstance(proto, StagedSyncDiscovery)
+        assert proto.delta_est == 8
+
+    def test_algorithm2(self):
+        proto = build(make_sync_factory("algorithm2"))
+        assert isinstance(proto, GrowingEstimateSyncDiscovery)
+
+    def test_algorithm3(self):
+        proto = build(make_sync_factory("algorithm3", delta_est=4))
+        assert isinstance(proto, FlatSyncDiscovery)
+
+    def test_universal_sweep(self):
+        proto = build(
+            make_sync_factory(
+                "universal_sweep", delta_est=4, universal_channels=[0, 1, 2]
+            )
+        )
+        assert isinstance(proto, UniversalSweepProtocol)
+
+    def test_deterministic_scan(self):
+        proto = build(
+            make_sync_factory(
+                "deterministic_scan", universal_channels=[0, 1], id_space_size=8
+            )
+        )
+        assert isinstance(proto, DeterministicScanProtocol)
+
+    def test_missing_required_params(self):
+        with pytest.raises(ConfigurationError, match="delta_est"):
+            make_sync_factory("algorithm1")
+        with pytest.raises(ConfigurationError, match="delta_est"):
+            make_sync_factory("algorithm3")
+        with pytest.raises(ConfigurationError, match="universal_channels"):
+            make_sync_factory("universal_sweep", delta_est=4)
+        with pytest.raises(ConfigurationError, match="id_space_size"):
+            make_sync_factory("deterministic_scan", universal_channels=[0])
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown synchronous"):
+            make_sync_factory("nope")
+
+
+class TestAsyncFactory:
+    def test_algorithm4(self):
+        proto = build(make_async_factory("algorithm4", delta_est=4))
+        assert isinstance(proto, AsyncFrameDiscovery)
+
+    def test_missing_delta_est(self):
+        with pytest.raises(ConfigurationError, match="delta_est"):
+            make_async_factory("algorithm4")
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown asynchronous"):
+            make_async_factory("bogus", delta_est=2)

@@ -1,0 +1,74 @@
+"""Unit tests for repro.analysis.regression."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.regression import fit_log_law, fit_power_law
+from repro.exceptions import ConfigurationError
+
+
+class TestFitPowerLaw:
+    def test_exact_linear(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        ys = [3.0 * x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.0)
+        assert fit.prefactor == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_quadratic(self):
+        xs = [1.0, 2.0, 3.0, 5.0]
+        ys = [0.5 * x * x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(2.0)
+
+    def test_inverse_law(self):
+        xs = [0.25, 0.5, 1.0]
+        ys = [10.0 / x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(-1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1.0, 2.0, 4.0], [2.0, 4.0, 8.0])
+        assert fit.predict(16.0) == pytest.approx(32.0)
+
+    def test_noise_reduces_r2(self):
+        xs = [1.0, 2.0, 4.0, 8.0, 16.0]
+        ys = [2.0, 7.0, 6.0, 20.0, 25.0]
+        fit = fit_power_law(xs, ys)
+        assert 0.0 < fit.r_squared < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0, 2.0], [1.0, 2.0])  # too few
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0, 2.0, 3.0], [1.0, -2.0, 3.0])  # negative
+        with pytest.raises(ConfigurationError):
+            fit_power_law([2.0, 2.0, 2.0], [1.0, 2.0, 3.0])  # constant x
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0, 2.0, 3.0], [1.0, 2.0])  # misaligned
+
+
+class TestFitLogLaw:
+    def test_exact_log(self):
+        import math
+
+        xs = [2.0, 4.0, 8.0, 16.0]
+        ys = [1.0 + 3.0 * math.log(x) for x in xs]
+        slope, intercept, r2 = fit_log_law(xs, ys)
+        assert slope == pytest.approx(3.0)
+        assert intercept == pytest.approx(1.0)
+        assert r2 == pytest.approx(1.0)
+
+
+class TestOnMeasuredScalingData:
+    """Fit the actual E9a-style data shape: time vs rho is a -1 power."""
+
+    def test_rho_scaling_exponent(self):
+        # From benchmarks/results/e9_rho.txt (regenerate with bench E9):
+        rhos = [1.0, 0.5, 0.25]
+        slots = [90.6, 176.2, 328.1]
+        fit = fit_power_law(rhos, slots)
+        assert fit.exponent == pytest.approx(-1.0, abs=0.15)
+        assert fit.r_squared > 0.99

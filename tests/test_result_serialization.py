@@ -1,0 +1,67 @@
+"""Tests for DiscoveryResult JSON serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.net import build_network, channels, topology
+from repro.sim.results import DiscoveryResult, load_result, result_from_dict
+from repro.sim.runner import run_synchronous
+
+
+def sample_result():
+    return DiscoveryResult(
+        time_unit="slots",
+        coverage={(0, 1): 5.0, (1, 0): None},
+        horizon=50.0,
+        completed=False,
+        neighbor_tables={0: {1: frozenset({2, 3})}, 1: {}},
+        start_times={0: 0.0, 1: 3.0},
+        network_params={"N": 2, "S": 2},
+        metadata={"protocol": "algorithm3", "weird": object()},
+    )
+
+
+class TestRoundTrip:
+    def test_basic_roundtrip(self):
+        original = sample_result()
+        restored = result_from_dict(original.to_dict())
+        assert restored.coverage == original.coverage
+        assert restored.neighbor_tables == original.neighbor_tables
+        assert restored.start_times == original.start_times
+        assert restored.completed == original.completed
+        assert restored.horizon == original.horizon
+
+    def test_non_json_metadata_stringified(self):
+        data = sample_result().to_dict()
+        json.dumps(data)  # must be JSON-clean
+        assert isinstance(data["metadata"]["weird"], str)
+
+    def test_file_roundtrip(self, tmp_path):
+        original = sample_result()
+        path = tmp_path / "result.json"
+        original.save(path)
+        restored = load_result(path)
+        assert restored.coverage == original.coverage
+
+    def test_engine_result_roundtrip(self, tmp_path):
+        net = build_network(topology.clique(4), channels.homogeneous(4, 2))
+        result = run_synchronous(
+            net, "algorithm3", seed=0, max_slots=20_000, delta_est=8
+        )
+        path = tmp_path / "run.json"
+        result.save(path)
+        restored = load_result(path)
+        assert restored.completed
+        assert restored.coverage == result.coverage
+        assert restored.neighbor_tables == result.neighbor_tables
+        assert restored.summary() == result.summary()
+
+    def test_unknown_version_rejected(self):
+        data = sample_result().to_dict()
+        data["format_version"] = 99
+        with pytest.raises(SimulationError, match="version"):
+            result_from_dict(data)

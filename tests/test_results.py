@@ -1,0 +1,97 @@
+"""Unit tests for repro.sim.results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.results import DiscoveryResult
+
+
+def make_result(coverage, horizon=100.0, starts=None, unit="slots"):
+    starts = starts or {0: 0.0, 1: 0.0}
+    completed = all(t is not None for t in coverage.values())
+    return DiscoveryResult(
+        time_unit=unit,
+        coverage=coverage,
+        horizon=horizon,
+        completed=completed,
+        neighbor_tables={},
+        start_times=starts,
+        network_params={"N": 2},
+    )
+
+
+class TestValidation:
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(SimulationError, match="unknown time unit"):
+            make_result({(0, 1): 5.0}, unit="fortnights")
+
+    def test_inconsistent_completed_flag_rejected(self):
+        with pytest.raises(SimulationError, match="inconsistent"):
+            DiscoveryResult(
+                time_unit="slots",
+                coverage={(0, 1): None},
+                horizon=10.0,
+                completed=True,
+                neighbor_tables={},
+                start_times={},
+                network_params={},
+            )
+
+
+class TestSummaries:
+    def test_completion_time_is_last_coverage(self):
+        r = make_result({(0, 1): 5.0, (1, 0): 9.0})
+        assert r.completed
+        assert r.completion_time == 9.0
+
+    def test_incomplete_run(self):
+        r = make_result({(0, 1): 5.0, (1, 0): None})
+        assert not r.completed
+        assert r.completion_time is None
+        assert r.coverage_fraction == 0.5
+        assert r.uncovered_links() == [(1, 0)]
+
+    def test_completion_after_all_started(self):
+        r = make_result({(0, 1): 20.0}, starts={0: 0.0, 1: 15.0})
+        assert r.last_start_time == 15.0
+        assert r.completion_after_all_started == 5.0
+
+    def test_completion_after_all_started_clamped_to_zero(self):
+        # A link covered before the last node started.
+        r = make_result({(0, 1): 3.0}, starts={0: 0.0, 1: 10.0})
+        assert r.completion_after_all_started == 0.0
+
+    def test_quantiles(self):
+        cov = {(0, i): float(i) for i in range(1, 11)}
+        r = make_result(cov)
+        assert r.coverage_time_quantile(0.5) == 5.0
+        assert r.coverage_time_quantile(1.0) == 10.0
+
+    def test_quantile_unreached(self):
+        r = make_result({(0, 1): 1.0, (1, 0): None})
+        assert r.coverage_time_quantile(1.0) is None
+        assert r.coverage_time_quantile(0.5) == 1.0
+
+    def test_quantile_range_checked(self):
+        r = make_result({(0, 1): 1.0})
+        with pytest.raises(SimulationError):
+            r.coverage_time_quantile(0.0)
+
+    def test_per_node_completion(self):
+        cov = {(1, 0): 4.0, (2, 0): 8.0, (0, 1): None}
+        r = make_result(cov)
+        per_node = r.per_node_completion()
+        assert per_node[0] == 8.0
+        assert per_node[1] is None
+
+    def test_empty_coverage_complete(self):
+        r = make_result({})
+        assert r.completed
+        assert r.coverage_fraction == 1.0
+        assert r.completion_time == 0.0
+
+    def test_summary_keys(self):
+        r = make_result({(0, 1): 1.0})
+        assert {"time_unit", "links", "covered", "completed"} <= set(r.summary())

@@ -1,0 +1,97 @@
+"""Unit tests for repro.sim.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import (
+    RngFactory,
+    derive_trial_seed,
+    make_generator,
+    spawn_generators,
+)
+
+
+class TestMakeGenerator:
+    def test_deterministic_from_int(self):
+        a = make_generator(5).random(4)
+        b = make_generator(5).random(4)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_generator(5).random(4)
+        b = make_generator(6).random(4)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_streams_independent_draws_differ(self):
+        gens = spawn_generators(0, 3)
+        draws = [g.random(8).tolist() for g in gens]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestRngFactory:
+    def test_same_key_returns_same_object(self):
+        factory = RngFactory(1)
+        assert factory.stream("a") is factory.stream("a")
+
+    def test_reproducible_across_factories(self):
+        a = RngFactory(7).stream("node-3").random(5)
+        b = RngFactory(7).stream("node-3").random(5)
+        assert np.array_equal(a, b)
+
+    def test_order_independent_derivation(self):
+        f1 = RngFactory(7)
+        f1.stream("x")
+        a = f1.stream("y").random(5)
+        f2 = RngFactory(7)
+        b = f2.stream("y").random(5)  # "x" never requested
+        assert np.array_equal(a, b)
+
+    def test_distinct_keys_distinct_streams(self):
+        factory = RngFactory(7)
+        a = factory.stream("a").random(8)
+        b = factory.stream("b").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_node_stream_helper(self):
+        factory = RngFactory(7)
+        assert factory.node_stream(4) is factory.stream("node-4")
+
+    def test_fork_independent(self):
+        parent = RngFactory(7)
+        child = parent.fork("sub")
+        a = parent.stream("k").random(8)
+        b = child.stream("k").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_fork_reproducible(self):
+        a = RngFactory(7).fork("sub").stream("k").random(5)
+        b = RngFactory(7).fork("sub").stream("k").random(5)
+        assert np.array_equal(a, b)
+
+
+class TestDeriveTrialSeed:
+    def test_distinct_trials_distinct_streams(self):
+        a = np.random.Generator(np.random.PCG64(derive_trial_seed(1, 0))).random(8)
+        b = np.random.Generator(np.random.PCG64(derive_trial_seed(1, 1))).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible(self):
+        a = np.random.Generator(np.random.PCG64(derive_trial_seed(1, 3))).random(8)
+        b = np.random.Generator(np.random.PCG64(derive_trial_seed(1, 3))).random(8)
+        assert np.array_equal(a, b)
+
+    def test_negative_trial_rejected(self):
+        with pytest.raises(ValueError):
+            derive_trial_seed(1, -1)

@@ -1,0 +1,79 @@
+"""Unit tests for repro.net.serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import NetworkModelError
+from repro.net import (
+    M2HeWNetwork,
+    NodeSpec,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+
+def assert_networks_equal(a: M2HeWNetwork, b: M2HeWNetwork) -> None:
+    assert a.node_ids == b.node_ids
+    for nid in a.node_ids:
+        assert a.channels_of(nid) == b.channels_of(nid)
+        assert a.node(nid).position == b.node(nid).position
+        assert a.hears(nid) == b.hears(nid)
+    assert [l.key for l in a.links()] == [l.key for l in b.links()]
+
+
+class TestRoundTrip:
+    def test_symmetric_roundtrip(self, triangle):
+        restored = network_from_dict(network_to_dict(triangle))
+        assert_networks_equal(triangle, restored)
+
+    def test_positions_survive(self, small_geometric):
+        restored = network_from_dict(network_to_dict(small_geometric))
+        assert_networks_equal(small_geometric, restored)
+
+    def test_channel_free_adjacency_survives(self):
+        # A radio-adjacent pair sharing no channel has no link, but the
+        # adjacency must survive serialization.
+        nodes = [NodeSpec(0, frozenset({0})), NodeSpec(1, frozenset({1}))]
+        network = M2HeWNetwork(nodes, adjacency=[(0, 1)])
+        restored = network_from_dict(network_to_dict(network))
+        assert restored.hears(0) == {1}
+        assert restored.num_links == 0
+
+    def test_asymmetric_roundtrip(self):
+        nodes = [NodeSpec(0, frozenset({0})), NodeSpec(1, frozenset({0}))]
+        network = M2HeWNetwork(nodes, directed_adjacency=[(0, 1)])
+        restored = network_from_dict(network_to_dict(network))
+        assert not restored.is_symmetric
+        assert_networks_equal(network, restored)
+
+    def test_file_roundtrip(self, triangle, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(triangle, path)
+        restored = load_network(path)
+        assert_networks_equal(triangle, restored)
+
+    def test_json_is_plain(self, triangle, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(triangle, path)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        assert isinstance(data["nodes"], list)
+
+
+class TestVersioning:
+    def test_unknown_version_rejected(self, triangle):
+        data = network_to_dict(triangle)
+        data["format_version"] = 999
+        with pytest.raises(NetworkModelError, match="version"):
+            network_from_dict(data)
+
+    def test_missing_version_rejected(self, triangle):
+        data = network_to_dict(triangle)
+        del data["format_version"]
+        with pytest.raises(NetworkModelError, match="version"):
+            network_from_dict(data)

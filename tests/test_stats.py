@@ -1,0 +1,95 @@
+"""Unit tests for repro.analysis.stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import (
+    geometric_mean,
+    mean,
+    mean_confidence_interval,
+    percentile,
+    sample_std,
+    summarize,
+    wilson_interval,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ConfigurationError):
+            mean([])
+
+    def test_sample_std(self):
+        assert sample_std([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.138, abs=1e-3
+        )
+        assert sample_std([3.0]) == 0.0
+
+    def test_percentile_interpolates(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 4.0
+        assert percentile(data, 50) == 2.5
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestIntervals:
+    def test_mean_ci_contains_mean(self):
+        lo, hi = mean_confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert lo < 3.0 < hi
+
+    def test_mean_ci_degenerate(self):
+        lo, hi = mean_confidence_interval([2.0, 2.0, 2.0])
+        assert lo == hi == 2.0
+
+    def test_wilson_basic(self):
+        lo, hi = wilson_interval(50, 100)
+        assert lo < 0.5 < hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_wilson_extremes_stay_in_unit_interval(self):
+        lo, hi = wilson_interval(0, 20)
+        assert lo == 0.0 and hi < 0.25
+        lo, hi = wilson_interval(20, 20)
+        assert lo > 0.75 and hi == 1.0
+
+    def test_wilson_narrows_with_trials(self):
+        narrow = wilson_interval(500, 1000)
+        wide = wilson_interval(5, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_wilson_validation(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(11, 10)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.count == 5
+        assert s.mean == 3.0
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+        assert s.median == 3.0
+        assert s.ci_low < 3.0 < s.ci_high
+
+    def test_as_dict(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert {"n", "mean", "std", "median", "p90"} <= set(d)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])

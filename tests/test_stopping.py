@@ -1,0 +1,44 @@
+"""Unit tests for repro.sim.stopping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.stopping import StoppingCondition
+
+
+class TestStoppingCondition:
+    def test_slots_shorthand(self):
+        s = StoppingCondition.slots(100)
+        assert s.max_slots == 100
+        assert s.stop_on_full_coverage
+
+    def test_frames_shorthand(self):
+        s = StoppingCondition.frames(50, stop_on_full_coverage=False)
+        assert s.max_frames_per_node == 50
+        assert not s.stop_on_full_coverage
+
+    def test_require_slot_budget(self):
+        assert StoppingCondition.slots(10).require_slot_budget() == 10
+        with pytest.raises(ConfigurationError, match="max_slots"):
+            StoppingCondition(max_real_time=5.0).require_slot_budget()
+
+    def test_require_async_budget(self):
+        StoppingCondition(max_real_time=1.0).require_async_budget()
+        StoppingCondition(max_frames_per_node=1).require_async_budget()
+        with pytest.raises(ConfigurationError, match="asynchronous"):
+            StoppingCondition(max_slots=5).require_async_budget()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_slots": 0},
+            {"max_slots": -5},
+            {"max_real_time": 0.0},
+            {"max_frames_per_node": 0},
+        ],
+    )
+    def test_non_positive_budgets_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            StoppingCondition(**kwargs)

@@ -1,0 +1,58 @@
+"""Unit tests for repro.analysis.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table, format_value
+from repro.exceptions import ConfigurationError
+
+
+class TestFormatValue:
+    def test_none_is_dash(self):
+        assert format_value(None) == "-"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_integral_float_trimmed(self):
+        assert format_value(5.0) == "5"
+
+    def test_float_digits(self):
+        assert format_value(3.14159, float_digits=2) == "3.14"
+
+    def test_scientific_for_extremes(self):
+        assert "e" in format_value(1234567.89)
+        assert "e" in format_value(0.00001)
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table([{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_missing_cells_render_dash(self):
+        out = format_table([{"a": 1}, {"b": 2}])
+        assert "-" in out.splitlines()[2]
+
+    def test_column_order_respected(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = out.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_title(self):
+        out = format_table([{"a": 1}], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([])

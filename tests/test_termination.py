@@ -1,0 +1,197 @@
+"""Tests for the termination-detection extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm3 import FlatSyncDiscovery
+from repro.core.algorithm4 import AsyncFrameDiscovery
+from repro.core.base import Mode
+from repro.core.messages import HelloMessage
+from repro.core.termination import (
+    SelfTerminatingAsyncProtocol,
+    SelfTerminatingProtocol,
+    TerminationPolicy,
+    recommended_quiet_threshold,
+)
+from repro.exceptions import ConfigurationError
+from repro.net import build_network, channels, topology
+from repro.sim.termination_runner import run_terminating_async, run_terminating_sync
+
+
+def make_wrapper(threshold=10, policy=TerminationPolicy.SLEEP, channels=(0, 1)):
+    inner = FlatSyncDiscovery(0, channels, np.random.default_rng(0), delta_est=4)
+    return SelfTerminatingProtocol(inner, threshold, policy)
+
+
+class TestRecommendedThreshold:
+    def test_monotone_in_epsilon(self):
+        tight = recommended_quiet_threshold(4, 8, 0.5, 1e-4)
+        loose = recommended_quiet_threshold(4, 8, 0.5, 1e-1)
+        assert tight > loose
+
+    def test_scales_with_contention(self):
+        easy = recommended_quiet_threshold(2, 4, 1.0, 0.01)
+        hard = recommended_quiet_threshold(8, 32, 0.25, 0.01)
+        assert hard > easy
+
+    def test_validates_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            recommended_quiet_threshold(4, 8, 0.5, 0.0)
+
+
+class TestSyncWrapper:
+    def test_delegates_identity(self):
+        w = make_wrapper()
+        assert w.node_id == 0
+        assert w.channels == {0, 1}
+        assert w.hello().sender == 0
+
+    def test_terminates_after_quiet_threshold(self):
+        w = make_wrapper(threshold=5)
+        # With no progress ever (virtual progress at slot -1), slots
+        # 0..4 are the five quiet decisions; slot 5 stops.
+        for slot in range(5):
+            d = w.decide_slot(slot)
+            assert d.mode in (Mode.TRANSMIT, Mode.LISTEN)
+        assert w.terminated_at is None
+        w.decide_slot(5)
+        assert w.terminated_at == 5.0
+
+    def test_progress_resets_counter(self):
+        w = make_wrapper(threshold=5)
+        w.decide_slot(0)
+        w.on_receive(HelloMessage(1, frozenset({0})), heard_at=3.0)
+        # Progress at 3 keeps slots 4..8 active; slot 9 stops.
+        assert w.decide_slot(8).mode in (Mode.TRANSMIT, Mode.LISTEN)
+        assert w.terminated_at is None
+        w.decide_slot(9)
+        assert w.terminated_at == 9.0
+
+    def test_sleep_policy_goes_quiet(self):
+        w = make_wrapper(threshold=2, policy=TerminationPolicy.SLEEP)
+        for slot in range(10):
+            w.decide_slot(slot)
+        assert w.terminated_at is not None
+        assert w.decide_slot(20).mode is Mode.QUIET
+
+    def test_beacon_policy_never_listens_after_stop(self):
+        w = make_wrapper(threshold=2, policy=TerminationPolicy.BEACON)
+        for slot in range(200):
+            d = w.decide_slot(slot)
+            if w.terminated_at is not None and slot > w.terminated_at:
+                assert d.mode in (Mode.TRANSMIT, Mode.QUIET)
+        # With p = 0.5 it must transmit sometimes after stopping.
+        post = [w.decide_slot(300 + i).mode for i in range(100)]
+        assert Mode.TRANSMIT in post
+
+    def test_duplicate_hellos_are_not_progress(self):
+        w = make_wrapper(threshold=5)
+        msg = HelloMessage(1, frozenset({0}))
+        w.on_receive(msg, 0.0)
+        w.on_receive(msg, 4.0)  # duplicate: no progress
+        w.decide_slot(6)
+        assert w.terminated_at == 6.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            make_wrapper(threshold=0)
+
+
+class TestAsyncWrapper:
+    def test_frame_termination(self):
+        inner = AsyncFrameDiscovery(0, (0,), np.random.default_rng(0), delta_est=4)
+        w = SelfTerminatingAsyncProtocol(inner, 3, TerminationPolicy.SLEEP)
+        for frame in range(10):
+            w.decide_frame(frame)
+        assert w.terminated_at is not None
+        assert w.decide_frame(20).mode is Mode.QUIET
+
+
+class TestTerminatingRuns:
+    @pytest.fixture
+    def net(self):
+        topo = topology.clique(6)
+        return build_network(topo, channels.homogeneous(6, 2))
+
+    def test_generous_threshold_no_false_stops(self, net):
+        threshold = recommended_quiet_threshold(
+            net.max_channel_set_size, 8, net.min_span_ratio, 1e-3
+        )
+        outcome = run_terminating_sync(
+            net,
+            "algorithm3",
+            seed=1,
+            max_slots=50 * threshold,
+            quiet_threshold=threshold,
+            delta_est=8,
+            policy=TerminationPolicy.BEACON,
+        )
+        assert outcome.all_stopped
+        assert not outcome.false_stops
+        assert outcome.output_complete
+
+    def test_tiny_threshold_causes_false_stops(self, net):
+        outcome = run_terminating_sync(
+            net,
+            "algorithm3",
+            seed=1,
+            max_slots=3000,
+            quiet_threshold=1,
+            delta_est=8,
+            policy=TerminationPolicy.SLEEP,
+        )
+        assert outcome.false_stops  # stopping after 1 quiet slot is hopeless
+
+    def test_sleep_policy_can_strand_others(self, net):
+        # With SLEEP, early stoppers go silent; with a marginal threshold
+        # this leaves some nodes' tables incomplete more often than the
+        # BEACON policy does. At minimum, BEACON with the same threshold
+        # must do no worse.
+        def completeness(policy):
+            ok = 0
+            for seed in range(6):
+                outcome = run_terminating_sync(
+                    net,
+                    "algorithm3",
+                    seed=seed,
+                    max_slots=4000,
+                    quiet_threshold=30,
+                    delta_est=8,
+                    policy=policy,
+                )
+                ok += outcome.output_complete
+            return ok
+
+        assert completeness(TerminationPolicy.BEACON) >= completeness(
+            TerminationPolicy.SLEEP
+        )
+
+    def test_async_terminating_run(self, net):
+        outcome = run_terminating_async(
+            net,
+            seed=2,
+            max_frames_per_node=20_000,
+            quiet_threshold=400,
+            delta_est=8,
+            drift_bound=0.05,
+            start_spread=3.0,
+            policy=TerminationPolicy.BEACON,
+        )
+        assert outcome.all_stopped
+        assert outcome.output_complete
+        assert not outcome.false_stops
+
+    def test_metadata_recorded(self, net):
+        outcome = run_terminating_sync(
+            net,
+            "algorithm3",
+            seed=0,
+            max_slots=2000,
+            quiet_threshold=50,
+            delta_est=8,
+        )
+        meta = outcome.result.metadata
+        assert meta["quiet_threshold"] == 50
+        assert meta["termination_policy"] == "beacon"

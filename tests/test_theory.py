@@ -1,0 +1,81 @@
+"""Unit tests for repro.analysis.theory (bound comparisons)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.theory import compare_to_bound, success_rate_within
+from repro.exceptions import ConfigurationError
+from repro.sim.results import DiscoveryResult
+
+
+def result(completion, starts=None):
+    starts = starts or {0: 0.0}
+    coverage = {(0, 1): completion}
+    return DiscoveryResult(
+        time_unit="slots",
+        coverage=coverage,
+        horizon=1000.0,
+        completed=completion is not None,
+        neighbor_tables={},
+        start_times=starts,
+        network_params={},
+    )
+
+
+class TestSuccessRateWithin:
+    def test_counts_completed_within_bound(self):
+        results = [result(10.0), result(90.0), result(None)]
+        assert success_rate_within(results, 50.0) == pytest.approx(1 / 3)
+        assert success_rate_within(results, 100.0) == pytest.approx(2 / 3)
+
+    def test_after_all_started(self):
+        r = result(60.0, starts={0: 50.0})
+        assert success_rate_within([r], 15.0, after_all_started=True) == 1.0
+        assert success_rate_within([r], 15.0) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            success_rate_within([], 1.0)
+
+
+class TestCompareToBound:
+    def test_basic_row(self):
+        results = [result(10.0), result(20.0), result(30.0), result(None)]
+        comp = compare_to_bound("demo", results, bound=25.0, epsilon=0.5)
+        assert comp.trials == 4
+        assert comp.successes_within_bound == 2
+        assert comp.success_rate == 0.5
+        assert comp.completion is not None
+        assert comp.completion.count == 3  # only completed trials
+        assert comp.bound_over_measured_mean == pytest.approx(25.0 / 20.0)
+
+    def test_meets_guarantee_uses_wilson_upper(self):
+        # 10/10 successes trivially meets 1 - eps for any eps.
+        comp = compare_to_bound(
+            "x", [result(1.0)] * 10, bound=10.0, epsilon=0.1
+        )
+        assert comp.meets_guarantee
+
+    def test_guarantee_violated(self):
+        # 0/20 within bound cannot meet a 0.9 target.
+        comp = compare_to_bound(
+            "x", [result(100.0)] * 20, bound=10.0, epsilon=0.1
+        )
+        assert not comp.meets_guarantee
+
+    def test_no_completions(self):
+        comp = compare_to_bound("x", [result(None)] * 3, bound=5.0, epsilon=0.1)
+        assert comp.completion is None
+        assert comp.bound_over_measured_mean is None
+        assert comp.success_rate == 0.0
+
+    def test_as_row_keys(self):
+        row = compare_to_bound("x", [result(1.0)], bound=5.0, epsilon=0.1).as_row()
+        assert {"experiment", "bound", "success_rate", "meets_guarantee"} <= set(row)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            compare_to_bound("x", [], bound=1.0, epsilon=0.1)
+        with pytest.raises(ConfigurationError):
+            compare_to_bound("x", [result(1.0)], bound=0.0, epsilon=0.1)

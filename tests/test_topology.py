@@ -1,0 +1,124 @@
+"""Unit tests for repro.net.topology."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.net import topology
+
+
+class TestTopologyDataclass:
+    def test_pairs_canonicalized(self):
+        topo = topology.Topology(3, [(2, 1), (1, 2), (0, 1)])
+        assert topo.pairs == [(0, 1), (1, 2)]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError, match="self-loop"):
+            topology.Topology(2, [(0, 0)])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown node"):
+            topology.Topology(2, [(0, 5)])
+
+    def test_max_radio_degree(self):
+        topo = topology.star(5)
+        assert topo.max_radio_degree == 5
+
+    def test_to_graph_roundtrip(self):
+        topo = topology.ring(5)
+        graph = topo.to_graph()
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 5
+
+
+class TestGenerators:
+    def test_line(self):
+        topo = topology.line(4)
+        assert topo.pairs == [(0, 1), (1, 2), (2, 3)]
+        assert topo.is_connected
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ConfigurationError, match=">= 3"):
+            topology.ring(2)
+
+    def test_ring(self):
+        topo = topology.ring(6)
+        assert len(topo.pairs) == 6
+        assert topo.max_radio_degree == 2
+
+    def test_star(self):
+        topo = topology.star(3)
+        assert topo.num_nodes == 4
+        assert all(0 in pair for pair in topo.pairs)
+
+    def test_clique(self):
+        topo = topology.clique(5)
+        assert len(topo.pairs) == 10
+        assert topo.max_radio_degree == 4
+
+    def test_grid_4_neighborhood(self):
+        topo = topology.grid(2, 3)
+        assert topo.num_nodes == 6
+        # 2x3 grid: 3 horizontal x 2 rows + 3 vertical = 7 edges.
+        assert len(topo.pairs) == 7
+
+    def test_grid_diagonal(self):
+        plain = topology.grid(3, 3)
+        diag = topology.grid(3, 3, diagonal=True)
+        assert len(diag.pairs) > len(plain.pairs)
+
+    def test_grid_positions(self):
+        topo = topology.grid(2, 2)
+        assert topo.positions[3] == (1.0, 1.0)
+
+    def test_two_cliques_bridge(self):
+        topo = topology.two_cliques_bridge(3)
+        assert topo.num_nodes == 6
+        assert (2, 3) in topo.pairs
+        assert topo.is_connected
+
+    def test_random_geometric_radius_respected(self, rng):
+        topo = topology.random_geometric(15, radius=0.2, rng=rng)
+        positions = topo.positions
+        for u, v in topo.pairs:
+            dx = positions[u][0] - positions[v][0]
+            dy = positions[u][1] - positions[v][1]
+            assert (dx * dx + dy * dy) ** 0.5 <= 0.2 + 1e-12
+
+    def test_random_geometric_connected_flag(self, rng):
+        topo = topology.random_geometric(
+            10, radius=0.6, rng=rng, require_connected=True
+        )
+        assert topo.is_connected
+
+    def test_random_geometric_impossible_connectivity_raises(self, rng):
+        with pytest.raises(ConfigurationError, match="connected"):
+            topology.random_geometric(
+                30, radius=0.01, rng=rng, require_connected=True, max_attempts=3
+            )
+
+    def test_random_geometric_deterministic(self):
+        a = topology.random_geometric(8, 0.3, np.random.default_rng(5))
+        b = topology.random_geometric(8, 0.3, np.random.default_rng(5))
+        assert a.pairs == b.pairs
+        assert a.positions == b.positions
+
+    def test_erdos_renyi_probability_extremes(self, rng):
+        empty = topology.erdos_renyi(6, 0.0, rng)
+        assert empty.pairs == []
+        full = topology.erdos_renyi(6, 1.0, rng)
+        assert len(full.pairs) == 15
+
+    def test_erdos_renyi_invalid_probability(self, rng):
+        with pytest.raises(ConfigurationError, match="edge_probability"):
+            topology.erdos_renyi(5, 1.5, rng)
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(ConfigurationError):
+            topology.grid(0, 3)
+        with pytest.raises(ConfigurationError):
+            topology.random_geometric(5, -1.0, rng)
+        with pytest.raises(ConfigurationError):
+            topology.two_cliques_bridge(1)

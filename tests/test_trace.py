@@ -1,0 +1,95 @@
+"""Unit tests for repro.sim.trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import Mode
+from repro.exceptions import SimulationError
+from repro.sim.trace import ExecutionTrace, FrameRecord, SlotRecord
+
+
+def frame(node_id=0, index=0, start=0.0, length=3.0, mode=Mode.LISTEN, channel=0):
+    bounds = tuple(start + j * length / 3 for j in range(4))
+    return FrameRecord(
+        node_id=node_id,
+        frame_index=index,
+        start=bounds[0],
+        end=bounds[-1],
+        slot_bounds=bounds,
+        mode=mode,
+        channel=channel,
+    )
+
+
+class TestFrameRecord:
+    def test_duration(self):
+        assert frame(length=3.0).duration == pytest.approx(3.0)
+
+    def test_slot_interval(self):
+        f = frame(start=0.0, length=3.0)
+        assert f.slot_interval(0) == (0.0, 1.0)
+        assert f.slot_interval(2) == (2.0, 3.0)
+        assert f.num_slots == 3
+
+    def test_slot_interval_range_checked(self):
+        with pytest.raises(SimulationError, match="out of range"):
+            frame().slot_interval(3)
+
+    def test_overlap(self):
+        a = frame(start=0.0, length=3.0)
+        b = frame(node_id=1, start=2.0, length=3.0)
+        c = frame(node_id=1, start=3.0, length=3.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # touching only
+
+    def test_invalid_duration(self):
+        with pytest.raises(SimulationError, match="duration"):
+            FrameRecord(0, 0, 1.0, 1.0, (1.0, 1.0), Mode.QUIET, None)
+
+    def test_bounds_must_span_frame(self):
+        with pytest.raises(SimulationError, match="span"):
+            FrameRecord(0, 0, 0.0, 3.0, (0.0, 1.0, 2.0, 2.5), Mode.QUIET, None)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(SimulationError, match="increasing"):
+            FrameRecord(0, 0, 0.0, 3.0, (0.0, 2.0, 1.0, 3.0), Mode.QUIET, None)
+
+
+class TestExecutionTrace:
+    def test_frames_ordered_per_node(self):
+        trace = ExecutionTrace()
+        trace.add_frame(frame(index=0, start=0.0))
+        trace.add_frame(frame(index=1, start=3.0))
+        assert [f.frame_index for f in trace.frames_of(0)] == [0, 1]
+
+    def test_out_of_order_frames_rejected(self):
+        trace = ExecutionTrace()
+        trace.add_frame(frame(index=0, start=3.0))
+        with pytest.raises(SimulationError, match="before previous"):
+            trace.add_frame(frame(index=1, start=0.0))
+
+    def test_full_frames_after(self):
+        trace = ExecutionTrace()
+        for k in range(4):
+            trace.add_frame(frame(index=k, start=3.0 * k))
+        after = trace.full_frames_of(0, after=4.0)
+        assert [f.frame_index for f in after] == [2, 3]
+
+    def test_node_ids_union_of_slots_and_frames(self):
+        trace = ExecutionTrace()
+        trace.add_frame(frame(node_id=2))
+        trace.add_slot(SlotRecord(5, 0, 0, Mode.LISTEN, 1))
+        assert trace.node_ids == [2, 5]
+
+    def test_total_frames(self):
+        trace = ExecutionTrace()
+        trace.add_frame(frame(node_id=0, index=0))
+        trace.add_frame(frame(node_id=1, index=0))
+        assert trace.total_frames() == 2
+
+    def test_frames_of_returns_copy(self):
+        trace = ExecutionTrace()
+        trace.add_frame(frame())
+        trace.frames_of(0).clear()
+        assert len(trace.frames_of(0)) == 1
