@@ -10,25 +10,28 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import net, sim
 from repro.analysis.tables import format_table
 from repro.core import bounds
+from repro.sim.rng import RngFactory
 
 
 def main() -> None:
-    rng = np.random.default_rng(7)
+    # All randomness flows through one factory: the whole run replays
+    # from the single integer 7 (see docs/static_analysis.md, D-series).
+    rngs = RngFactory(7)
 
     # 1. Radio topology: who is in range of whom.
     topo = net.topology.random_geometric(
-        num_nodes=20, radius=0.35, rng=rng, require_connected=True
+        num_nodes=20, radius=0.35, rng=rngs.stream("topology"),
+        require_connected=True
     )
 
     # 2. Channel availability: each node sees 3 of 8 channels (all share
     #    channel 0, a common control channel).
     assignment = net.channels.common_channel_plus_random(
-        topo.num_nodes, universal_size=8, set_size=3, rng=rng
+        topo.num_nodes, universal_size=8, set_size=3,
+        rng=rngs.stream("channels")
     )
     network = net.build_network(topo, assignment)
 

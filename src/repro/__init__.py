@@ -10,14 +10,16 @@ every theorem and lemma empirically.
 
 Quickstart::
 
-    import numpy as np
     from repro import net, sim
+    from repro.sim.rng import RngFactory
 
-    rng = np.random.default_rng(7)
-    topo = net.topology.random_geometric(20, radius=0.35, rng=rng,
+    rngs = RngFactory(7)
+    topo = net.topology.random_geometric(20, radius=0.35,
+                                         rng=rngs.stream("topology"),
                                          require_connected=True)
     assignment = net.channels.common_channel_plus_random(
-        topo.num_nodes, universal_size=8, set_size=3, rng=rng)
+        topo.num_nodes, universal_size=8, set_size=3,
+        rng=rngs.stream("channels"))
     network = net.build_network(topo, assignment)
 
     result = sim.run_synchronous(

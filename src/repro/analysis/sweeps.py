@@ -21,7 +21,7 @@ from ..sim.results import DiscoveryResult
 from ..sim.rng import derive_trial_seed
 from .stats import SampleSummary, summarize
 
-__all__ = ["SweepRow", "run_sweep", "grid_points"]
+__all__ = ["SweepRow", "TrialFn", "run_sweep", "grid_points"]
 
 TrialFn = Callable[[Mapping[str, object], np.random.SeedSequence], DiscoveryResult]
 

@@ -23,7 +23,7 @@ from typing import Dict, FrozenSet, List, Mapping, Set, Tuple
 
 from ..exceptions import ConfigurationError
 
-__all__ = ["ClusterAssignment", "lowest_id_clusters"]
+__all__ = ["ClusterAssignment", "NeighborTables", "lowest_id_clusters"]
 
 NeighborTables = Mapping[int, Mapping[int, FrozenSet[int]]]
 

@@ -29,7 +29,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from ..exceptions import ConfigurationError
 
-__all__ = ["LinkSchedule", "schedule_links"]
+__all__ = ["LinkKey", "LinkSchedule", "NeighborTables", "schedule_links"]
 
 NeighborTables = Mapping[int, Mapping[int, FrozenSet[int]]]
 LinkKey = Tuple[int, int]

@@ -28,7 +28,12 @@ from ..core.base import SlotDecision, SynchronousProtocol
 from ..exceptions import ConfigurationError
 from ..net.network import M2HeWNetwork
 
-__all__ = ["build_genie_schedule", "GenieScheduleProtocol", "genie_schedule_length"]
+__all__ = [
+    "GenieScheduleProtocol",
+    "ScheduleEntry",
+    "build_genie_schedule",
+    "genie_schedule_length",
+]
 
 # One schedule entry: (channel, transmitters firing simultaneously).
 ScheduleEntry = Tuple[int, FrozenSet[int]]

@@ -10,7 +10,8 @@ Subcommands:
 * ``compare`` — run several algorithms on one scenario and tabulate;
 * ``timeline`` — render an asynchronous frame timeline (paper Fig. 2);
 * ``terminate`` — run with node-local termination and report energy;
-* ``bounds`` — print every theorem budget for given parameters.
+* ``bounds`` — print every theorem budget for given parameters;
+* ``lint`` — run the repo's determinism/model-invariant static analysis.
 """
 
 from __future__ import annotations
@@ -142,6 +143,28 @@ def build_parser() -> argparse.ArgumentParser:
     bnd.add_argument("--delta-est", type=int, required=True)
     bnd.add_argument("--frame-length", type=float, default=1.0)
     bnd.add_argument("--drift", type=float, default=0.0)
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & model-invariant static analysis (D/M/Q rules)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule ID (repeatable), e.g. --rule D102",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list rule IDs and exit"
+    )
 
     return parser
 
@@ -384,6 +407,29 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools.lint import lint_paths
+    from .devtools.rules import all_rules, select_rules
+
+    if args.list_rules:
+        rows = [
+            {"id": rule.rule_id, "title": rule.title} for rule in all_rules()
+        ]
+        print(format_table(rows, columns=["id", "title"]))
+        return 0
+    if args.rule:
+        try:
+            rules = select_rules(args.rule)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    else:
+        rules = None
+    report = lint_paths(args.paths, rules=rules)
+    print(report.to_json() if args.format == "json" else report.to_text())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -405,6 +451,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "bounds":
         return _cmd_bounds(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -9,7 +9,7 @@ algorithm-specific parameters.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence
+from typing import Callable, FrozenSet, Optional, Sequence, TypeVar
 
 import numpy as np
 
@@ -96,7 +96,10 @@ def make_async_factory(name: str, delta_est: Optional[int] = None) -> AsyncFacto
     )
 
 
-def _require(value, message: str):
+_T = TypeVar("_T")
+
+
+def _require(value: Optional[_T], message: str) -> _T:
     if value is None:
         raise ConfigurationError(message)
     return value

@@ -1,0 +1,25 @@
+"""Developer tooling for the repro codebase.
+
+The centerpiece is :mod:`repro.devtools.lint`, an AST-based linter
+enforcing the repo-specific invariants every empirical claim rests on:
+
+* **D-series (determinism)** — all randomness in simulation packages
+  must flow through :mod:`repro.sim.rng`; no wall-clock reads, no
+  legacy global NumPy RNG state, no ``import random``.
+* **M-series (model invariants)** — protocol classes must respect the
+  paper's system model: neighbor state mutates only through the
+  engine-sanctioned hooks, transmission probabilities derive from
+  parameters rather than inline magic numbers, and every protocol uses
+  its injected private random stream.
+* **Q-series (hygiene)** — mutable default arguments, bare ``except:``
+  clauses, and public symbols missing from ``__all__``.
+
+Run it as ``m2hew lint [paths ...]`` or programmatically through
+:func:`repro.devtools.lint.lint_paths`.
+"""
+
+from __future__ import annotations
+
+from .lint import Finding, LintReport, lint_paths, lint_source
+
+__all__ = ["Finding", "LintReport", "lint_paths", "lint_source"]

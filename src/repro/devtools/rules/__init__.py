@@ -1,0 +1,53 @@
+"""Rule registry for the repro linter.
+
+Rules live in three modules — :mod:`determinism` (D-series),
+:mod:`model` (M-series), :mod:`hygiene` (Q-series) — and register here.
+``docs/static_analysis.md`` documents every ID.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from ..lint import Rule
+from . import determinism, hygiene, model
+
+__all__ = ["all_rules", "rules_by_id", "select_rules"]
+
+_RULE_CLASSES = (
+    determinism.BannedRandomImport,
+    determinism.BannedDefaultRng,
+    determinism.LegacyGlobalNumpyRandom,
+    determinism.WallClockInSimulation,
+    determinism.RandomnessWithoutRngParameter,
+    determinism.DocstringExampleDrift,
+    model.TableMutationOutsideHook,
+    model.LiteralTransmitProbability,
+    model.ProtocolOwnRandomSource,
+    hygiene.MutableDefaultArgument,
+    hygiene.BareExcept,
+    hygiene.MissingAllExport,
+)
+
+
+def all_rules() -> List[Rule]:
+    """One fresh instance of every registered rule, in ID order."""
+    return sorted((cls() for cls in _RULE_CLASSES), key=lambda r: r.rule_id)
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    """Map rule ID -> rule instance."""
+    return {rule.rule_id: rule for rule in all_rules()}
+
+
+def select_rules(ids: Iterable[str]) -> List[Rule]:
+    """Rules for the given IDs; raises ``KeyError`` on an unknown ID."""
+    registry = rules_by_id()
+    selected = []
+    for rule_id in ids:
+        key = rule_id.strip().upper()
+        if key not in registry:
+            known = ", ".join(sorted(registry))
+            raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}")
+        selected.append(registry[key])
+    return selected

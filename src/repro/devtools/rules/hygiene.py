@@ -1,0 +1,175 @@
+"""Q-series rules: general hygiene with determinism side-effects.
+
+These are classic Python pitfalls, kept in-house (rather than deferring
+to an external linter) because each one has bitten reproducibility
+efforts specifically: mutable defaults leak state across trials, bare
+``except:`` swallows the model-violation exceptions the engines raise,
+and an incomplete ``__all__`` makes star-imports — and therefore the
+documented public surface — drift from reality.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..lint import Finding, ModuleContext, Rule, dotted_name
+
+__all__ = ["MutableDefaultArgument", "BareExcept", "MissingAllExport"]
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is not None and name.rsplit(".", 1)[-1] in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+class MutableDefaultArgument(Rule):
+    rule_id = "Q301"
+    title = "no mutable default arguments"
+    rationale = (
+        "A mutable default is created once per process: state from trial k "
+        "leaks into trial k+1, which is exactly the cross-trial coupling "
+        "replayable experiments must exclude."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                if _is_mutable_default(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in `{name}`; default to "
+                        "None and create the container in the body",
+                    )
+
+
+class BareExcept(Rule):
+    rule_id = "Q302"
+    title = "no bare `except:` clauses"
+    rationale = (
+        "Bare except swallows SimulationError/NetworkModelError — the "
+        "exceptions that signal a model-invariant breach — and also "
+        "KeyboardInterrupt/SystemExit. Catch ReproError or a concrete type."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:`; name the exception type (ReproError "
+                    "for library failures)",
+                )
+
+
+def _all_entries(tree: ast.Module) -> Optional[Set[str]]:
+    """Names listed in ``__all__``, following append/extend/+=; ``None``
+    when the module defines no ``__all__`` at all."""
+    entries: Optional[Set[str]] = None
+
+    def literal_names(node: ast.AST) -> List[str]:
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return [
+                elt.value
+                for elt in node.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            ]
+        return []
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    entries = set(literal_names(node.value))
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == "__all__":
+                entries = (entries or set()) | set(literal_names(node.value))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "__all__"
+            ):
+                if func.attr == "append" and node.args:
+                    arg = node.args[0]
+                    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                        entries = (entries or set()) | {arg.value}
+                elif func.attr == "extend" and node.args:
+                    entries = (entries or set()) | set(literal_names(node.args[0]))
+    return entries
+
+
+def _public_definitions(tree: ast.Module) -> List[Tuple[str, ast.AST]]:
+    """(name, node) for every public symbol *defined* at module top level.
+
+    Imports are excluded: re-exports are a deliberate act already covered
+    by listing the name in ``__all__`` where intended.
+    """
+    defs: List[Tuple[str, ast.AST]] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not node.name.startswith("_"):
+                defs.append((node.name, node))
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and not target.id.startswith("_")
+                    and target.id != "__all__"
+                ):
+                    defs.append((target.id, node))
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                defs.append((target.id, node))
+    return defs
+
+
+class MissingAllExport(Rule):
+    rule_id = "Q303"
+    title = "public symbols must appear in `__all__`"
+    rationale = (
+        "The documented API surface is `__all__`; a public symbol missing "
+        "from it is invisible to star-imports and to the docs build, so the "
+        "API drifts silently."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_repro:
+            return  # tests and scripts need no __all__
+        public = _public_definitions(ctx.tree)
+        entries = _all_entries(ctx.tree)
+        if entries is None:
+            if public:
+                yield self.finding(
+                    ctx,
+                    ctx.tree.body[0],
+                    f"module defines {len(public)} public symbol(s) but no "
+                    "__all__",
+                )
+            return
+        for name, node in public:
+            if name not in entries:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"public symbol `{name}` missing from __all__",
+                )

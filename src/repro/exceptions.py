@@ -8,6 +8,14 @@ simulation-time violations.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "NetworkModelError",
+    "SimulationError",
+    "ClockModelError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""

@@ -21,6 +21,7 @@ from ..exceptions import ConfigurationError
 from .topology import Topology
 
 __all__ = [
+    "Assignment",
     "homogeneous",
     "uniform_random_subsets",
     "common_channel_plus_random",

@@ -30,6 +30,7 @@ from .node import NodeSpec
 from .topology import Topology
 
 __all__ = [
+    "Positions",
     "channel_radius",
     "channel_dependent_adjacency",
     "build_channel_dependent_network",

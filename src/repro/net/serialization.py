@@ -16,7 +16,13 @@ from ..exceptions import NetworkModelError
 from .network import M2HeWNetwork
 from .node import NodeSpec
 
-__all__ = ["network_to_dict", "network_from_dict", "save_network", "load_network"]
+__all__ = [
+    "FORMAT_VERSION",
+    "network_to_dict",
+    "network_from_dict",
+    "save_network",
+    "load_network",
+]
 
 FORMAT_VERSION = 1
 

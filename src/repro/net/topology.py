@@ -23,7 +23,9 @@ import numpy as np
 from ..exceptions import ConfigurationError
 
 __all__ = [
+    "AdjacencyPairs",
     "DirectedTopology",
+    "Positions",
     "Topology",
     "asymmetric_random_geometric",
     "random_geometric",

@@ -46,7 +46,7 @@ from .rng import RngFactory
 from .stopping import StoppingCondition
 from .trace import ExecutionTrace, FrameRecord
 
-__all__ = ["AsyncSimulator"]
+__all__ = ["AsyncFactory", "AsyncSimulator"]
 
 AsyncFactory = Callable[[int, frozenset, np.random.Generator], AsynchronousProtocol]
 

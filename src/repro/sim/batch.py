@@ -23,7 +23,7 @@ from .results import DiscoveryResult
 from .rng import derive_trial_seed
 from .runner import run_asynchronous, run_synchronous
 
-__all__ = ["ExperimentSpec", "BatchOutcome", "run_batch"]
+__all__ = ["ExperimentSpec", "BatchOutcome", "SYNC_PROTOCOLS", "run_batch"]
 
 SYNC_PROTOCOLS = (
     "algorithm1",

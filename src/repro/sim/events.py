@@ -15,7 +15,7 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from ..exceptions import SimulationError
 
-__all__ = ["Event", "EventQueue"]
+__all__ = ["Action", "Event", "EventQueue"]
 
 Action = Callable[[], None]
 

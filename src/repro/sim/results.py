@@ -16,7 +16,13 @@ from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple, Union
 
 from ..exceptions import SimulationError
 
-__all__ = ["DiscoveryResult", "result_from_dict", "load_result"]
+__all__ = [
+    "RESULT_FORMAT_VERSION",
+    "DiscoveryResult",
+    "LinkKey",
+    "result_from_dict",
+    "load_result",
+]
 
 RESULT_FORMAT_VERSION = 1
 

@@ -37,6 +37,7 @@ from .stopping import StoppingCondition
 from .trace import ExecutionTrace
 
 __all__ = [
+    "CLOCK_MODELS",
     "run_synchronous",
     "run_asynchronous",
     "run_trials",

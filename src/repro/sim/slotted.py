@@ -40,7 +40,7 @@ from .rng import RngFactory
 from .stopping import StoppingCondition
 from .trace import ExecutionTrace, SlotRecord
 
-__all__ = ["SlottedSimulator"]
+__all__ = ["ProtocolFactory", "SlottedSimulator"]
 
 ProtocolFactory = Callable[[int, frozenset, np.random.Generator], SynchronousProtocol]
 

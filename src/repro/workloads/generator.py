@@ -26,7 +26,13 @@ from ..net.network import M2HeWNetwork
 from ..net.propagation import build_channel_dependent_network
 from ..sim.rng import RngFactory, SeedLike
 
-__all__ = ["WorkloadConfig", "generate_network"]
+__all__ = [
+    "CHANNEL_MODELS",
+    "MODES",
+    "TOPOLOGIES",
+    "WorkloadConfig",
+    "generate_network",
+]
 
 TOPOLOGIES = (
     "random_geometric",

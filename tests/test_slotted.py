@@ -50,7 +50,7 @@ def scripted(monkeypatch):
     return run
 
 
-def pair_network(channels0={0, 1}, channels1={0, 1}):
+def pair_network(channels0=frozenset({0, 1}), channels1=frozenset({0, 1})):
     return M2HeWNetwork(
         [NodeSpec(0, frozenset(channels0)), NodeSpec(1, frozenset(channels1))],
         adjacency=[(0, 1)],
