@@ -7,15 +7,61 @@ prints a paper-style table; tables are also written to
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Sequence
+from typing import Any, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.net import M2HeWNetwork, build_network, channels, topology
+from repro.sim.parallel import run_spec_trials
+from repro.sim.results import DiscoveryResult
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_workers(default: int = 1) -> int:
+    """Trial fan-out for benchmark campaigns.
+
+    Set ``M2HEW_BENCH_WORKERS=N`` to run every seeded campaign below on
+    ``N`` worker processes. Tables stay byte-identical for any value —
+    the parallel backend guarantees worker-count invariance — so this
+    only changes wall-clock time.
+    """
+    raw = os.environ.get("M2HEW_BENCH_WORKERS", "").strip()
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
+def run_bench_trials(
+    network: M2HeWNetwork,
+    protocol: str,
+    *,
+    trials: int,
+    base_seed: Optional[int],
+    **runner_params: Any,
+) -> List[DiscoveryResult]:
+    """Seeded trial campaign honoring ``M2HEW_BENCH_WORKERS``.
+
+    Drop-in for the ``run_trials(lambda seed: run_synchronous(...))``
+    pattern: trial ``t`` uses ``derive_trial_seed(base_seed, t)``
+    exactly as before, so converted benchmarks reproduce their historic
+    numbers bit-for-bit.
+    """
+    return run_spec_trials(
+        network,
+        protocol,
+        trials=trials,
+        base_seed=base_seed,
+        runner_params=runner_params,
+        max_workers=bench_workers(),
+        backend="auto",
+    )
 
 
 def heterogeneous_net(

@@ -13,21 +13,21 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from _helpers import emit_table
+from _helpers import emit_table, run_bench_trials
 from repro.analysis.stats import mean
 from repro.net import build_network, channels, topology
-from repro.sim.runner import run_synchronous, run_trials
 
 TRIALS = 10
 
 
 def mean_time(net, delta_est, base_seed, max_slots=500_000):
-    results = run_trials(
-        lambda seed: run_synchronous(
-            net, "algorithm3", seed=seed, max_slots=max_slots, delta_est=delta_est
-        ),
-        num_trials=TRIALS,
+    results = run_bench_trials(
+        net,
+        "algorithm3",
+        trials=TRIALS,
         base_seed=base_seed,
+        max_slots=max_slots,
+        delta_est=delta_est,
     )
     assert all(r.completed for r in results)
     return mean([r.completion_time for r in results])

@@ -13,10 +13,9 @@ from __future__ import annotations
 
 import pytest
 
-from _helpers import emit_table, heterogeneous_net
+from _helpers import emit_table, heterogeneous_net, run_bench_trials
 from repro.analysis.theory import compare_to_bound
 from repro.core import bounds
-from repro.sim.runner import run_synchronous, run_trials
 
 EPSILON = 0.1
 TRIALS = 15
@@ -32,12 +31,13 @@ def run_experiment():
     comparisons = {}
     for delta_est in DELTA_ESTS:
         budget = bounds.theorem1_slot_budget(s, d, rho, n, EPSILON, delta_est)
-        results = run_trials(
-            lambda seed, de=delta_est: run_synchronous(
-                net, "algorithm1", seed=seed, max_slots=budget, delta_est=de
-            ),
-            num_trials=TRIALS,
+        results = run_bench_trials(
+            net,
+            "algorithm1",
+            trials=TRIALS,
             base_seed=101,
+            max_slots=budget,
+            delta_est=delta_est,
         )
         comp = compare_to_bound(
             f"E1 delta_est={delta_est}", results, budget, EPSILON

@@ -13,10 +13,9 @@ from __future__ import annotations
 
 import pytest
 
-from _helpers import emit_table, heterogeneous_net
+from _helpers import emit_table, heterogeneous_net, run_bench_trials
 from repro.analysis.theory import compare_to_bound
 from repro.core import bounds
-from repro.sim.runner import run_synchronous, run_trials
 
 EPSILON = 0.1
 TRIALS = 15
@@ -39,12 +38,13 @@ def run_experiment():
     rows = []
     comparisons = {}
     for label, protocol, delta_est, budget in configs:
-        results = run_trials(
-            lambda seed, p=protocol, de=delta_est, b=budget: run_synchronous(
-                net, p, seed=seed, max_slots=b, delta_est=de
-            ),
-            num_trials=TRIALS,
+        results = run_bench_trials(
+            net,
+            protocol,
+            trials=TRIALS,
             base_seed=202,
+            max_slots=budget,
+            delta_est=delta_est,
         )
         comp = compare_to_bound(label, results, budget, EPSILON)
         comparisons[label] = comp

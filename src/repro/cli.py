@@ -8,6 +8,8 @@ Subcommands:
 * ``run-sync`` — run a synchronous algorithm on a scenario;
 * ``run-async`` — run Algorithm 4 on a scenario with drifting clocks;
 * ``compare`` — run several algorithms on one scenario and tabulate;
+* ``batch`` — run a seeded multi-protocol campaign, optionally fanned
+  out over worker processes (``--workers``), with JSON archiving;
 * ``timeline`` — render an asynchronous frame timeline (paper Fig. 2);
 * ``terminate`` — run with node-local termination and report energy;
 * ``bounds`` — print every theorem budget for given parameters;
@@ -25,8 +27,15 @@ from .analysis.network_stats import profile_network
 from .analysis.tables import format_table
 from .core import bounds
 from .core.termination import TerminationPolicy, recommended_quiet_threshold
-from .sim.runner import random_start_offsets, run_asynchronous, run_synchronous
+from .sim.parallel import BACKENDS
 from .sim.rng import RngFactory
+from .sim.runner import (
+    CLOCK_MODELS,
+    SYNC_PROTOCOLS,
+    random_start_offsets,
+    run_asynchronous,
+    run_synchronous,
+)
 from .sim.termination_runner import run_terminating_sync
 from .workloads.scenarios import scenario, scenario_names
 
@@ -79,7 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
     sync.add_argument(
         "--protocol",
         default="algorithm3",
-        choices=("algorithm1", "algorithm2", "algorithm3"),
+        choices=SYNC_PROTOCOLS,
     )
     sync.add_argument("--seed", type=int, default=0)
     sync.add_argument("--max-slots", type=int, default=200_000)
@@ -99,7 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     asyn.add_argument(
         "--clock-model",
         default="constant",
-        choices=("perfect", "constant", "random_walk", "sinusoidal"),
+        choices=CLOCK_MODELS,
     )
     asyn.add_argument("--frame-length", type=float, default=1.0)
     asyn.add_argument("--max-frames", type=int, default=100_000)
@@ -130,8 +139,55 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument(
         "--protocols",
         nargs="+",
-        default=["algorithm1", "algorithm2", "algorithm3"],
-        choices=("algorithm1", "algorithm2", "algorithm3"),
+        default=list(SYNC_PROTOCOLS),
+        choices=SYNC_PROTOCOLS,
+    )
+
+    batch = sub.add_parser(
+        "batch",
+        help=(
+            "run a seeded multi-protocol campaign, optionally fanned out "
+            "over worker processes, archiving JSON results"
+        ),
+    )
+    batch.add_argument("scenario", choices=scenario_names())
+    batch.add_argument(
+        "--protocols",
+        nargs="+",
+        default=list(SYNC_PROTOCOLS),
+        choices=SYNC_PROTOCOLS + ("algorithm4",),
+    )
+    batch.add_argument("--trials", type=int, default=5)
+    batch.add_argument("--seed", type=int, default=0, help="campaign base seed")
+    batch.add_argument(
+        "--network-seed", type=int, default=0, help="workload realization seed"
+    )
+    batch.add_argument("--max-slots", type=int, default=200_000)
+    batch.add_argument("--delta-est", type=int, default=None)
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="trial fan-out processes (1 = serial; output is identical)",
+    )
+    batch.add_argument("--backend", choices=BACKENDS, default="auto")
+    batch.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="trials per worker dispatch (default: auto)",
+    )
+    batch.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        help="per-trial wall-clock budget in seconds",
+    )
+    batch.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="archive directory (one JSON per experiment + manifest.json)",
     )
 
     bnd = sub.add_parser("bounds", help="print the paper's theorem budgets")
@@ -391,6 +447,53 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .sim.batch import ExperimentSpec, run_batch
+
+    s = scenario(args.scenario)
+    delta_est = args.delta_est if args.delta_est is not None else s.delta_est
+    specs = []
+    for protocol in args.protocols:
+        if protocol == "algorithm4":
+            runner_params = {"delta_est": delta_est}
+        else:
+            runner_params = {
+                "max_slots": args.max_slots,
+                "delta_est": None if protocol == "algorithm2" else delta_est,
+            }
+        specs.append(
+            ExperimentSpec(
+                name=f"{args.scenario}_{protocol}",
+                workload=s.config,
+                protocol=protocol,
+                trials=args.trials,
+                network_seed=args.network_seed,
+                runner_params=runner_params,
+            )
+        )
+    outcomes = run_batch(
+        specs,
+        base_seed=args.seed,
+        output_dir=args.output,
+        max_workers=args.workers,
+        backend=args.backend,
+        chunk_size=args.chunk_size,
+        trial_timeout=args.trial_timeout,
+    )
+    print(
+        format_table(
+            [o.as_row() for o in outcomes],
+            title=(
+                f"{s.name}: campaign of {args.trials} trials "
+                f"(base seed {args.seed}, {args.workers} worker(s))"
+            ),
+        )
+    )
+    if args.output:
+        print(f"archived to {args.output}/manifest.json", file=sys.stderr)
+    return 0 if all(o.completed_fraction == 1.0 for o in outcomes) else 1
+
+
 def _cmd_bounds(args: argparse.Namespace) -> int:
     budget = bounds.summary(
         s=args.s,
@@ -449,6 +552,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_timeline(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "bounds":
         return _cmd_bounds(args)
     if args.command == "lint":

@@ -8,12 +8,16 @@ simulation-time violations.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
     "NetworkModelError",
     "SimulationError",
     "ClockModelError",
+    "TrialExecutionError",
+    "TrialTimeoutError",
 ]
 
 
@@ -40,3 +44,30 @@ class SimulationError(ReproError):
 
 class ClockModelError(ReproError):
     """A clock model violates the bounded-drift assumption (eq. (1))."""
+
+
+class TrialExecutionError(SimulationError):
+    """A dispatched trial failed (worker exception or crashed process).
+
+    Carries everything needed to replay the failing trial in-process:
+    the experiment name, the trial indices of the chunk that failed and
+    the campaign's ``base_seed`` — the failing seed is
+    ``derive_trial_seed(base_seed, trial_index)``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        experiment: Optional[str] = None,
+        trial_indices: Sequence[int] = (),
+        base_seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.experiment = experiment
+        self.trial_indices = tuple(trial_indices)
+        self.base_seed = base_seed
+
+
+class TrialTimeoutError(TrialExecutionError):
+    """A dispatched trial chunk exceeded its wall-clock budget."""

@@ -20,6 +20,8 @@ __all__ = [
     "FORMAT_VERSION",
     "network_to_dict",
     "network_from_dict",
+    "network_to_json",
+    "network_from_json",
     "save_network",
     "load_network",
 ]
@@ -101,6 +103,24 @@ def network_from_dict(data: Dict[str, Any]) -> M2HeWNetwork:
         return M2HeWNetwork(nodes, adjacency=pairs)
     pairs = [(int(u), int(v)) for u, v in data["directed_adjacency"]]
     return M2HeWNetwork(nodes, directed_adjacency=pairs)
+
+
+def network_to_json(network: M2HeWNetwork) -> str:
+    """Compact JSON form of ``network``.
+
+    Used by the parallel campaign executor to ship one realized workload
+    per worker chunk: a single flat string pickles far cheaper than the
+    nested dict, and the round trip is bit-faithful, so workers rebuild
+    exactly the instance the parent realized.
+    """
+    return json.dumps(
+        network_to_dict(network), separators=(",", ":"), sort_keys=True
+    )
+
+
+def network_from_json(text: str) -> M2HeWNetwork:
+    """Inverse of :func:`network_to_json`."""
+    return network_from_dict(json.loads(text))
 
 
 def save_network(network: M2HeWNetwork, path: Union[str, Path]) -> None:

@@ -23,12 +23,14 @@ from .fast_slotted import (
     VectorSchedule,
 )
 from .medium import Medium, Transmission
+from .parallel import ParallelPlan, resolve_plan, run_spec_trials
 from .results import DiscoveryResult, load_result, result_from_dict
 from .rng import RngFactory, derive_trial_seed, make_generator, spawn_generators
 from .runner import (
     make_clocks,
     random_start_offsets,
     run_asynchronous,
+    run_experiment_trial,
     run_synchronous,
     run_trials,
 )
@@ -63,6 +65,7 @@ __all__ = [
     "FrameRecord",
     "GrowingEstimateSchedule",
     "Medium",
+    "ParallelPlan",
     "PerfectClock",
     "PiecewiseDriftClock",
     "RandomWalkDriftClock",
@@ -79,7 +82,10 @@ __all__ = [
     "make_clocks",
     "make_generator",
     "random_start_offsets",
+    "resolve_plan",
     "run_asynchronous",
+    "run_experiment_trial",
+    "run_spec_trials",
     "run_synchronous",
     "run_trials",
     "spawn_generators",

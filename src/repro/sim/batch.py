@@ -19,17 +19,11 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from ..analysis.stats import SampleSummary, summarize
 from ..exceptions import ConfigurationError
 from ..workloads.generator import WorkloadConfig, generate_network
+from .parallel import run_spec_trials
 from .results import DiscoveryResult
-from .rng import derive_trial_seed
-from .runner import run_asynchronous, run_synchronous
+from .runner import SYNC_PROTOCOLS
 
 __all__ = ["ExperimentSpec", "BatchOutcome", "SYNC_PROTOCOLS", "run_batch"]
-
-SYNC_PROTOCOLS = (
-    "algorithm1",
-    "algorithm2",
-    "algorithm3",
-)
 
 
 @dataclass(frozen=True)
@@ -94,24 +88,34 @@ class BatchOutcome:
         return row
 
 
-def _run_spec(spec: ExperimentSpec, base_seed: Optional[int]) -> BatchOutcome:
+def _run_spec(
+    spec: ExperimentSpec,
+    base_seed: Optional[int],
+    *,
+    max_workers: int = 1,
+    backend: str = "auto",
+    chunk_size: Optional[int] = None,
+    trial_timeout: Optional[float] = None,
+) -> BatchOutcome:
     network = generate_network(spec.workload, seed=spec.network_seed)
-    results: List[DiscoveryResult] = []
-    for t in range(spec.trials):
-        seed = derive_trial_seed(base_seed, t)
-        if spec.protocol in SYNC_PROTOCOLS:
-            params = dict(spec.runner_params)
-            params.setdefault("max_slots", 200_000)
-            result = run_synchronous(network, spec.protocol, seed=seed, **params)
-        else:
-            params = dict(spec.runner_params)
-            if "max_frames_per_node" not in params and "max_real_time" not in params:
-                params["max_frames_per_node"] = 200_000
-            result = run_asynchronous(network, seed=seed, **params)
+    results: List[DiscoveryResult] = run_spec_trials(
+        network,
+        spec.protocol,
+        trials=spec.trials,
+        base_seed=base_seed,
+        runner_params=spec.runner_params,
+        max_workers=max_workers,
+        backend=backend,
+        chunk_size=chunk_size,
+        trial_timeout=trial_timeout,
+        experiment=spec.name,
+    )
+    # Campaign metadata is stamped in the parent, after reassembly, so
+    # archived bytes cannot depend on where a trial happened to run.
+    for t, result in enumerate(results):
         result.metadata["experiment"] = spec.name
         result.metadata["trial"] = t
         result.metadata["workload"] = spec.workload.describe()
-        results.append(result)
 
     times = [
         float(r.completion_time) for r in results if r.completion_time is not None
@@ -129,6 +133,11 @@ def run_batch(
     specs: Sequence[ExperimentSpec],
     base_seed: Optional[int] = 0,
     output_dir: Optional[Union[str, Path]] = None,
+    *,
+    max_workers: int = 1,
+    backend: str = "auto",
+    chunk_size: Optional[int] = None,
+    trial_timeout: Optional[float] = None,
 ) -> List[BatchOutcome]:
     """Run every experiment; optionally archive raw trials + manifest.
 
@@ -140,6 +149,13 @@ def run_batch(
             differ only in what is being compared.
         output_dir: If given, write ``<name>.json`` per experiment (all
             trial results) and ``manifest.json``.
+        max_workers: Trial fan-out per experiment (see
+            :mod:`repro.sim.parallel`). Archived output is byte-identical
+            for any worker count, so neither it nor ``backend`` is
+            recorded in the manifest.
+        backend: ``auto`` (default), ``serial`` or ``process``.
+        chunk_size: Trials per worker dispatch (default: auto).
+        trial_timeout: Per-trial wall-clock budget in seconds.
     """
     if not specs:
         raise ConfigurationError("batch needs at least one experiment")
@@ -147,7 +163,17 @@ def run_batch(
     if len(set(names)) != len(names):
         raise ConfigurationError(f"duplicate experiment names: {sorted(names)}")
 
-    outcomes = [_run_spec(spec, base_seed) for spec in specs]
+    outcomes = [
+        _run_spec(
+            spec,
+            base_seed,
+            max_workers=max_workers,
+            backend=backend,
+            chunk_size=chunk_size,
+            trial_timeout=trial_timeout,
+        )
+        for spec in specs
+    ]
 
     if output_dir is not None:
         out = Path(output_dir)

@@ -1,0 +1,376 @@
+"""Process-pool execution backend for seeded trial fan-out.
+
+Monte-Carlo campaigns are embarrassingly parallel: every trial is fully
+determined by ``(network, protocol, runner_params, trial seed)`` and the
+seeds already derive independently via
+:func:`~repro.sim.rng.derive_trial_seed`. This module exploits that —
+trials are dispatched to worker processes **by index** in fixed-size
+chunks and reassembled **in order**, so the list of results (and hence
+every archived JSON byte) is identical for 1 worker and for 8.
+
+Determinism contract:
+
+* seeds are derived in the parent, once, exactly as the serial loop
+  derives them, and shipped to workers inside the chunk payload;
+* the workload is realized once per experiment and shipped through
+  :mod:`repro.net.serialization` (bit-faithful round trip), never
+  re-generated per trial;
+* workers execute :func:`~repro.sim.runner.run_experiment_trial` — the
+  same code path the serial executor uses.
+
+Failure surface: a worker exception (or a crashed worker process, or a
+chunk exceeding its timeout budget) is raised in the parent as a typed
+:class:`~repro.exceptions.TrialExecutionError` /
+:class:`~repro.exceptions.TrialTimeoutError` carrying the experiment
+name, the chunk's trial indices and the campaign base seed, so the
+failing trial can be replayed in-process (see ``docs/parallel.md``).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, TrialExecutionError, TrialTimeoutError
+from ..net.network import M2HeWNetwork
+from ..net.serialization import network_from_json, network_to_json
+from .results import DiscoveryResult
+from .rng import derive_trial_seed
+from .runner import run_experiment_trial
+
+__all__ = [
+    "BACKENDS",
+    "ParallelPlan",
+    "chunk_indices",
+    "default_chunk_size",
+    "pool_supported",
+    "preferred_start_method",
+    "resolve_plan",
+    "run_spec_trials",
+]
+
+#: Accepted ``backend`` values: ``auto`` picks ``process`` when more
+#: than one worker is requested and the platform can host a pool,
+#: degrading to ``serial`` otherwise.
+BACKENDS = ("auto", "serial", "process")
+
+#: Default dispatch granularity: enough chunks that the pool stays busy
+#: (4 per worker) without shipping one pickle per cheap trial.
+_CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class ParallelPlan:
+    """A resolved execution plan for one experiment's trials.
+
+    Attributes:
+        backend: ``"serial"`` or ``"process"`` (never ``"auto"``).
+        max_workers: Worker processes (1 for the serial backend).
+        chunk_size: Trials shipped per dispatch unit.
+        start_method: Multiprocessing start method for the pool, or
+            ``None`` for the serial backend.
+    """
+
+    backend: str
+    max_workers: int
+    chunk_size: int
+    start_method: Optional[str]
+
+
+def pool_supported() -> bool:
+    """Whether this platform can host a process pool at all."""
+    try:
+        return len(multiprocessing.get_all_start_methods()) > 0
+    except (NotImplementedError, OSError):  # pragma: no cover - exotic hosts
+        return False
+
+
+def preferred_start_method() -> Optional[str]:
+    """``fork`` where available (cheap workers), else the platform default.
+
+    Results do not depend on the start method — trials are pure
+    functions of their shipped payload — so this is purely a dispatch
+    cost choice.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if not methods:  # pragma: no cover - exotic hosts
+        return None
+    return "fork" if "fork" in methods else methods[0]
+
+
+def default_chunk_size(trials: int, max_workers: int) -> int:
+    """Chunk size amortizing per-dispatch pickling over cheap trials."""
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if max_workers < 1:
+        raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+    return max(1, -(-trials // (max_workers * _CHUNKS_PER_WORKER)))
+
+
+def resolve_plan(
+    trials: int,
+    max_workers: int = 1,
+    backend: str = "auto",
+    chunk_size: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> ParallelPlan:
+    """Validate options and resolve the backend actually used.
+
+    Degradation rules: ``max_workers=1`` always runs serially;
+    ``backend="auto"`` falls back to serial when the platform cannot
+    host a pool; an *explicit* ``backend="process"`` on such a platform
+    is a :class:`~repro.exceptions.ConfigurationError` instead of a
+    silent behavior change.
+    """
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
+        )
+    if max_workers < 1:
+        raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    use_pool = backend == "process" or (backend == "auto" and max_workers > 1)
+    if use_pool and not pool_supported():
+        if backend == "process":
+            raise ConfigurationError(
+                "backend='process' requested but this platform cannot "
+                "host a multiprocessing pool; use backend='auto'"
+            )
+        use_pool = False
+    if max_workers == 1:
+        use_pool = False
+
+    if not use_pool:
+        return ParallelPlan(
+            backend="serial",
+            max_workers=1,
+            chunk_size=chunk_size or trials,
+            start_method=None,
+        )
+    method = start_method or preferred_start_method()
+    return ParallelPlan(
+        backend="process",
+        max_workers=max_workers,
+        chunk_size=chunk_size or default_chunk_size(trials, max_workers),
+        start_method=method,
+    )
+
+
+# ----------------------------------------------------------------------
+# chunked dispatch
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ChunkPayload:
+    """Everything a worker needs to run one chunk of trials.
+
+    Self-contained and picklable under any start method: the workload
+    travels as its compact JSON form and the per-trial seeds as
+    :class:`numpy.random.SeedSequence` objects derived in the parent.
+    """
+
+    network_json: str
+    protocol: str
+    runner_params: Dict[str, Any]
+    trial_indices: Tuple[int, ...]
+    seeds: Tuple[np.random.SeedSequence, ...]
+
+
+def chunk_indices(trials: int, chunk_size: int) -> List[Tuple[int, ...]]:
+    """Contiguous index chunks ``[0..trials)`` of at most ``chunk_size``."""
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        tuple(range(lo, min(lo + chunk_size, trials)))
+        for lo in range(0, trials, chunk_size)
+    ]
+
+
+def _run_chunk(payload: _ChunkPayload) -> List[DiscoveryResult]:
+    """Worker entry point: rebuild the workload, run the chunk in order."""
+    network = network_from_json(payload.network_json)
+    return [
+        run_experiment_trial(
+            network,
+            payload.protocol,
+            seed=seed,
+            runner_params=payload.runner_params,
+        )
+        for seed in payload.seeds
+    ]
+
+
+def _wrap_failure(
+    exc: BaseException,
+    *,
+    kind: str,
+    experiment: Optional[str],
+    indices: Sequence[int],
+    base_seed: Optional[int],
+    timed_out: bool = False,
+) -> TrialExecutionError:
+    label = experiment or "<unnamed>"
+    cls = TrialTimeoutError if timed_out else TrialExecutionError
+    err = cls(
+        f"experiment {label!r}: trial chunk {tuple(indices)} {kind} "
+        f"({type(exc).__name__}: {exc}); replay with "
+        f"derive_trial_seed({base_seed!r}, <trial>)",
+        experiment=experiment,
+        trial_indices=indices,
+        base_seed=base_seed,
+    )
+    err.__cause__ = exc
+    return err
+
+
+def _collect_in_order(
+    pending: Sequence[Tuple[Tuple[int, ...], Any]],
+    *,
+    trial_timeout: Optional[float],
+    experiment: Optional[str],
+    base_seed: Optional[int],
+) -> List[DiscoveryResult]:
+    """Await ``(indices, future)`` pairs in dispatch order.
+
+    Each chunk's wall-clock budget is ``trial_timeout × len(chunk)``,
+    counted from when we start waiting on it; chunks complete out of
+    order inside the pool but results are reassembled by index here.
+    Factored out of :func:`run_spec_trials` so the timeout and crash
+    paths are unit-testable with stub futures on any platform.
+    """
+    results: List[DiscoveryResult] = []
+    for indices, future in pending:
+        budget = None if trial_timeout is None else trial_timeout * len(indices)
+        try:
+            results.extend(future.result(timeout=budget))
+        except concurrent.futures.TimeoutError as exc:
+            raise _wrap_failure(
+                exc,
+                kind="timed out",
+                experiment=experiment,
+                indices=indices,
+                base_seed=base_seed,
+                timed_out=True,
+            ) from exc
+        except TrialExecutionError:
+            raise
+        except Exception as exc:
+            raise _wrap_failure(
+                exc,
+                kind="failed",
+                experiment=experiment,
+                indices=indices,
+                base_seed=base_seed,
+            ) from exc
+    return results
+
+
+def run_spec_trials(
+    network: M2HeWNetwork,
+    protocol: str,
+    *,
+    trials: int,
+    base_seed: Optional[int] = 0,
+    runner_params: Optional[Mapping[str, Any]] = None,
+    max_workers: int = 1,
+    backend: str = "auto",
+    chunk_size: Optional[int] = None,
+    trial_timeout: Optional[float] = None,
+    experiment: Optional[str] = None,
+) -> List[DiscoveryResult]:
+    """Run ``trials`` seeded trials, optionally fanned out over processes.
+
+    Trial ``t`` always uses ``derive_trial_seed(base_seed, t)`` and the
+    returned list is always ordered by trial index, so the output is
+    bitwise independent of ``max_workers``, ``backend`` and
+    ``chunk_size``.
+
+    Args:
+        network: The realized workload (shipped to workers via
+            :mod:`repro.net.serialization`, never re-generated).
+        protocol: Any :data:`~repro.sim.runner.SYNC_PROTOCOLS` name or
+            ``algorithm4``.
+        trials: Number of trials.
+        base_seed: Campaign root seed (``None`` draws OS entropy in the
+            parent — still worker-count invariant, but not replayable).
+        runner_params: Extra keyword arguments for the runners.
+        max_workers: Worker processes; 1 means serial.
+        backend: One of :data:`BACKENDS`.
+        chunk_size: Trials per dispatch unit (default: auto).
+        trial_timeout: Per-trial wall-clock budget in seconds; a chunk
+            gets ``trial_timeout × len(chunk)``. Exceeding it aborts
+            the campaign with :class:`TrialTimeoutError`.
+        experiment: Label used in error messages.
+
+    Raises:
+        TrialExecutionError: A trial raised in a worker (or the worker
+            process died); carries the trial indices and base seed.
+        TrialTimeoutError: A chunk exceeded its budget.
+    """
+    plan = resolve_plan(
+        trials, max_workers=max_workers, backend=backend, chunk_size=chunk_size
+    )
+    params: Dict[str, Any] = dict(runner_params or {})
+    seeds = [derive_trial_seed(base_seed, t) for t in range(trials)]
+
+    if plan.backend == "serial":
+        results: List[DiscoveryResult] = []
+        for t in range(trials):
+            try:
+                results.append(
+                    run_experiment_trial(
+                        network, protocol, seed=seeds[t], runner_params=params
+                    )
+                )
+            except Exception as exc:
+                raise _wrap_failure(
+                    exc,
+                    kind="failed",
+                    experiment=experiment,
+                    indices=(t,),
+                    base_seed=base_seed,
+                ) from exc
+        return results
+
+    network_json = network_to_json(network)
+    chunks = chunk_indices(trials, plan.chunk_size)
+    context = multiprocessing.get_context(plan.start_method)
+    executor = concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(plan.max_workers, len(chunks)), mp_context=context
+    )
+    try:
+        pending = [
+            (
+                indices,
+                executor.submit(
+                    _run_chunk,
+                    _ChunkPayload(
+                        network_json=network_json,
+                        protocol=protocol,
+                        runner_params=params,
+                        trial_indices=indices,
+                        seeds=tuple(seeds[i] for i in indices),
+                    ),
+                ),
+            )
+            for indices in chunks
+        ]
+        return _collect_in_order(
+            pending,
+            trial_timeout=trial_timeout,
+            experiment=experiment,
+            base_seed=base_seed,
+        )
+    finally:
+        # A timed-out worker cannot be interrupted cooperatively; drop
+        # the whole pool so stragglers do not outlive the campaign.
+        executor.shutdown(wait=False, cancel_futures=True)

@@ -8,7 +8,7 @@ from one base seed (fully reproducible sweeps).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -38,14 +38,20 @@ from .trace import ExecutionTrace
 
 __all__ = [
     "CLOCK_MODELS",
+    "SYNC_PROTOCOLS",
     "run_synchronous",
     "run_asynchronous",
+    "run_experiment_trial",
     "run_trials",
     "make_clocks",
     "random_start_offsets",
 ]
 
 CLOCK_MODELS = ("perfect", "constant", "random_walk", "sinusoidal")
+
+#: The paper protocols with a vectorized synchronous schedule — the set
+#: batch campaigns accept (plus ``algorithm4`` for asynchronous runs).
+SYNC_PROTOCOLS = ("algorithm1", "algorithm2", "algorithm3")
 
 
 def _vector_schedule(
@@ -247,6 +253,33 @@ def run_asynchronous(
     result.metadata["drift_bound"] = drift_bound
     result.metadata["clock_model"] = clock_model
     return result
+
+
+def run_experiment_trial(
+    network: M2HeWNetwork,
+    protocol: str,
+    *,
+    seed: SeedLike,
+    runner_params: Optional[Mapping[str, Any]] = None,
+) -> DiscoveryResult:
+    """Run one trial of a batch experiment (any protocol, default budgets).
+
+    The single code path behind both the serial and the process-pool
+    campaign executors: given the same ``(network, protocol, seed,
+    runner_params)`` it must produce bit-identical results wherever it
+    runs, which is what makes ``run_batch`` worker-count invariant.
+    """
+    params: Dict[str, Any] = dict(runner_params or {})
+    if protocol in SYNC_PROTOCOLS:
+        params.setdefault("max_slots", 200_000)
+        return run_synchronous(network, protocol, seed=seed, **params)
+    if protocol == "algorithm4":
+        if "max_frames_per_node" not in params and "max_real_time" not in params:
+            params["max_frames_per_node"] = 200_000
+        return run_asynchronous(network, seed=seed, **params)
+    raise ConfigurationError(
+        f"unknown protocol {protocol!r} for batch experiments"
+    )
 
 
 def run_trials(

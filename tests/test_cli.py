@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import argparse
+import json
+
 import pytest
 
+import repro.cli as cli_module
 from repro.cli import build_parser, main
 
 
@@ -172,3 +176,110 @@ class TestParser:
             ]
         )
         assert code == 0
+
+
+class TestBatchCommand:
+    def test_arg_parsing_defaults(self):
+        args = build_parser().parse_args(["batch", "rural_sparse"])
+        assert args.workers == 1
+        assert args.backend == "auto"
+        assert args.chunk_size is None
+        assert args.trial_timeout is None
+        assert args.output is None
+
+    def test_arg_parsing_workers(self):
+        args = build_parser().parse_args(
+            ["batch", "rural_sparse", "--workers", "4", "--backend", "process"]
+        )
+        assert args.workers == 4
+        assert args.backend == "process"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["batch", "rural_sparse", "--backend", "threads"]
+            )
+
+    def test_invalid_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "nowhere"])
+
+    def test_batch_runs_and_tabulates(self, capsys):
+        code = main(
+            [
+                "batch",
+                "rural_sparse",
+                "--trials", "2",
+                "--max-slots", "50000",
+                "--protocols", "algorithm3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rural_sparse_algorithm3" in out
+        assert "mean_time" in out
+
+    def test_workers_manifest_identical_to_serial(self, tmp_path, capsys):
+        base = [
+            "batch",
+            "rural_sparse",
+            "--trials", "2",
+            "--max-slots", "50000",
+            "--protocols", "algorithm3",
+        ]
+        serial_dir = tmp_path / "serial"
+        pool_dir = tmp_path / "pool"
+        assert main(base + ["--output", str(serial_dir)]) == 0
+        assert (
+            main(base + ["--workers", "2", "--output", str(pool_dir)]) == 0
+        )
+        for name in ("manifest.json", "rural_sparse_algorithm3.json"):
+            assert (serial_dir / name).read_bytes() == (
+                pool_dir / name
+            ).read_bytes()
+        manifest = json.loads((serial_dir / "manifest.json").read_text())
+        assert manifest["experiments"][0]["name"] == "rural_sparse_algorithm3"
+
+    def test_batch_async_protocol(self, capsys):
+        code = main(
+            [
+                "batch",
+                "rural_sparse",
+                "--trials", "1",
+                "--protocols", "algorithm4",
+            ]
+        )
+        assert code == 0
+        assert "rural_sparse_algorithm4" in capsys.readouterr().out
+
+
+class TestHelpTextDrift:
+    """The module docstring and the parser must list the same commands."""
+
+    def _subcommands(self):
+        parser = build_parser()
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                return sorted(action.choices)
+        raise AssertionError("no subparsers registered")
+
+    def test_every_subcommand_documented(self):
+        doc = cli_module.__doc__
+        for name in self._subcommands():
+            assert f"``{name}``" in doc, (
+                f"subcommand {name!r} missing from the repro.cli docstring"
+            )
+
+    def test_batch_help_mentions_workers(self):
+        parser = build_parser()
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                help_text = action.choices["batch"].format_help()
+                break
+        assert "--workers" in help_text
+        assert "--backend" in help_text
+        assert "--trial-timeout" in help_text
+
+    def test_top_level_help_lists_batch(self):
+        help_text = build_parser().format_help()
+        assert "batch" in help_text

@@ -1,0 +1,151 @@
+"""Differential tests: independent implementations must agree.
+
+Two cross-checks guard against silent divergence:
+
+* **engine vs engine** — the vectorized ``FastSlottedSimulator`` and the
+  object-per-node reference ``slotted`` engine implement the same
+  protocols independently; over many seeds their mean completion slot
+  must agree within a combined confidence interval (they consume
+  randomness differently, so per-seed equality is not expected);
+* **parallel vs serial** — the process-pool campaign executor must be a
+  pure dispatch optimization: byte-identical archives, trial for trial.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.net import M2HeWNetwork, NodeSpec, build_network, channels, topology
+from repro.sim.batch import ExperimentSpec, run_batch
+from repro.sim.parallel import run_spec_trials
+from repro.sim.rng import derive_trial_seed
+from repro.sim.runner import SYNC_PROTOCOLS, run_synchronous
+
+SEEDS = 30
+BASE_SEED = 1234
+
+
+def diff_net() -> M2HeWNetwork:
+    """5-node clique, 2 homogeneous channels — completes fast under all
+    three paper algorithms on both engines."""
+    topo = topology.clique(5)
+    return build_network(topo, channels.homogeneous(5, 2))
+
+
+def completion_times(net, protocol, engine, delta_est):
+    times = []
+    for t in range(SEEDS):
+        result = run_synchronous(
+            net,
+            protocol,
+            seed=derive_trial_seed(BASE_SEED, t),
+            max_slots=100_000,
+            delta_est=delta_est,
+            engine=engine,
+        )
+        assert result.completed, (protocol, engine, t)
+        times.append(float(result.completion_time))
+    return times
+
+
+def mean_std(xs):
+    m = sum(xs) / len(xs)
+    var = sum((x - m) ** 2 for x in xs) / (len(xs) - 1)
+    return m, math.sqrt(var)
+
+
+@pytest.mark.slow
+class TestEnginesAgreeStatistically:
+    @pytest.mark.parametrize("protocol", SYNC_PROTOCOLS)
+    def test_mean_completion_within_ci(self, protocol):
+        net = diff_net()
+        delta_est = None if protocol == "algorithm2" else 8
+        fast = completion_times(net, protocol, "fast", delta_est)
+        ref = completion_times(net, protocol, "reference", delta_est)
+        mf, sf = mean_std(fast)
+        mr, sr = mean_std(ref)
+        # Welch CI at ~3 sigma: generous enough to be deterministic-safe
+        # (seeds are fixed), tight enough to catch a semantics drift —
+        # e.g. an off-by-one slot origin shifts the mean by ~1 while the
+        # combined standard error here is a few slots.
+        stderr = math.sqrt(sf**2 / len(fast) + sr**2 / len(ref))
+        assert abs(mf - mr) <= 3.0 * stderr + 1e-9, (
+            f"{protocol}: fast mean {mf:.2f} vs reference mean {mr:.2f} "
+            f"(3*stderr = {3 * stderr:.2f})"
+        )
+
+    @pytest.mark.parametrize("protocol", SYNC_PROTOCOLS)
+    def test_both_engines_full_coverage_tables(self, protocol):
+        net = diff_net()
+        delta_est = None if protocol == "algorithm2" else 8
+        for engine in ("fast", "reference"):
+            result = run_synchronous(
+                net,
+                protocol,
+                seed=derive_trial_seed(BASE_SEED, 0),
+                max_slots=100_000,
+                delta_est=delta_est,
+                engine=engine,
+            )
+            # Identical semantic surface: every directed link covered
+            # and every neighbor table complete.
+            assert result.completed
+            for owner, table in result.neighbor_tables.items():
+                assert set(table) == set(net.hears(owner))
+
+
+class TestParallelSerialIdentity:
+    """Fast (non-statistical) half of the differential suite."""
+
+    @pytest.mark.parametrize("protocol", SYNC_PROTOCOLS)
+    def test_trials_bitwise_equal(self, protocol):
+        net = M2HeWNetwork(
+            [
+                NodeSpec(0, frozenset({0, 1})),
+                NodeSpec(1, frozenset({0, 1})),
+            ],
+            adjacency=[(0, 1)],
+        )
+        params = {
+            "max_slots": 50_000,
+            "delta_est": None if protocol == "algorithm2" else 4,
+        }
+        serial = run_spec_trials(
+            net, protocol, trials=4, base_seed=77, runner_params=params
+        )
+        pooled = run_spec_trials(
+            net,
+            protocol,
+            trials=4,
+            base_seed=77,
+            runner_params=params,
+            max_workers=2,
+            backend="process",
+            chunk_size=1,
+        )
+        assert [r.to_dict() for r in serial] == [r.to_dict() for r in pooled]
+
+    def test_batch_outcome_summaries_equal(self, tmp_path):
+        from repro.workloads.generator import WorkloadConfig
+
+        spec = ExperimentSpec(
+            name="diff",
+            workload=WorkloadConfig(
+                topology="ring",
+                topology_params={"num_nodes": 6},
+                channel_model="homogeneous",
+                channel_params={"num_channels": 2},
+            ),
+            protocol="algorithm3",
+            trials=5,
+            runner_params={"delta_est": 4, "max_slots": 50_000},
+        )
+        serial = run_batch([spec], base_seed=5, max_workers=1)[0]
+        pooled = run_batch(
+            [spec], base_seed=5, max_workers=2, backend="process"
+        )[0]
+        assert serial.as_row() == pooled.as_row()
+        assert serial.network_params == pooled.network_params
+        assert serial.completion.mean == pooled.completion.mean

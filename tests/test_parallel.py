@@ -1,0 +1,365 @@
+"""Tests for the process-pool trial execution backend."""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    SimulationError,
+    TrialExecutionError,
+    TrialTimeoutError,
+)
+from repro.net import M2HeWNetwork, NodeSpec
+from repro.sim.batch import ExperimentSpec, run_batch
+from repro.sim.parallel import (
+    _collect_in_order,
+    chunk_indices,
+    default_chunk_size,
+    pool_supported,
+    resolve_plan,
+    run_spec_trials,
+)
+from repro.sim.rng import derive_trial_seed
+from repro.sim.runner import run_experiment_trial
+from repro.workloads.generator import WorkloadConfig
+
+
+def tiny_net() -> M2HeWNetwork:
+    nodes = [
+        NodeSpec(0, frozenset({0, 1})),
+        NodeSpec(1, frozenset({0, 1})),
+        NodeSpec(2, frozenset({0, 1})),
+    ]
+    return M2HeWNetwork(nodes, adjacency=[(0, 1), (1, 2), (0, 2)])
+
+
+def small_workload() -> WorkloadConfig:
+    return WorkloadConfig(
+        topology="clique",
+        topology_params={"num_nodes": 5},
+        channel_model="homogeneous",
+        channel_params={"num_channels": 2},
+    )
+
+
+PARAMS = {"delta_est": 4, "max_slots": 30_000}
+
+
+class TestResolvePlan:
+    def test_single_worker_is_serial(self):
+        plan = resolve_plan(10, max_workers=1, backend="auto")
+        assert plan.backend == "serial"
+        assert plan.max_workers == 1
+
+    def test_auto_multi_worker_uses_pool(self):
+        if not pool_supported():  # pragma: no cover - exotic hosts
+            pytest.skip("no multiprocessing on this platform")
+        plan = resolve_plan(10, max_workers=4, backend="auto")
+        assert plan.backend == "process"
+        assert plan.max_workers == 4
+        assert plan.start_method is not None
+
+    def test_explicit_serial_wins_over_workers(self):
+        plan = resolve_plan(10, max_workers=8, backend="serial")
+        assert plan.backend == "serial"
+
+    def test_auto_degrades_without_pool_support(self, monkeypatch):
+        monkeypatch.setattr("repro.sim.parallel.pool_supported", lambda: False)
+        plan = resolve_plan(10, max_workers=8, backend="auto")
+        assert plan.backend == "serial"
+
+    def test_explicit_process_without_pool_support_raises(self, monkeypatch):
+        monkeypatch.setattr("repro.sim.parallel.pool_supported", lambda: False)
+        with pytest.raises(ConfigurationError, match="cannot host"):
+            resolve_plan(10, max_workers=8, backend="process")
+
+    def test_process_with_one_worker_degrades(self):
+        plan = resolve_plan(10, max_workers=1, backend="process")
+        assert plan.backend == "serial"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            resolve_plan(10, backend="threads")
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_workers"):
+            resolve_plan(10, max_workers=0)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError, match="chunk_size"):
+            resolve_plan(10, max_workers=2, chunk_size=0)
+
+
+class TestChunking:
+    def test_exact_partition(self):
+        assert chunk_indices(6, 3) == [(0, 1, 2), (3, 4, 5)]
+
+    def test_ragged_tail(self):
+        assert chunk_indices(7, 3) == [(0, 1, 2), (3, 4, 5), (6,)]
+
+    def test_chunk_larger_than_trials(self):
+        assert chunk_indices(2, 10) == [(0, 1)]
+
+    def test_default_chunk_size_amortizes(self):
+        # 100 trials over 4 workers -> 16 chunks of 7.
+        assert default_chunk_size(100, 4) == 7
+        assert default_chunk_size(3, 8) == 1
+
+    def test_covers_every_index_once(self):
+        indices = [i for c in chunk_indices(23, 4) for i in c]
+        assert indices == list(range(23))
+
+
+class TestWorkerCountInvariance:
+    def test_results_identical_across_worker_counts(self):
+        net = tiny_net()
+        serial = run_spec_trials(
+            net, "algorithm3", trials=6, base_seed=3, runner_params=PARAMS
+        )
+        pooled = run_spec_trials(
+            net,
+            "algorithm3",
+            trials=6,
+            base_seed=3,
+            runner_params=PARAMS,
+            max_workers=3,
+            backend="process",
+            chunk_size=2,
+        )
+        assert [r.to_dict() for r in serial] == [r.to_dict() for r in pooled]
+
+    def test_chunk_size_does_not_matter(self):
+        net = tiny_net()
+        runs = [
+            run_spec_trials(
+                net,
+                "algorithm3",
+                trials=5,
+                base_seed=9,
+                runner_params=PARAMS,
+                max_workers=2,
+                backend="process",
+                chunk_size=size,
+            )
+            for size in (1, 4)
+        ]
+        assert [r.to_dict() for r in runs[0]] == [r.to_dict() for r in runs[1]]
+
+    def test_results_ordered_by_trial_index(self):
+        net = tiny_net()
+        results = run_spec_trials(
+            net,
+            "algorithm3",
+            trials=5,
+            base_seed=3,
+            runner_params=PARAMS,
+            max_workers=2,
+            backend="process",
+            chunk_size=1,
+        )
+        # Trial t is replayable in-process from its derived seed; order
+        # in the returned list must match the index-derived seeds.
+        for t, result in enumerate(results):
+            replay = run_experiment_trial(
+                net,
+                "algorithm3",
+                seed=derive_trial_seed(3, t),
+                runner_params=PARAMS,
+            )
+            assert replay.to_dict() == result.to_dict()
+
+    def test_batch_archive_byte_identical(self, tmp_path):
+        spec = ExperimentSpec(
+            name="inv",
+            workload=small_workload(),
+            protocol="algorithm3",
+            trials=4,
+            runner_params=dict(PARAMS),
+        )
+        d1, d2 = tmp_path / "serial", tmp_path / "pool"
+        run_batch([spec], base_seed=1, output_dir=d1, max_workers=1)
+        run_batch(
+            [spec],
+            base_seed=1,
+            output_dir=d2,
+            max_workers=4,
+            backend="process",
+            chunk_size=1,
+        )
+        for name in ("inv.json", "manifest.json"):
+            assert (d1 / name).read_bytes() == (d2 / name).read_bytes()
+
+
+class TestFailurePropagation:
+    def test_worker_exception_surfaced_with_replay_info(self):
+        net = tiny_net()
+        # algorithm1 without delta_est is a poison payload: it raises
+        # only once the worker actually executes the trial.
+        with pytest.raises(TrialExecutionError) as info:
+            run_spec_trials(
+                net,
+                "algorithm1",
+                trials=3,
+                base_seed=5,
+                runner_params={"max_slots": 100},
+                max_workers=2,
+                backend="process",
+                chunk_size=1,
+                experiment="poison",
+            )
+        err = info.value
+        assert err.experiment == "poison"
+        assert err.base_seed == 5
+        assert err.trial_indices == (0,)
+        # The carried indices + base seed replay the failure in-process.
+        with pytest.raises(ConfigurationError):
+            run_experiment_trial(
+                net,
+                "algorithm1",
+                seed=derive_trial_seed(err.base_seed, err.trial_indices[0]),
+                runner_params={"max_slots": 100},
+            )
+
+    def test_serial_fallback_same_error_surface(self):
+        with pytest.raises(TrialExecutionError) as info:
+            run_spec_trials(
+                tiny_net(),
+                "algorithm1",
+                trials=2,
+                base_seed=5,
+                runner_params={"max_slots": 100},
+                max_workers=1,
+                experiment="poison",
+            )
+        assert info.value.trial_indices == (0,)
+        assert isinstance(info.value, SimulationError)
+
+    def test_unknown_protocol_wrapped(self):
+        spec_err = pytest.raises(
+            TrialExecutionError,
+            run_spec_trials,
+            tiny_net(),
+            "telepathy",
+            trials=1,
+            base_seed=0,
+        )
+        assert "telepathy" in str(spec_err.value)
+
+
+class _StubFuture:
+    """Future double: returns a payload, raises, or times out."""
+
+    def __init__(self, payload=None, error=None, timeout=False):
+        self._payload = payload
+        self._error = error
+        self._timeout = timeout
+        self.seen_timeouts = []
+
+    def result(self, timeout=None):
+        self.seen_timeouts.append(timeout)
+        if self._timeout:
+            raise concurrent.futures.TimeoutError()
+        if self._error is not None:
+            raise self._error
+        return self._payload
+
+
+class TestCollectInOrder:
+    """Timeout/crash paths exercised with stub futures — no fork, no
+    pool, no real clocks, so they run identically on every platform."""
+
+    def test_reassembles_in_dispatch_order(self):
+        pending = [
+            ((0, 1), _StubFuture(payload=["r0", "r1"])),
+            ((2,), _StubFuture(payload=["r2"])),
+        ]
+        out = _collect_in_order(
+            pending, trial_timeout=None, experiment="e", base_seed=0
+        )
+        assert out == ["r0", "r1", "r2"]
+
+    def test_timeout_budget_scales_with_chunk(self):
+        fut = _StubFuture(payload=[])
+        _collect_in_order(
+            [((0, 1, 2), fut)], trial_timeout=1.5, experiment="e", base_seed=0
+        )
+        assert fut.seen_timeouts == [4.5]
+
+    def test_no_timeout_waits_forever(self):
+        fut = _StubFuture(payload=[])
+        _collect_in_order(
+            [((0,), fut)], trial_timeout=None, experiment="e", base_seed=0
+        )
+        assert fut.seen_timeouts == [None]
+
+    def test_timeout_raises_typed_error(self):
+        pending = [((4, 5), _StubFuture(timeout=True))]
+        with pytest.raises(TrialTimeoutError) as info:
+            _collect_in_order(
+                pending, trial_timeout=0.5, experiment="slowpoke", base_seed=11
+            )
+        err = info.value
+        assert err.trial_indices == (4, 5)
+        assert err.base_seed == 11
+        assert err.experiment == "slowpoke"
+        assert "timed out" in str(err)
+
+    def test_crashed_worker_raises_typed_error(self):
+        # BrokenProcessPool is what a hard worker death surfaces as.
+        broken = BrokenProcessPool("worker died")
+        pending = [((0,), _StubFuture(error=broken))]
+        with pytest.raises(TrialExecutionError) as info:
+            _collect_in_order(
+                pending, trial_timeout=None, experiment="crash", base_seed=2
+            )
+        assert info.value.trial_indices == (0,)
+        assert info.value.__cause__ is broken
+
+    def test_typed_errors_pass_through_unwrapped(self):
+        original = TrialExecutionError("inner", trial_indices=(7,), base_seed=1)
+        pending = [((0,), _StubFuture(error=original))]
+        with pytest.raises(TrialExecutionError) as info:
+            _collect_in_order(
+                pending, trial_timeout=None, experiment="e", base_seed=0
+            )
+        assert info.value is original
+
+
+class TestAsyncProtocolFanOut:
+    def test_algorithm4_parallel_matches_serial(self):
+        net = tiny_net()
+        params = {"delta_est": 4, "max_frames_per_node": 50_000}
+        serial = run_spec_trials(
+            net, "algorithm4", trials=3, base_seed=2, runner_params=params
+        )
+        pooled = run_spec_trials(
+            net,
+            "algorithm4",
+            trials=3,
+            base_seed=2,
+            runner_params=params,
+            max_workers=3,
+            backend="process",
+            chunk_size=1,
+        )
+        assert [r.to_dict() for r in serial] == [r.to_dict() for r in pooled]
+
+
+class TestArchiveManifestJson:
+    def test_manifest_does_not_record_worker_count(self, tmp_path):
+        spec = ExperimentSpec(
+            name="m",
+            workload=small_workload(),
+            protocol="algorithm3",
+            trials=2,
+            runner_params=dict(PARAMS),
+        )
+        run_batch([spec], base_seed=1, output_dir=tmp_path, max_workers=2)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert "workers" not in json.dumps(manifest)
+        assert manifest["base_seed"] == 1
