@@ -1,0 +1,153 @@
+"""E18 (extension) — robustness under fault injection.
+
+Two claims about the fault subsystem, recorded in
+``BENCH_robustness.json`` at the repo root:
+
+1. **Zero cost when unused** — a zero-intensity :class:`FaultPlan`
+   compiles away entirely, so the fast engine with an empty plan runs
+   within 5% of the fault-free engine (ABAB interleaved timing, median
+   of several rounds, fixed slot horizon).
+2. **Monotone degradation** — sweeping jamming duty cycle upward never
+   *improves* Algorithm 3's completion behavior (coverage and censored
+   completion time, checked via
+   :func:`repro.analysis.robustness.is_monotone_non_improving`).
+
+Campaigns honor ``M2HEW_BENCH_WORKERS``; the degradation table is
+byte-identical for any worker count.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_e18_robustness.py``)
+or via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+import pytest
+
+from _helpers import emit_table, heterogeneous_net, run_bench_trials
+from repro.analysis.robustness import (
+    aggregate_point,
+    degradation_table,
+    is_monotone_non_improving,
+)
+from repro.faults import FaultPlan, JammingBursts
+from repro.sim.runner import run_synchronous
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_robustness.json"
+
+TIMING_SLOTS = 2_000
+TIMING_ROUNDS = 5
+DUTIES = (0.0, 0.2, 0.4, 0.6)
+TRIALS = 8
+MAX_SLOTS = 60_000
+BASE_SEED = 18
+
+
+def _overhead_at_zero_intensity() -> dict:
+    """ABAB-interleaved timing: fault-free vs empty-plan fast engine."""
+    net = heterogeneous_net(num_nodes=20, radius=0.35)
+    empty = FaultPlan()
+
+    def run(faults):
+        return run_synchronous(
+            net,
+            "algorithm3",
+            seed=7,
+            max_slots=TIMING_SLOTS,
+            delta_est=8,
+            stop_on_full_coverage=False,
+            faults=faults,
+        )
+
+    run(None)  # warm up caches / imports outside the timed region
+    base_times, plan_times = [], []
+    for _ in range(TIMING_ROUNDS):
+        t0 = time.perf_counter()
+        run(None)
+        base_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run(empty)
+        plan_times.append(time.perf_counter() - t0)
+    base = statistics.median(base_times)
+    plan = statistics.median(plan_times)
+    return {
+        "fault_free_seconds": round(base, 4),
+        "empty_plan_seconds": round(plan, 4),
+        "overhead_fraction": round(plan / base - 1.0, 4),
+    }
+
+
+def _jamming_plan(duty: float) -> FaultPlan:
+    return FaultPlan(
+        models=(JammingBursts.from_duty_cycle(duty, mean_burst=200.0),)
+    )
+
+
+def _degradation_points():
+    net = heterogeneous_net(num_nodes=15, radius=0.42)
+    points = []
+    for duty in DUTIES:
+        params = {
+            "max_slots": MAX_SLOTS,
+            "delta_est": 8,
+        }
+        plan = _jamming_plan(duty) if duty > 0 else None
+        if plan is not None:
+            params["faults"] = plan
+        results = run_bench_trials(
+            net,
+            "algorithm3",
+            trials=TRIALS,
+            base_seed=BASE_SEED,
+            **params,
+        )
+        points.append(aggregate_point(duty, results))
+    return points
+
+
+def run_experiment() -> dict:
+    overhead = _overhead_at_zero_intensity()
+    points = _degradation_points()
+    monotone = is_monotone_non_improving(points)
+    rows = degradation_table(points)
+    record = {
+        "benchmark": "robustness",
+        "protocol": "algorithm3",
+        "trials": TRIALS,
+        "max_slots": MAX_SLOTS,
+        "base_seed": BASE_SEED,
+        "jamming_duties": list(DUTIES),
+        "degradation": rows,
+        "monotone_non_improving": monotone,
+        **overhead,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    emit_table(
+        "e18_robustness",
+        rows,
+        title=(
+            "E18 — Algorithm 3 under jamming (duty sweep, "
+            f"{TRIALS} trials; empty-plan overhead "
+            f"{overhead['overhead_fraction'] * 100:.1f}%)"
+        ),
+        columns=["intensity", "trials", "completed", "mean_coverage", "mean_time"],
+    )
+    return record
+
+
+@pytest.mark.benchmark(group="e18-robustness")
+def test_e18_robustness(benchmark):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Zero-intensity plans compile away; the fault layer may not tax
+    # fault-free runs.
+    assert record["overhead_fraction"] < 0.05
+    # Heavier jamming must never help.
+    assert record["monotone_non_improving"]
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_experiment(), indent=2, sort_keys=True))

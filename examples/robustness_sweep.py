@@ -1,0 +1,123 @@
+"""Robustness sweep: discovery under escalating jamming (fault injection).
+
+The paper assumes a static spectrum; real cognitive-radio deployments
+face jammers, returning primary users and bursty links. This example
+sweeps the jamming duty cycle against both extremes of the protocol
+family — Algorithm 1 (synchronous, full knowledge) and Algorithm 4
+(asynchronous, drifting clocks) — and tabulates the degradation curves
+from :mod:`repro.analysis.robustness`:
+
+1. completion slows monotonically as the jammer's duty cycle grows;
+2. discovery still *completes* whenever the jammer leaves any air time
+   (the protocols are oblivious but the randomization is resilient);
+3. after a jamming burst ends, re-discovery resumes immediately
+   (re-discovery delays from the fault event log).
+
+Run:  PYTHONPATH=src python examples/robustness_sweep.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import net
+from repro.analysis.robustness import (
+    degradation_curve,
+    degradation_table,
+    is_monotone_non_improving,
+    rediscovery_delays,
+)
+from repro.analysis.tables import format_table
+from repro.faults import FaultPlan, FixedWindows, JammingBursts
+from repro.sim.runner import run_asynchronous, run_synchronous
+
+DUTIES = (0.0, 0.2, 0.4, 0.6)
+TRIALS = 5
+
+
+def build_network():
+    rng = np.random.default_rng(23)
+    topo = net.topology.random_geometric(
+        10, radius=0.5, rng=rng, require_connected=True
+    )
+    assignment = net.channels.common_channel_plus_random(
+        topo.num_nodes, universal_size=5, set_size=3, rng=rng
+    )
+    return net.build_network(topo, assignment)
+
+
+def jamming_plan(duty: float, mean_burst: float):
+    if duty == 0.0:
+        return None
+    return FaultPlan(
+        models=(JammingBursts.from_duty_cycle(duty, mean_burst=mean_burst),)
+    )
+
+
+def main() -> None:
+    network = build_network()
+    delta_est = max(2, network.max_degree)
+
+    def sync_trial(duty: float, seed: np.random.SeedSequence):
+        return run_synchronous(
+            network,
+            "algorithm1",
+            seed=seed,
+            max_slots=100_000,
+            delta_est=delta_est,
+            faults=jamming_plan(duty, mean_burst=150.0),
+        )
+
+    def async_trial(duty: float, seed: np.random.SeedSequence):
+        return run_asynchronous(
+            network,
+            seed=seed,
+            delta_est=delta_est,
+            max_frames_per_node=20_000,
+            drift_bound=1e-3,
+            faults=jamming_plan(duty, mean_burst=40.0),
+        )
+
+    curves = {}
+    for label, trial_fn in (
+        ("algorithm1 (sync)", sync_trial),
+        ("algorithm4 (async)", async_trial),
+    ):
+        points = degradation_curve(DUTIES, trial_fn, trials=TRIALS, base_seed=5)
+        curves[label] = points
+        print(
+            format_table(
+                degradation_table(points),
+                title=f"{label}: jamming duty sweep on N={network.num_nodes}",
+            )
+        )
+        print()
+
+    # A targeted burst: jam everything for the first 500 slots, then
+    # measure how fast discovery resumes once the spectrum clears.
+    burst = FaultPlan(models=(JammingBursts(FixedWindows(((0.0, 500.0),))),))
+    result = run_synchronous(
+        network,
+        "algorithm1",
+        seed=9,
+        max_slots=100_000,
+        delta_est=delta_est,
+        faults=burst,
+    )
+    delays = [d for d in rediscovery_delays(result) if d is not None]
+    print(
+        f"Total blackout over slots [0, 500): completed={result.completed}, "
+        f"first re-discovery {min(delays):.0f} slot(s) after the burst ends."
+    )
+
+    for label, points in curves.items():
+        assert is_monotone_non_improving(points), label
+        assert all(p.completed_fraction == 1.0 for p in points), label
+    print(
+        "\nOK: both algorithms completed at every jamming level, and "
+        "degradation was monotone in the duty cycle."
+    )
+
+
+if __name__ == "__main__":
+    main()

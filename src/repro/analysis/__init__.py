@@ -9,6 +9,7 @@ from . import (
     network_stats,
     progress,
     regression,
+    robustness,
     stats,
     sweeps,
     tables,
@@ -23,6 +24,7 @@ __all__ = [
     "network_stats",
     "progress",
     "regression",
+    "robustness",
     "stats",
     "sweeps",
     "tables",

@@ -1,0 +1,178 @@
+"""Robustness analysis: degradation curves under fault injection.
+
+The fault subsystem (:mod:`repro.faults`) turns a static trial into a
+family parameterized by *fault intensity* (jamming duty cycle, loss
+rate, churn rate, …). This module provides the common post-processing:
+
+* :func:`degradation_curve` — run seeded trials along an intensity axis
+  and aggregate coverage / completion per point;
+* :func:`degradation_table` — row form for table rendering;
+* :func:`is_monotone_non_improving` — sanity check that performance
+  does not *improve* as faults intensify (within noise slack);
+* :func:`rediscovery_delays` — how long after a spectrum blocker
+  departs (a primary user switching off, a jamming burst ending) the
+  protocol covers its next link.
+
+Completion times are *censored at the horizon*: an uncompleted trial
+contributes its horizon as a lower bound, so the difficulty scalar
+stays defined when heavy faults prevent full coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..sim.results import DiscoveryResult
+
+__all__ = [
+    "RobustnessPoint",
+    "RobustnessTrialFn",
+    "aggregate_point",
+    "degradation_curve",
+    "degradation_table",
+    "is_monotone_non_improving",
+    "rediscovery_delays",
+]
+
+RobustnessTrialFn = Callable[[float, np.random.SeedSequence], DiscoveryResult]
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """Aggregated outcome of all trials at one fault intensity.
+
+    Attributes:
+        intensity: The swept fault-intensity value.
+        results: The per-trial results.
+        mean_coverage: Mean fraction of links covered.
+        mean_censored_time: Mean time to full coverage, with uncompleted
+            trials censored at their horizon (a lower bound).
+        completed_fraction: Fraction of trials that fully completed.
+    """
+
+    intensity: float
+    results: List[DiscoveryResult]
+    mean_coverage: float
+    mean_censored_time: float
+    completed_fraction: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Row form for table rendering."""
+        return {
+            "intensity": round(self.intensity, 4),
+            "trials": len(self.results),
+            "completed": round(self.completed_fraction, 3),
+            "mean_coverage": round(self.mean_coverage, 4),
+            "mean_time": round(self.mean_censored_time, 1),
+        }
+
+
+def aggregate_point(
+    intensity: float, results: Sequence[DiscoveryResult]
+) -> RobustnessPoint:
+    """Aggregate already-run trials into one curve point (for callers
+    that execute trials themselves, e.g. pooled benchmark campaigns)."""
+    if not results:
+        raise ConfigurationError("aggregate_point needs at least one result")
+    coverages = [r.coverage_fraction for r in results]
+    censored = [
+        float(r.completion_time)
+        if r.completion_time is not None
+        else float(r.horizon)
+        for r in results
+    ]
+    return RobustnessPoint(
+        intensity=intensity,
+        results=list(results),
+        mean_coverage=float(np.mean(coverages)),
+        mean_censored_time=float(np.mean(censored)),
+        completed_fraction=sum(r.completed for r in results) / len(results),
+    )
+
+
+def degradation_curve(
+    intensities: Sequence[float],
+    trial_fn: RobustnessTrialFn,
+    trials: int,
+    base_seed: Optional[int],
+) -> List[RobustnessPoint]:
+    """Run ``trials`` seeded trials of ``trial_fn`` at every intensity.
+
+    Per-trial seeds derive from ``(base_seed, point index, trial
+    index)`` — the :func:`~repro.analysis.sweeps.run_sweep` convention —
+    so extending the axis or adding trials never perturbs existing
+    points.
+    """
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if not intensities:
+        raise ConfigurationError("degradation curve needs at least one point")
+    points: List[RobustnessPoint] = []
+    for p_idx, intensity in enumerate(intensities):
+        results = [
+            trial_fn(
+                float(intensity),
+                np.random.SeedSequence(
+                    entropy=base_seed, spawn_key=(p_idx, t_idx)
+                ),
+            )
+            for t_idx in range(trials)
+        ]
+        points.append(aggregate_point(float(intensity), results))
+    return points
+
+
+def degradation_table(points: Sequence[RobustnessPoint]) -> List[Dict[str, object]]:
+    """Rows for :func:`~repro.analysis.tables.format_table`."""
+    return [p.as_row() for p in points]
+
+
+def is_monotone_non_improving(
+    points: Sequence[RobustnessPoint],
+    coverage_slack: float = 0.02,
+    time_slack: float = 0.1,
+) -> bool:
+    """Check that performance never *improves* as faults intensify.
+
+    Sorted by intensity, each point's mean coverage may exceed its
+    predecessor's by at most ``coverage_slack`` (absolute), and its mean
+    censored completion time may undercut the predecessor's by at most
+    a ``time_slack`` fraction. Slacks absorb trial noise; genuine
+    improvement under heavier faults fails the check.
+    """
+    ordered = sorted(points, key=lambda p: p.intensity)
+    for prev, cur in zip(ordered, ordered[1:]):
+        if cur.mean_coverage > prev.mean_coverage + coverage_slack:
+            return False
+        if cur.mean_censored_time < prev.mean_censored_time * (1.0 - time_slack):
+            return False
+    return True
+
+
+def rediscovery_delays(result: DiscoveryResult) -> List[Optional[float]]:
+    """Delay from each spectrum blocker's departure to the next coverage.
+
+    Reads the fault-event log from ``result.metadata["faults"]`` (the
+    synchronous engines record one event per primary-user / jamming
+    on-off flip). For every OFF flip at ``t``, the delay is how long
+    until the *next* link becomes covered strictly after ``t`` —
+    ``None`` when nothing was covered afterwards (already complete, or
+    the run ended first). Results without fault events yield ``[]``.
+    """
+    faults_meta = result.metadata.get("faults")
+    events = (
+        faults_meta.get("events", ()) if isinstance(faults_meta, dict) else ()
+    )
+    cover_times = sorted(t for t in result.coverage.values() if t is not None)
+    delays: List[Optional[float]] = []
+    for event in events:
+        if event.get("on"):
+            continue
+        t_off = float(event["time"])
+        later = [t for t in cover_times if t > t_off]
+        delays.append(later[0] - t_off if later else None)
+    return delays

@@ -20,13 +20,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .analysis.energy import EnergyModel, energy_report
 from .analysis.network_stats import profile_network
 from .analysis.tables import format_table
 from .core import bounds
 from .core.termination import TerminationPolicy, recommended_quiet_threshold
+from .faults.plan import FaultPlan
+from .faults.presets import fault_preset, fault_preset_names
 from .sim.parallel import BACKENDS
 from .sim.rng import RngFactory
 from .sim.runner import (
@@ -37,9 +39,29 @@ from .sim.runner import (
     run_synchronous,
 )
 from .sim.termination_runner import run_terminating_sync
-from .workloads.scenarios import scenario, scenario_names
+from .workloads.scenarios import Scenario, scenario, scenario_names
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_faults_argument(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--faults",
+        default="scenario",
+        choices=["scenario", "none"] + fault_preset_names(),
+        help=(
+            "fault plan: 'scenario' (the scenario's own plan, if any), "
+            "'none', or a named preset"
+        ),
+    )
+
+
+def _resolve_faults(args: argparse.Namespace, s: Scenario) -> Optional[FaultPlan]:
+    if args.faults == "scenario":
+        return s.fault_plan
+    if args.faults == "none":
+        return None
+    return fault_preset(args.faults)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="random start offsets in [0, STAGGER] slots",
     )
+    _add_faults_argument(sync)
 
     asyn = sub.add_parser("run-async", help="run Algorithm 4 with drifting clocks")
     asyn.add_argument("scenario", choices=scenario_names())
@@ -113,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     asyn.add_argument("--frame-length", type=float, default=1.0)
     asyn.add_argument("--max-frames", type=int, default=100_000)
     asyn.add_argument("--start-spread", type=float, default=5.0)
+    _add_faults_argument(asyn)
 
     tline = sub.add_parser(
         "timeline",
@@ -189,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="archive directory (one JSON per experiment + manifest.json)",
     )
+    _add_faults_argument(batch)
 
     bnd = sub.add_parser("bounds", help="print the paper's theorem budgets")
     bnd.add_argument("--s", type=int, required=True, help="S (max channel set size)")
@@ -333,6 +358,7 @@ def _cmd_run_sync(args: argparse.Namespace) -> int:
         max_slots=args.max_slots,
         delta_est=None if args.protocol == "algorithm2" else delta_est,
         start_offsets=offsets,
+        faults=_resolve_faults(args, s),
     )
     print(format_table([dict(result.summary())], title=f"{s.name} / {args.protocol}"))
     if not result.completed:
@@ -354,6 +380,7 @@ def _cmd_run_async(args: argparse.Namespace) -> int:
         drift_bound=args.drift,
         clock_model=args.clock_model,
         start_spread=args.start_spread,
+        faults=_resolve_faults(args, s),
     )
     print(
         format_table(
@@ -452,8 +479,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     s = scenario(args.scenario)
     delta_est = args.delta_est if args.delta_est is not None else s.delta_est
+    fault_plan = _resolve_faults(args, s)
     specs = []
     for protocol in args.protocols:
+        runner_params: Dict[str, Any]
         if protocol == "algorithm4":
             runner_params = {"delta_est": delta_est}
         else:
@@ -461,6 +490,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 "max_slots": args.max_slots,
                 "delta_est": None if protocol == "algorithm2" else delta_est,
             }
+        if fault_plan is not None:
+            runner_params["faults"] = fault_plan
         specs.append(
             ExperimentSpec(
                 name=f"{args.scenario}_{protocol}",

@@ -58,7 +58,7 @@ AnyFunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 #: The D-series determinism rules apply only here: analysis, apps and
 #: the CLI post-process results and may legitimately touch wall clocks.
 SIM_CRITICAL_PACKAGES = frozenset(
-    {"core", "sim", "net", "baselines", "workloads"}
+    {"core", "sim", "net", "baselines", "workloads", "faults"}
 )
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)")

@@ -1,0 +1,67 @@
+"""Composable, fully seeded fault injection for the discovery engines.
+
+This package models the adversity the paper's cognitive-radio setting
+motivates but the static workloads cannot express: primary users that
+arrive and depart mid-run, adversarial jamming bursts, bursty link
+loss, node churn and clock glitches. A :class:`FaultPlan` composes any
+subset; engines consult its compiled :class:`FaultRuntime` per slot
+(synchronous) or per event time (asynchronous).
+
+Guarantees (see ``docs/faults.md``):
+
+* **determinism** — all fault randomness derives from the trial seed
+  through dedicated named streams, so faulted campaigns stay
+  byte-identical for any worker count;
+* **zero-intensity invariance** — an empty or all-trivial plan compiles
+  to ``None`` and the run is byte-identical to a fault-free one;
+* **erasure equivalence** — a plan containing only
+  :class:`BernoulliLoss(p)` is bit-identical to ``erasure_prob=p``.
+"""
+
+from __future__ import annotations
+
+from .activity import (
+    ActivitySpec,
+    FixedWindows,
+    OnOffTimeline,
+    RenewalActivity,
+    realize,
+)
+from .models import (
+    BernoulliLoss,
+    ClockGlitch,
+    DynamicPrimaryUsers,
+    FaultModel,
+    GilbertElliott,
+    JammingBursts,
+    NodeChurn,
+)
+from .plan import FaultPlan
+from .presets import FAULT_PRESETS, fault_preset, fault_preset_names
+from .runtime import FaultRuntime, GlitchedClock, compile_plan
+from .serialization import as_fault_plan, plan_from_dict, plan_to_dict
+
+__all__ = [
+    "ActivitySpec",
+    "BernoulliLoss",
+    "ClockGlitch",
+    "DynamicPrimaryUsers",
+    "FAULT_PRESETS",
+    "FaultModel",
+    "FaultPlan",
+    "FaultRuntime",
+    "FixedWindows",
+    "GilbertElliott",
+    "GlitchedClock",
+    "JammingBursts",
+    "NodeChurn",
+    "OnOffTimeline",
+    "RenewalActivity",
+    "as_fault_plan",
+    "compile_plan",
+    "fault_preset",
+    "fault_preset_names",
+    "plan_from_dict",
+    "plan_to_dict",
+    "realize",
+]

@@ -1,0 +1,329 @@
+"""The fault models a :class:`~repro.faults.plan.FaultPlan` composes.
+
+Each model is an immutable, picklable description — realization (the
+actual random trajectories) happens per trial in
+:mod:`repro.faults.runtime` so that a single plan object can be shared
+across a whole campaign and shipped to pool workers. Models fall into
+four families:
+
+* **spectrum** — :class:`DynamicPrimaryUsers` and :class:`JammingBursts`
+  make (node, channel) pairs temporarily unusable;
+* **loss** — :class:`BernoulliLoss` and :class:`GilbertElliott` drop
+  otherwise-clear deliveries;
+* **membership** — :class:`NodeChurn` delays node starts and crash-stops
+  nodes mid-run;
+* **timing** — :class:`ClockGlitch` injects drift spikes into the
+  asynchronous engine's clocks (ignored by the slot-synchronous engines,
+  whose model has no clocks).
+
+Every model exposes ``is_trivial``: a plan whose models are all trivial
+compiles to *no* runtime at all, which is what guarantees byte-identical
+results with a fault-free run (see ``docs/faults.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Tuple, Union
+
+from ..exceptions import ConfigurationError
+from ..net.primary_users import PrimaryUser
+from .activity import ActivitySpec, FixedWindows, RenewalActivity
+
+__all__ = [
+    "BernoulliLoss",
+    "ClockGlitch",
+    "DynamicPrimaryUsers",
+    "FaultModel",
+    "GilbertElliott",
+    "JammingBursts",
+    "NodeChurn",
+]
+
+
+def _validate_activity(activity: ActivitySpec, owner: str) -> None:
+    if not isinstance(activity, (FixedWindows, RenewalActivity)):
+        raise ConfigurationError(
+            f"{owner}.activity must be FixedWindows or RenewalActivity, "
+            f"got {type(activity).__name__}"
+        )
+
+
+def _as_time_pairs(
+    value: Union[Mapping[int, float], Iterable[Tuple[int, float]]],
+    owner: str,
+) -> Tuple[Tuple[int, float], ...]:
+    items = value.items() if isinstance(value, Mapping) else value
+    pairs = tuple(sorted((int(nid), float(t)) for nid, t in items))
+    seen = set()
+    for nid, t in pairs:
+        if nid in seen:
+            raise ConfigurationError(f"{owner} lists node {nid} twice")
+        seen.add(nid)
+        if t < 0:
+            raise ConfigurationError(
+                f"{owner} time for node {nid} must be >= 0, got {t}"
+            )
+    return pairs
+
+
+@dataclass(frozen=True)
+class BernoulliLoss:
+    """Memoryless per-delivery loss — the degenerate bursty model.
+
+    Semantically identical to the engines' ``erasure_prob`` parameter
+    (and bit-identical to it when it is the plan's only loss model,
+    which a differential test pins): each otherwise-clear delivery is
+    dropped independently with probability ``p``.
+    """
+
+    p: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "p", float(self.p))
+        if not 0.0 <= self.p < 1.0:
+            raise ConfigurationError(
+                f"BernoulliLoss.p must be in [0, 1), got {self.p}"
+            )
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.p == 0.0
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Bursty per-link loss: a two-state continuous-time Gilbert–Elliott
+    channel, independent per directed link.
+
+    Each link alternates between a *good* state (loss probability
+    ``p_good``) and a *bad* state (``p_bad``), with exponential sojourn
+    times of means ``mean_good`` / ``mean_bad`` (engine time units).
+    Link state is sampled lazily at delivery instants using the exact
+    two-state chain transient, so only links that actually carry clear
+    deliveries consume randomness.
+
+    Attributes:
+        p_good: Loss probability in the good state.
+        p_bad: Loss probability in the bad state.
+        mean_good: Mean sojourn in the good state (> 0).
+        mean_bad: Mean sojourn in the bad state (> 0).
+    """
+
+    p_good: float = 0.0
+    p_bad: float = 0.9
+    mean_good: float = 500.0
+    mean_bad: float = 50.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_good", "p_bad", "mean_good", "mean_bad"):
+            object.__setattr__(self, name, float(getattr(self, name)))
+        for name in ("p_good", "p_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"GilbertElliott.{name} must be in [0, 1], got {value}"
+                )
+        if self.p_good == 1.0 and self.p_bad == 1.0:
+            raise ConfigurationError(
+                "GilbertElliott with p_good = p_bad = 1 loses every "
+                "delivery; discovery cannot make progress"
+            )
+        for name in ("mean_good", "mean_bad"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigurationError(
+                    f"GilbertElliott.{name} must be > 0, got {value}"
+                )
+
+    @property
+    def stationary_bad(self) -> float:
+        """Stationary probability of the bad state."""
+        return self.mean_bad / (self.mean_good + self.mean_bad)
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.p_good == 0.0 and self.p_bad == 0.0
+
+
+@dataclass(frozen=True)
+class JammingBursts:
+    """Adversarial per-channel outages.
+
+    While a jamming burst is on, the targeted channel carries only
+    noise everywhere: transmissions on it are suppressed (the
+    transmitter senses the busy channel) and listeners on it hear
+    nothing useful. Protocols are oblivious — they keep scheduling the
+    channel and waste those slots, which is exactly the degradation
+    being measured.
+
+    Attributes:
+        activity: Burst process, shared realization per channel
+            (independent streams per channel).
+        channels: Targeted channels; ``None`` jams every channel of the
+            network's universal set.
+    """
+
+    activity: ActivitySpec
+    channels: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        _validate_activity(self.activity, "JammingBursts")
+        if self.channels is not None:
+            chans = tuple(sorted(int(c) for c in self.channels))
+            if not chans:
+                raise ConfigurationError(
+                    "JammingBursts.channels must be None (all) or non-empty"
+                )
+            if any(c < 0 for c in chans):
+                raise ConfigurationError(
+                    f"JammingBursts channels must be >= 0, got {chans}"
+                )
+            if len(set(chans)) != len(chans):
+                raise ConfigurationError(
+                    f"JammingBursts channels contain duplicates: {chans}"
+                )
+            object.__setattr__(self, "channels", chans)
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.activity.is_trivial
+
+    @classmethod
+    def from_duty_cycle(
+        cls,
+        duty: float,
+        mean_burst: float,
+        channels: Optional[Tuple[int, ...]] = None,
+    ) -> "JammingBursts":
+        """Jammer on a stationary fraction ``duty`` of the time; a
+        ``duty`` of 0 yields a trivial (never-on) model."""
+        if duty == 0.0:
+            return cls(activity=FixedWindows(()), channels=channels)
+        return cls(
+            activity=RenewalActivity.from_duty_cycle(duty, mean_burst),
+            channels=channels,
+        )
+
+
+@dataclass(frozen=True)
+class DynamicPrimaryUsers:
+    """Licensed primary users that arrive and depart during execution.
+
+    Each :class:`~repro.net.primary_users.PrimaryUser` blocks its
+    channel for every node inside its interference radius *while its
+    activity is on* — shrinking ``A(u)`` mid-run and restoring it when
+    the PU departs. Requires node positions (geometric topologies).
+
+    Like static PU availability, a secondary node cannot use a blocked
+    channel at all: its transmissions there are suppressed (it defers to
+    the licensed user) and it hears only the PU's signal when
+    listening. The protocols remain oblivious; the wasted slots are the
+    modeled cost of spectrum dynamics.
+
+    Attributes:
+        users: The primary users (positions, channels, radii).
+        activity: On/off process; realized independently per user.
+    """
+
+    users: Tuple[PrimaryUser, ...]
+    activity: ActivitySpec
+
+    def __post_init__(self) -> None:
+        users = tuple(self.users)
+        if not all(isinstance(u, PrimaryUser) for u in users):
+            raise ConfigurationError(
+                "DynamicPrimaryUsers.users must be PrimaryUser instances"
+            )
+        object.__setattr__(self, "users", users)
+        _validate_activity(self.activity, "DynamicPrimaryUsers")
+
+    @property
+    def is_trivial(self) -> bool:
+        return not self.users or self.activity.is_trivial
+
+
+@dataclass(frozen=True)
+class NodeChurn:
+    """Late joins and crash-stop failures.
+
+    A *join* at time ``t`` delays the node's protocol start to ``t`` (it
+    composes with explicit start offsets by taking the maximum). A
+    *crash* at time ``t`` silences the node from ``t`` on — it stops
+    transmitting, listening and learning, exactly the crash-stop model.
+    In the asynchronous engine a crash takes effect at the node's next
+    frame boundary at or after ``t``.
+
+    Attributes:
+        joins: ``(node_id, time)`` pairs (mapping accepted).
+        crashes: ``(node_id, time)`` pairs (mapping accepted).
+    """
+
+    joins: Tuple[Tuple[int, float], ...] = ()
+    crashes: Tuple[Tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "joins", _as_time_pairs(self.joins, "NodeChurn.joins")
+        )
+        object.__setattr__(
+            self, "crashes", _as_time_pairs(self.crashes, "NodeChurn.crashes")
+        )
+
+    @property
+    def is_trivial(self) -> bool:
+        return not self.joins and not self.crashes
+
+
+@dataclass(frozen=True)
+class ClockGlitch:
+    """Drift spikes for the asynchronous engine's clocks (Algorithm 4).
+
+    While the glitch is on, the affected clocks run at an extra
+    ``spike`` added to their base rate (e.g. ``spike = 0.05`` makes the
+    clock 5% faster during spikes). The wrapped clock's drift bound
+    grows by ``|spike|`` and must stay below 1. The slot-synchronous
+    engines have no clocks and ignore this model.
+
+    Attributes:
+        spike: Additional drift rate while on; ``|spike| < 1``.
+        activity: When spikes occur; realized independently per node.
+        nodes: Affected node ids; ``None`` affects every node.
+    """
+
+    spike: float
+    activity: ActivitySpec
+    nodes: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "spike", float(self.spike))
+        if not abs(self.spike) < 1.0:
+            raise ConfigurationError(
+                f"ClockGlitch.spike must satisfy |spike| < 1, got {self.spike}"
+            )
+        _validate_activity(self.activity, "ClockGlitch")
+        if self.nodes is not None:
+            nodes = tuple(sorted(int(n) for n in self.nodes))
+            if not nodes:
+                raise ConfigurationError(
+                    "ClockGlitch.nodes must be None (all) or non-empty"
+                )
+            if len(set(nodes)) != len(nodes):
+                raise ConfigurationError(
+                    f"ClockGlitch nodes contain duplicates: {nodes}"
+                )
+            object.__setattr__(self, "nodes", nodes)
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.spike == 0.0 or self.activity.is_trivial
+
+
+FaultModel = Union[
+    BernoulliLoss,
+    ClockGlitch,
+    DynamicPrimaryUsers,
+    GilbertElliott,
+    JammingBursts,
+    NodeChurn,
+]

@@ -1,0 +1,74 @@
+"""The :class:`FaultPlan` — the unit the engines and campaigns accept.
+
+A plan is an immutable, picklable composition of fault models (see
+:mod:`repro.faults.models`). It carries *descriptions only*; per-trial
+realization happens in :mod:`repro.faults.runtime` from the trial's
+:class:`~repro.sim.rng.RngFactory`, so one plan object parameterizes a
+whole campaign and ships unchanged to pool workers.
+
+The empty (or all-trivial) plan is the identity: it compiles to no
+runtime at all, and engines given it follow exactly their fault-free
+code path — byte-identical results, proven by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..exceptions import ConfigurationError
+from .models import (
+    BernoulliLoss,
+    ClockGlitch,
+    DynamicPrimaryUsers,
+    FaultModel,
+    GilbertElliott,
+    JammingBursts,
+    NodeChurn,
+)
+
+__all__ = ["FaultPlan"]
+
+_MODEL_TYPES = (
+    BernoulliLoss,
+    ClockGlitch,
+    DynamicPrimaryUsers,
+    GilbertElliott,
+    JammingBursts,
+    NodeChurn,
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered composition of fault models for one trial/campaign.
+
+    Ordering matters only for loss models (they are consulted in plan
+    order per delivery); spectrum, churn and clock models combine by
+    union. The same plan realizes *different* trajectories per trial —
+    every random element derives from the trial seed through dedicated
+    ``"faults-…"`` streams.
+    """
+
+    models: Tuple[FaultModel, ...] = ()
+
+    def __post_init__(self) -> None:
+        models = tuple(self.models)
+        for model in models:
+            if not isinstance(model, _MODEL_TYPES):
+                raise ConfigurationError(
+                    f"unknown fault model {type(model).__name__}; known "
+                    f"models: {sorted(t.__name__ for t in _MODEL_TYPES)}"
+                )
+        object.__setattr__(self, "models", models)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when compiling this plan would change nothing."""
+        return all(model.is_trivial for model in self.models)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready description (see :mod:`repro.faults.serialization`)."""
+        from .serialization import plan_to_dict
+
+        return plan_to_dict(self)

@@ -1,0 +1,82 @@
+"""Named fault plans for the CLI's ``--faults`` option.
+
+Presets are deliberately scenario-agnostic: they avoid hard-coded node
+positions (no :class:`DynamicPrimaryUsers` — scenarios carry those, see
+``workloads/scenarios.py``) and only reference node 0 / low channel ids,
+which every bundled workload has. Each call builds a fresh plan, so
+presets can never leak state between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..exceptions import ConfigurationError
+from .models import BernoulliLoss, GilbertElliott, JammingBursts, NodeChurn
+from .plan import FaultPlan
+
+__all__ = ["FAULT_PRESETS", "fault_preset", "fault_preset_names"]
+
+
+def _bursty_loss() -> FaultPlan:
+    """Gilbert–Elliott loss on every link: mostly clean, bursty outages."""
+    return FaultPlan(
+        models=(
+            GilbertElliott(p_good=0.02, p_bad=0.8, mean_good=500.0, mean_bad=50.0),
+        )
+    )
+
+
+def _flat_loss() -> FaultPlan:
+    """Memoryless 10% loss — the ``erasure_prob=0.1`` twin, as a plan."""
+    return FaultPlan(models=(BernoulliLoss(p=0.1),))
+
+
+def _jamming_light() -> FaultPlan:
+    """All channels jammed ~15% of the time in ~300-unit bursts."""
+    return FaultPlan(
+        models=(JammingBursts.from_duty_cycle(duty=0.15, mean_burst=300.0),)
+    )
+
+
+def _jamming_heavy() -> FaultPlan:
+    """All channels jammed ~45% of the time — near the usability cliff."""
+    return FaultPlan(
+        models=(JammingBursts.from_duty_cycle(duty=0.45, mean_burst=300.0),)
+    )
+
+
+def _late_join() -> FaultPlan:
+    """Node 0 joins late (time 500) — the variable-start stress case."""
+    return FaultPlan(models=(NodeChurn(joins=((0, 500.0),)),))
+
+
+def _crash_node0() -> FaultPlan:
+    """Node 0 crash-stops at time 2000; discovery of its outgoing links
+    may stay incomplete (expected — that is the failure being modeled)."""
+    return FaultPlan(models=(NodeChurn(crashes=((0, 2000.0),)),))
+
+
+FAULT_PRESETS: Dict[str, Callable[[], FaultPlan]] = {
+    "bursty_loss": _bursty_loss,
+    "flat_loss": _flat_loss,
+    "jamming_light": _jamming_light,
+    "jamming_heavy": _jamming_heavy,
+    "late_join": _late_join,
+    "crash_node0": _crash_node0,
+}
+
+
+def fault_preset_names() -> List[str]:
+    """All preset names, sorted (CLI choices)."""
+    return sorted(FAULT_PRESETS)
+
+
+def fault_preset(name: str) -> FaultPlan:
+    """Build the named preset plan."""
+    try:
+        return FAULT_PRESETS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fault preset {name!r}; choose from {fault_preset_names()}"
+        ) from None

@@ -1,0 +1,208 @@
+"""JSON round-trip for fault plans.
+
+Plans ride inside :class:`~repro.sim.batch.ExperimentSpec` runner
+parameters and must therefore archive as plain JSON (manifest +
+experiment files) and rebuild bit-identically from that JSON — a
+replayed faulted trial needs the exact plan, and the plan plus the
+trial seed determine every fault trajectory.
+
+Format: every model/activity serializes to a dict with a ``"kind"``
+discriminator; a plan is ``{"models": [...]}``. Unknown kinds raise
+:class:`~repro.exceptions.ConfigurationError` so stale archives fail
+loudly instead of silently dropping faults.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Union
+
+from ..exceptions import ConfigurationError
+from ..net.primary_users import PrimaryUser
+from .activity import ActivitySpec, FixedWindows, RenewalActivity
+from .models import (
+    BernoulliLoss,
+    ClockGlitch,
+    DynamicPrimaryUsers,
+    FaultModel,
+    GilbertElliott,
+    JammingBursts,
+    NodeChurn,
+)
+from .plan import FaultPlan
+
+__all__ = [
+    "activity_from_dict",
+    "activity_to_dict",
+    "as_fault_plan",
+    "model_from_dict",
+    "model_to_dict",
+    "plan_from_dict",
+    "plan_to_dict",
+]
+
+
+def activity_to_dict(spec: ActivitySpec) -> Dict[str, Any]:
+    """Serialize an activity spec (see module docstring for the format)."""
+    if isinstance(spec, FixedWindows):
+        return {
+            "kind": "fixed_windows",
+            "windows": [[s, e] for s, e in spec.windows],
+        }
+    if isinstance(spec, RenewalActivity):
+        return {
+            "kind": "renewal",
+            "mean_on": spec.mean_on,
+            "mean_off": spec.mean_off,
+            "start_on": spec.start_on,
+        }
+    raise ConfigurationError(
+        f"cannot serialize activity {type(spec).__name__}"
+    )
+
+
+def activity_from_dict(data: Mapping[str, Any]) -> ActivitySpec:
+    """Inverse of :func:`activity_to_dict`."""
+    kind = data.get("kind")
+    if kind == "fixed_windows":
+        return FixedWindows(
+            windows=tuple((float(s), float(e)) for s, e in data["windows"])
+        )
+    if kind == "renewal":
+        return RenewalActivity(
+            mean_on=data["mean_on"],
+            mean_off=data["mean_off"],
+            start_on=data.get("start_on"),
+        )
+    raise ConfigurationError(f"unknown activity kind {kind!r}")
+
+
+def model_to_dict(model: FaultModel) -> Dict[str, Any]:
+    """Serialize one fault model."""
+    if isinstance(model, BernoulliLoss):
+        return {"kind": "bernoulli_loss", "p": model.p}
+    if isinstance(model, GilbertElliott):
+        return {
+            "kind": "gilbert_elliott",
+            "p_good": model.p_good,
+            "p_bad": model.p_bad,
+            "mean_good": model.mean_good,
+            "mean_bad": model.mean_bad,
+        }
+    if isinstance(model, JammingBursts):
+        return {
+            "kind": "jamming_bursts",
+            "activity": activity_to_dict(model.activity),
+            "channels": None if model.channels is None else list(model.channels),
+        }
+    if isinstance(model, DynamicPrimaryUsers):
+        return {
+            "kind": "dynamic_primary_users",
+            "users": [
+                {
+                    "position": [u.position[0], u.position[1]],
+                    "channel": u.channel,
+                    "radius": u.radius,
+                }
+                for u in model.users
+            ],
+            "activity": activity_to_dict(model.activity),
+        }
+    if isinstance(model, NodeChurn):
+        return {
+            "kind": "node_churn",
+            "joins": [[nid, t] for nid, t in model.joins],
+            "crashes": [[nid, t] for nid, t in model.crashes],
+        }
+    if isinstance(model, ClockGlitch):
+        return {
+            "kind": "clock_glitch",
+            "spike": model.spike,
+            "activity": activity_to_dict(model.activity),
+            "nodes": None if model.nodes is None else list(model.nodes),
+        }
+    raise ConfigurationError(
+        f"cannot serialize fault model {type(model).__name__}"
+    )
+
+
+def model_from_dict(data: Mapping[str, Any]) -> FaultModel:
+    """Inverse of :func:`model_to_dict`."""
+    kind = data.get("kind")
+    if kind == "bernoulli_loss":
+        return BernoulliLoss(p=data["p"])
+    if kind == "gilbert_elliott":
+        return GilbertElliott(
+            p_good=data["p_good"],
+            p_bad=data["p_bad"],
+            mean_good=data["mean_good"],
+            mean_bad=data["mean_bad"],
+        )
+    if kind == "jamming_bursts":
+        channels = data.get("channels")
+        return JammingBursts(
+            activity=activity_from_dict(data["activity"]),
+            channels=None if channels is None else tuple(channels),
+        )
+    if kind == "dynamic_primary_users":
+        return DynamicPrimaryUsers(
+            users=tuple(
+                PrimaryUser(
+                    position=(float(u["position"][0]), float(u["position"][1])),
+                    channel=int(u["channel"]),
+                    radius=float(u["radius"]),
+                )
+                for u in data["users"]
+            ),
+            activity=activity_from_dict(data["activity"]),
+        )
+    if kind == "node_churn":
+        return NodeChurn(
+            joins=tuple((int(n), float(t)) for n, t in data.get("joins", ())),
+            crashes=tuple(
+                (int(n), float(t)) for n, t in data.get("crashes", ())
+            ),
+        )
+    if kind == "clock_glitch":
+        nodes = data.get("nodes")
+        return ClockGlitch(
+            spike=data["spike"],
+            activity=activity_from_dict(data["activity"]),
+            nodes=None if nodes is None else tuple(nodes),
+        )
+    raise ConfigurationError(f"unknown fault model kind {kind!r}")
+
+
+def plan_to_dict(plan: FaultPlan) -> Dict[str, Any]:
+    """Serialize a whole plan (model order preserved)."""
+    return {"models": [model_to_dict(m) for m in plan.models]}
+
+
+def plan_from_dict(data: Mapping[str, Any]) -> FaultPlan:
+    """Inverse of :func:`plan_to_dict`."""
+    models = data.get("models")
+    if models is None:
+        raise ConfigurationError(
+            "fault plan dict needs a 'models' list"
+        )
+    return FaultPlan(models=tuple(model_from_dict(m) for m in models))
+
+
+def as_fault_plan(
+    value: Union[FaultPlan, Mapping[str, Any], None]
+) -> Optional[FaultPlan]:
+    """Normalize a runner-facing ``faults`` argument.
+
+    Accepts an existing plan, a serialized plan dict (as archived in a
+    batch manifest — this is how replayed campaigns rebuild faults), or
+    ``None``.
+    """
+    if value is None:
+        return None
+    if isinstance(value, FaultPlan):
+        return value
+    if isinstance(value, Mapping):
+        return plan_from_dict(value)
+    raise ConfigurationError(
+        f"faults must be a FaultPlan, a plan dict or None, got "
+        f"{type(value).__name__}"
+    )

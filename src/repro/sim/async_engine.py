@@ -29,7 +29,7 @@ verify Lemmas 4 and 7 on actual executions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
@@ -45,6 +45,9 @@ from .results import DiscoveryResult
 from .rng import RngFactory
 from .stopping import StoppingCondition
 from .trace import ExecutionTrace, FrameRecord
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep sim/faults decoupled
+    from ..faults.plan import FaultPlan
 
 __all__ = ["AsyncFactory", "AsyncSimulator"]
 
@@ -81,6 +84,9 @@ class AsyncSimulator:
             frame starts then); missing nodes start at 0.
         erasure_prob: Per-copy loss probability (unreliable channels).
         trace: Optional trace receiving a :class:`FrameRecord` per frame.
+        faults: Optional :class:`~repro.faults.plan.FaultPlan`; a
+            trivial plan compiles away and leaves the run bit-identical
+            to a fault-free one.
     """
 
     def __init__(
@@ -93,6 +99,7 @@ class AsyncSimulator:
         start_times: Optional[Mapping[int, float]] = None,
         erasure_prob: float = 0.0,
         trace: Optional[ExecutionTrace] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         if frame_length <= 0:
             raise ConfigurationError(
@@ -107,6 +114,13 @@ class AsyncSimulator:
         self._erasure_prob = erasure_prob
         self._erasure_rng = rng_factory.stream("erasure")
         self._trace = trace
+        self._faults = None
+        if faults is not None:
+            from ..faults.runtime import compile_plan
+
+            self._faults = compile_plan(
+                faults, network, rng_factory, time_unit="seconds"
+            )
 
         clocks = dict(clocks or {})
         starts = dict(start_times or {})
@@ -119,6 +133,10 @@ class AsyncSimulator:
                 raise ConfigurationError(
                     f"start time of node {nid} must be >= 0, got {start_real}"
                 )
+            if self._faults is not None:
+                start_real = max(start_real, self._faults.join_time(nid))
+                if self._faults.has_clock_faults:
+                    clock = self._faults.wrap_clock(nid, clock)
             protocol = protocol_factory(
                 nid, network.channels_of(nid), rng_factory.node_stream(nid)
             )
@@ -182,6 +200,26 @@ class AsyncSimulator:
         horizon = self._engine.run(until=stopping.max_real_time)
 
         completed = all(t is not None for t in self._coverage.values())
+        metadata: Dict[str, object] = {
+            "engine": "async",
+            "frame_length": self._L,
+            "erasure_prob": self._erasure_prob,
+            "t_s": self._t_s,
+            "full_frames_since_ts": {
+                nid: st.full_frames_since_ts
+                for nid, st in self._states.items()
+            },
+            "radio_activity": {
+                nid: {
+                    "tx": st.tx_seconds,
+                    "rx": st.rx_seconds,
+                    "quiet": st.quiet_seconds,
+                }
+                for nid, st in self._states.items()
+            },
+        }
+        if self._faults is not None:
+            metadata["faults"] = self._faults.describe()
         return DiscoveryResult(
             time_unit="seconds",
             coverage=dict(self._coverage),
@@ -193,24 +231,7 @@ class AsyncSimulator:
             },
             start_times={nid: st.start_real for nid, st in self._states.items()},
             network_params=self._network.parameter_summary(),
-            metadata={
-                "engine": "async",
-                "frame_length": self._L,
-                "erasure_prob": self._erasure_prob,
-                "t_s": self._t_s,
-                "full_frames_since_ts": {
-                    nid: st.full_frames_since_ts
-                    for nid, st in self._states.items()
-                },
-                "radio_activity": {
-                    nid: {
-                        "tx": st.tx_seconds,
-                        "rx": st.rx_seconds,
-                        "quiet": st.quiet_seconds,
-                    }
-                    for nid, st in self._states.items()
-                },
-            },
+            metadata=metadata,
         )
 
     # ------------------------------------------------------------------
@@ -229,6 +250,12 @@ class AsyncSimulator:
         state = self._states[nid]
         k = state.frame_index
         bounds = self._frame_bounds(state, k)
+        if (
+            self._faults is not None
+            and self._faults.crash_time(nid) <= bounds[0] + 1e-12
+        ):
+            self._halt_crashed_node(state)
+            return
         decision = state.protocol.decide_frame(k)
 
         frame_duration = bounds[-1] - bounds[0]
@@ -247,6 +274,12 @@ class AsyncSimulator:
                     f"{decision.channel}"
                 )
             for j in range(SLOTS_PER_FRAME):
+                if self._faults is not None and self._faults.blocked_during(
+                    nid, decision.channel, bounds[j], bounds[j + 1]
+                ):
+                    # The transmitter senses the blocker (PU / jammer)
+                    # during this slot and defers; the slot is wasted.
+                    continue
                 tx = Transmission(
                     sender=nid,
                     channel=decision.channel,
@@ -284,6 +317,17 @@ class AsyncSimulator:
         self._engine.schedule(
             bounds[-1], lambda nid=nid: self._end_frame(nid), label=f"frame-end-{nid}"
         )
+
+    def _halt_crashed_node(self, state: _NodeState) -> None:
+        """Crash-stop: the node schedules no further frames. If it had
+        not yet met a frame budget it never will, so the frame-budget
+        stopping rule must stop counting on it."""
+        assert self._stopping is not None
+        budget = self._stopping.max_frames_per_node
+        if budget is not None and state.full_frames_since_ts < budget:
+            self._nodes_short_of_frames -= 1
+            if self._nodes_short_of_frames == 0:
+                self._engine.request_stop()
 
     def _end_frame(self, nid: int) -> None:
         state = self._states[nid]
@@ -337,9 +381,21 @@ class AsyncSimulator:
                 continue  # slot not wholly inside u's listening frame
             if tx.interferers(audible):
                 continue  # collision at u
+            if self._faults is not None and self._faults.blocked_during(
+                u, tx.channel, tx.start, tx.end
+            ):
+                continue  # u hears only the blocker's signal
             if (
                 self._erasure_prob > 0.0
                 and self._erasure_rng.random() < self._erasure_prob
+            ):
+                continue
+            if (
+                self._faults is not None
+                and self._faults.has_loss
+                and not self._faults.keep_delivery(
+                    tx.sender, u, tx.end, self._erasure_rng
+                )
             ):
                 continue
             state.protocol.on_receive(

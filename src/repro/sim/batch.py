@@ -190,10 +190,9 @@ def run_batch(
                     "trials": outcome.spec.trials,
                     "network_seed": outcome.spec.network_seed,
                     "workload": outcome.spec.workload.describe(),
-                    "runner_params": {
-                        k: _jsonable(v)
-                        for k, v in outcome.spec.runner_params.items()
-                    },
+                    "runner_params": _archived_runner_params(
+                        outcome.spec.runner_params
+                    ),
                 },
                 "network_params": outcome.network_params,
                 "trials": [r.to_dict() for r in outcome.results],
@@ -220,3 +219,25 @@ def _jsonable(value: Any) -> Any:
         return value
     except TypeError:
         return str(value)
+
+
+def _archived_runner_params(params: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON form of a spec's runner params for the experiment archive.
+
+    Fault plans archive via their dict form (so a replay rebuilds the
+    exact plan); trivial or absent plans are omitted entirely, keeping
+    the archived bytes of a zero-intensity campaign identical to those
+    of a fault-free one.
+    """
+    archived: Dict[str, Any] = {}
+    for k, v in params.items():
+        if k == "faults":
+            from ..faults.serialization import as_fault_plan, plan_to_dict
+
+            plan = as_fault_plan(v)
+            if plan is None or plan.is_trivial:
+                continue
+            archived[k] = plan_to_dict(plan)
+        else:
+            archived[k] = _jsonable(v)
+    return archived

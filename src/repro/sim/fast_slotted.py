@@ -22,7 +22,7 @@ carries ``A(v)``).
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from ..net.network import M2HeWNetwork
 from .results import DiscoveryResult
 from .rng import RngFactory
 from .stopping import StoppingCondition
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep sim/faults decoupled
+    from ..faults.plan import FaultPlan
 
 __all__ = [
     "VectorSchedule",
@@ -131,10 +134,18 @@ class FastSlottedSimulator:
         rng_factory: RngFactory,
         start_offsets: Optional[Mapping[int, int]] = None,
         erasure_prob: float = 0.0,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         if not 0.0 <= erasure_prob < 1.0:
             raise ConfigurationError(
                 f"erasure_prob must be in [0, 1), got {erasure_prob}"
+            )
+        self._faults = None
+        if faults is not None:
+            from ..faults.runtime import compile_plan
+
+            self._faults = compile_plan(
+                faults, network, rng_factory, time_unit="slots"
             )
         self._network = network
         self._ids = network.node_ids
@@ -156,6 +167,11 @@ class FastSlottedSimulator:
                     f"start offset of node {nid} must be >= 0, got {off}"
                 )
             self._offsets[self._index[nid]] = int(off)
+        if self._faults is not None:
+            for i, nid in enumerate(self._ids):
+                join = self._faults.join_offset(nid)
+                if join > self._offsets[i]:
+                    self._offsets[i] = join
 
         # Dense channel indexing: flat channel list + per-node extents for
         # uniform selection, plus per-channel "u hears v and both have c"
@@ -190,6 +206,8 @@ class FastSlottedSimulator:
         self._num_dense = num_dense
         self._node_idx = np.arange(n, dtype=np.float32)
         self._row_idx = np.arange(n)
+        if self._faults is not None:
+            self._faults.bind_dense(self._ids, dense_of_channel, num_dense)
 
         # Radio-activity counters (slots per mode), for energy accounting.
         self._tx_slots = np.zeros(n, dtype=np.int64)
@@ -223,6 +241,11 @@ class FastSlottedSimulator:
     def _run_slot(self, t: int, cov: np.ndarray) -> int:
         n = len(self._ids)
         active = self._offsets <= t
+        faults = self._faults
+        if faults is not None:
+            faults.begin_slot(t)
+            if faults.has_churn:
+                active = active & faults.alive_mask(t)
         if not active.any():
             return 0
         local = t - self._offsets
@@ -237,6 +260,16 @@ class FastSlottedSimulator:
 
         pick = self._rng.integers(0, self._sizes)
         chan = self._chan_flat[self._chan_starts[:-1] + pick]
+        if faults is not None and faults.has_spectrum:
+            # Suppress blocked transmitters (they sense the blocker and
+            # defer) and blocked listeners (they hear only its signal);
+            # the slots still count as spent radio activity above.
+            suppressed = faults.blocked_mask()[self._row_idx, chan]
+            if suppressed.any():
+                transmit = transmit & ~suppressed
+                listen = listen & ~suppressed
+                if not transmit.any() or not listen.any():
+                    return 0
 
         # Per-transmitter one-hot over channels, plus the identity-
         # weighted copy: E[v, c, 0] = [v transmits on c],
@@ -264,6 +297,11 @@ class FastSlottedSimulator:
             receivers, senders = receivers[keep], senders[keep]
             if receivers.size == 0:
                 return 0
+        if faults is not None and faults.has_loss:
+            keep = faults.keep_mask(senders, receivers, float(t), self._rng)
+            receivers, senders = receivers[keep], senders[keep]
+            if receivers.size == 0:
+                return 0
         fresh = cov[senders, receivers] < 0
         if not fresh.any():
             return 0
@@ -281,6 +319,28 @@ class FastSlottedSimulator:
             if t >= 0:
                 tables[link.receiver][link.transmitter] = link.span
         completed = all(v is not None for v in coverage.values())
+        metadata: Dict[str, object] = {
+            "engine": "slotted-fast",
+            "erasure_prob": self._erasure_prob,
+            "radio_activity": {
+                nid: {
+                    "tx": int(self._tx_slots[self._index[nid]]),
+                    "rx": int(self._rx_slots[self._index[nid]]),
+                    "quiet": 0,
+                }
+                for nid in self._ids
+            },
+            "collisions": {
+                nid: int(self._collisions[self._index[nid]])
+                for nid in self._ids
+            },
+            "clear_receptions": {
+                nid: int(self._clear[self._index[nid]])
+                for nid in self._ids
+            },
+        }
+        if self._faults is not None:
+            metadata["faults"] = self._faults.describe()
         return DiscoveryResult(
             time_unit="slots",
             coverage=coverage,
@@ -291,24 +351,5 @@ class FastSlottedSimulator:
                 nid: float(self._offsets[self._index[nid]]) for nid in self._ids
             },
             network_params=self._network.parameter_summary(),
-            metadata={
-                "engine": "slotted-fast",
-                "erasure_prob": self._erasure_prob,
-                "radio_activity": {
-                    nid: {
-                        "tx": int(self._tx_slots[self._index[nid]]),
-                        "rx": int(self._rx_slots[self._index[nid]]),
-                        "quiet": 0,
-                    }
-                    for nid in self._ids
-                },
-                "collisions": {
-                    nid: int(self._collisions[self._index[nid]])
-                    for nid in self._ids
-                },
-                "clear_receptions": {
-                    nid: int(self._clear[self._index[nid]])
-                    for nid in self._ids
-                },
-            },
+            metadata=metadata,
         )

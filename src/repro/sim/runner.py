@@ -8,7 +8,17 @@ from one base seed (fully reproducible sweeps).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
@@ -36,8 +46,16 @@ from .slotted import SlottedSimulator
 from .stopping import StoppingCondition
 from .trace import ExecutionTrace
 
+if TYPE_CHECKING:  # imported lazily at runtime to keep sim/faults decoupled
+    from ..faults.plan import FaultPlan
+
+#: What the runners accept for ``faults``: a plan, its archived dict
+#: form (replay), or nothing.
+FaultsLike = Union["FaultPlan", Mapping[str, Any], None]
+
 __all__ = [
     "CLOCK_MODELS",
+    "FaultsLike",
     "SYNC_PROTOCOLS",
     "run_synchronous",
     "run_asynchronous",
@@ -75,6 +93,14 @@ def _vector_schedule(
     )
 
 
+def _resolve_faults(faults: FaultsLike) -> Optional["FaultPlan"]:
+    if faults is None:
+        return None
+    from ..faults.serialization import as_fault_plan
+
+    return as_fault_plan(faults)
+
+
 def run_synchronous(
     network: M2HeWNetwork,
     protocol: str,
@@ -89,6 +115,7 @@ def run_synchronous(
     universal_channels: Optional[Sequence[int]] = None,
     id_space_size: Optional[int] = None,
     trace: Optional[ExecutionTrace] = None,
+    faults: FaultsLike = None,
 ) -> DiscoveryResult:
     """Run one synchronous discovery trial.
 
@@ -106,7 +133,10 @@ def run_synchronous(
         stop_on_full_coverage: Oracle early stop.
         universal_channels / id_space_size: Baseline parameters.
         trace: Optional slot trace (reference engine only).
+        faults: Optional fault plan (or its archived dict form); trivial
+            plans leave the run bit-identical to a fault-free one.
     """
+    fault_plan = _resolve_faults(faults)
     rng_factory = RngFactory(seed)
     stopping = StoppingCondition(
         max_slots=max_slots, stop_on_full_coverage=stop_on_full_coverage
@@ -121,6 +151,7 @@ def run_synchronous(
             rng_factory,
             start_offsets=start_offsets,
             erasure_prob=erasure_prob,
+            faults=fault_plan,
         )
         result = sim.run(stopping)
     elif engine == "reference":
@@ -137,6 +168,7 @@ def run_synchronous(
             start_offsets=start_offsets,
             erasure_prob=erasure_prob,
             trace=trace,
+            faults=fault_plan,
         )
         result = sim.run(stopping)
     else:
@@ -204,6 +236,7 @@ def run_asynchronous(
     erasure_prob: float = 0.0,
     stop_on_full_coverage: bool = True,
     trace: Optional[ExecutionTrace] = None,
+    faults: FaultsLike = None,
 ) -> DiscoveryResult:
     """Run one asynchronous (Algorithm 4) discovery trial.
 
@@ -222,9 +255,12 @@ def run_asynchronous(
         erasure_prob: Unreliable-channel loss probability.
         stop_on_full_coverage: Oracle early stop.
         trace: Optional frame trace for alignment analysis.
+        faults: Optional fault plan (or its archived dict form); trivial
+            plans leave the run bit-identical to a fault-free one.
     """
     if start_spread < 0:
         raise ConfigurationError(f"start_spread must be >= 0, got {start_spread}")
+    fault_plan = _resolve_faults(faults)
     rng_factory = RngFactory(seed)
     env_rng = rng_factory.stream("environment")
     clocks = make_clocks(network, clock_model, drift_bound, env_rng)
@@ -241,6 +277,7 @@ def run_asynchronous(
         start_times=starts,
         erasure_prob=erasure_prob,
         trace=trace,
+        faults=fault_plan,
     )
     stopping = StoppingCondition(
         max_real_time=max_real_time,

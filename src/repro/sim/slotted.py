@@ -27,7 +27,7 @@ pins their statistical agreement.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -39,6 +39,9 @@ from .results import DiscoveryResult
 from .rng import RngFactory
 from .stopping import StoppingCondition
 from .trace import ExecutionTrace, SlotRecord
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep sim/faults decoupled
+    from ..faults.plan import FaultPlan
 
 __all__ = ["ProtocolFactory", "SlottedSimulator"]
 
@@ -56,6 +59,9 @@ class SlottedSimulator:
             for all (identical start times). Missing nodes default to 0.
         erasure_prob: Per-delivery loss probability (0 = reliable).
         trace: Optional :class:`ExecutionTrace` to record slot decisions.
+        faults: Optional :class:`~repro.faults.plan.FaultPlan`; a
+            trivial plan compiles away and leaves the run bit-identical
+            to a fault-free one.
     """
 
     def __init__(
@@ -66,6 +72,7 @@ class SlottedSimulator:
         start_offsets: Optional[Mapping[int, int]] = None,
         erasure_prob: float = 0.0,
         trace: Optional[ExecutionTrace] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         if not 0.0 <= erasure_prob < 1.0:
             raise ConfigurationError(
@@ -76,6 +83,13 @@ class SlottedSimulator:
         self._erasure_prob = erasure_prob
         self._erasure_rng = rng_factory.stream("erasure")
         self._trace = trace
+        self._faults = None
+        if faults is not None:
+            from ..faults.runtime import compile_plan
+
+            self._faults = compile_plan(
+                faults, network, rng_factory, time_unit="slots"
+            )
 
         offsets = dict(start_offsets or {})
         self._offsets: Dict[int, int] = {}
@@ -85,6 +99,8 @@ class SlottedSimulator:
                 raise ConfigurationError(
                     f"start offset of node {nid} must be >= 0, got {offset}"
                 )
+            if self._faults is not None:
+                offset = max(offset, self._faults.join_offset(nid))
             self._offsets[nid] = offset
 
         self._protocols: Dict[int, SynchronousProtocol] = {}
@@ -156,16 +172,22 @@ class SlottedSimulator:
             },
             start_times={nid: float(off) for nid, off in self._offsets.items()},
             network_params=self._network.parameter_summary(),
-            metadata={
-                "engine": "slotted-reference",
-                "erasure_prob": self._erasure_prob,
-                "radio_activity": {
-                    nid: dict(modes) for nid, modes in self._activity.items()
-                },
-                "collisions": dict(self._collisions),
-                "clear_receptions": dict(self._clear_receptions),
-            },
+            metadata=self._metadata(),
         )
+
+    def _metadata(self) -> Dict[str, object]:
+        metadata: Dict[str, object] = {
+            "engine": "slotted-reference",
+            "erasure_prob": self._erasure_prob,
+            "radio_activity": {
+                nid: dict(modes) for nid, modes in self._activity.items()
+            },
+            "collisions": dict(self._collisions),
+            "clear_receptions": dict(self._clear_receptions),
+        }
+        if self._faults is not None:
+            metadata["faults"] = self._faults.describe()
+        return metadata
 
     def _run_slot(
         self,
@@ -175,11 +197,16 @@ class SlottedSimulator:
         """Execute global slot ``t``; return how many links became covered."""
         transmitters_on: Dict[int, List[int]] = {}
         listeners: List[Tuple[int, int]] = []
+        faults = self._faults
+        if faults is not None:
+            faults.begin_slot(t)
 
         for nid, protocol in self._protocols.items():
             offset = self._offsets[nid]
             if t < offset:
                 continue
+            if faults is not None and not faults.alive(nid, t):
+                continue  # crash-stop: silent and frozen from here on
             decision = protocol.decide_slot(t - offset)
             if self._trace is not None:
                 self._trace.add_slot(
@@ -198,12 +225,17 @@ class SlottedSimulator:
                         f"node {nid} transmitted on unavailable channel "
                         f"{decision.channel}"
                     )
-                transmitters_on.setdefault(decision.channel, []).append(nid)
                 self._activity[nid]["tx"] += 1
+                if faults is None or not faults.blocked(nid, decision.channel):
+                    # A blocked transmitter senses the occupied channel
+                    # and defers: the slot is spent, nothing goes on air.
+                    transmitters_on.setdefault(decision.channel, []).append(nid)
             elif decision.mode is Mode.LISTEN:
                 assert decision.channel is not None
-                listeners.append((nid, decision.channel))
                 self._activity[nid]["rx"] += 1
+                if faults is None or not faults.blocked(nid, decision.channel):
+                    # A blocked listener hears only the blocker's signal.
+                    listeners.append((nid, decision.channel))
             else:
                 self._activity[nid]["quiet"] += 1
 
@@ -218,6 +250,12 @@ class SlottedSimulator:
             v = senders[0]
             self._clear_receptions[u] += 1
             if self._erasure_prob > 0.0 and self._erasure_rng.random() < self._erasure_prob:
+                continue
+            if (
+                faults is not None
+                and faults.has_loss
+                and not faults.keep_delivery(v, u, float(t), self._erasure_rng)
+            ):
                 continue
             local_slot = t - self._offsets[u]
             self._protocols[u].on_receive(self._hellos[v], float(local_slot), c)

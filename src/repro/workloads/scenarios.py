@@ -15,15 +15,23 @@ parameters, capturing a deployment story:
   universal-sweep baseline pays Θ(|U|) here.
 * ``adversarial_heterogeneous`` — minimum span-ratio everywhere; the
   worst case for the paper's 1/ρ running-time factor.
+
+Two *fault-laden* scenarios additionally carry a
+:class:`~repro.faults.plan.FaultPlan` (``campus_pu_dynamics``,
+``jammed_urban``); runners pass it via ``faults=s.fault_plan``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..exceptions import ConfigurationError
+from ..faults.activity import RenewalActivity
+from ..faults.models import DynamicPrimaryUsers, GilbertElliott, JammingBursts
+from ..faults.plan import FaultPlan
 from ..net.network import M2HeWNetwork
+from ..net.primary_users import PrimaryUser
 from ..sim.rng import SeedLike
 from .generator import WorkloadConfig, generate_network
 
@@ -41,6 +49,8 @@ class Scenario:
         delta_est: Recommended degree bound for the knowledge-assuming
             algorithms (a loose but safe bound for this workload).
         epsilon: Recommended failure-probability target.
+        fault_plan: Optional fault plan the scenario's story calls for;
+            ``None`` for the static scenarios.
     """
 
     name: str
@@ -48,6 +58,7 @@ class Scenario:
     config: WorkloadConfig
     delta_est: int
     epsilon: float = 0.1
+    fault_plan: Optional[FaultPlan] = None
 
     def build(self, seed: SeedLike) -> M2HeWNetwork:
         """Realize the scenario's network from a seed."""
@@ -192,6 +203,54 @@ def _wideband_campus() -> Scenario:
     )
 
 
+def _campus_pu_dynamics() -> Scenario:
+    base = _campus_cr()
+    return Scenario(
+        name="campus_pu_dynamics",
+        description=(
+            "campus_cr with three licensed primary users that switch on "
+            "and off mid-run, shrinking and restoring nearby A(u) sets"
+        ),
+        config=base.config,
+        delta_est=base.delta_est,
+        fault_plan=FaultPlan(
+            models=(
+                DynamicPrimaryUsers(
+                    users=(
+                        PrimaryUser(position=(0.25, 0.3), channel=1, radius=0.25),
+                        PrimaryUser(position=(0.7, 0.6), channel=4, radius=0.25),
+                        PrimaryUser(position=(0.4, 0.8), channel=7, radius=0.25),
+                    ),
+                    activity=RenewalActivity(mean_on=4000.0, mean_off=12000.0),
+                ),
+            )
+        ),
+    )
+
+
+def _jammed_urban() -> Scenario:
+    base = _urban_dense()
+    return Scenario(
+        name="jammed_urban",
+        description=(
+            "urban_dense under adversarial jamming bursts on the three "
+            "lowest channels plus bursty (Gilbert-Elliott) link loss"
+        ),
+        config=base.config,
+        delta_est=base.delta_est,
+        fault_plan=FaultPlan(
+            models=(
+                JammingBursts.from_duty_cycle(
+                    0.25, mean_burst=400.0, channels=(0, 1, 2)
+                ),
+                GilbertElliott(
+                    p_good=0.02, p_bad=0.6, mean_good=600.0, mean_bad=60.0
+                ),
+            )
+        ),
+    )
+
+
 SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "campus_cr": _campus_cr,
     "urban_dense": _urban_dense,
@@ -200,6 +259,8 @@ SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "adversarial_heterogeneous": _adversarial_heterogeneous,
     "suburban_asymmetric": _suburban_asymmetric,
     "wideband_campus": _wideband_campus,
+    "campus_pu_dynamics": _campus_pu_dynamics,
+    "jammed_urban": _jammed_urban,
 }
 
 

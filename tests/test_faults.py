@@ -1,0 +1,359 @@
+"""Unit tests for the fault-injection subsystem (models, timelines,
+serialization, runtime compilation, glitched clocks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ClockModelError, ConfigurationError
+from repro.faults import (
+    BernoulliLoss,
+    ClockGlitch,
+    DynamicPrimaryUsers,
+    FaultPlan,
+    FixedWindows,
+    GilbertElliott,
+    GlitchedClock,
+    JammingBursts,
+    NodeChurn,
+    RenewalActivity,
+    as_fault_plan,
+    compile_plan,
+    fault_preset,
+    fault_preset_names,
+    plan_from_dict,
+    plan_to_dict,
+    realize,
+)
+from repro.net import M2HeWNetwork, NodeSpec
+from repro.net.primary_users import PrimaryUser
+from repro.sim.clock import ConstantDriftClock, PerfectClock
+from repro.sim.rng import RngFactory
+
+
+def positioned_net() -> M2HeWNetwork:
+    nodes = [
+        NodeSpec(0, frozenset({0, 1}), position=(0.1, 0.1)),
+        NodeSpec(1, frozenset({0, 1}), position=(0.9, 0.9)),
+    ]
+    return M2HeWNetwork(nodes, adjacency=[(0, 1)])
+
+
+class TestFixedWindows:
+    def test_empty_is_trivial(self):
+        assert FixedWindows(()).is_trivial
+        assert not FixedWindows(((1.0, 2.0),)).is_trivial
+
+    def test_rejects_inverted_and_overlapping(self):
+        with pytest.raises(ConfigurationError):
+            FixedWindows(((2.0, 1.0),))
+        with pytest.raises(ConfigurationError):
+            FixedWindows(((-1.0, 1.0),))
+        with pytest.raises(ConfigurationError):
+            FixedWindows(((0.0, 5.0), (4.0, 6.0)))
+
+    def test_window_timeline_queries(self):
+        tl = realize(FixedWindows(((10.0, 20.0), (30.0, 40.0))))
+        assert not tl.active_at(9.9)
+        assert tl.active_at(10.0)
+        assert not tl.active_at(20.0)  # half-open
+        assert tl.overlaps_on(19.0, 31.0)
+        assert not tl.overlaps_on(20.0, 30.0)
+        assert tl.on_time_before(35.0) == pytest.approx(15.0)
+        assert tl.on_time_before(100.0) == pytest.approx(20.0)
+
+
+class TestRenewalActivity:
+    def test_validation_and_duty_cycle(self):
+        act = RenewalActivity(mean_on=10.0, mean_off=30.0)
+        assert act.duty_cycle == pytest.approx(0.25)
+        assert not act.is_trivial
+        with pytest.raises(ConfigurationError):
+            RenewalActivity(mean_on=0.0, mean_off=1.0)
+
+    def test_from_duty_cycle(self):
+        act = RenewalActivity.from_duty_cycle(0.2, mean_on=100.0)
+        assert act.duty_cycle == pytest.approx(0.2)
+        with pytest.raises(ConfigurationError):
+            RenewalActivity.from_duty_cycle(0.0, mean_on=1.0)
+
+    def test_realize_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            realize(RenewalActivity(mean_on=1.0, mean_off=1.0))
+
+    def test_query_order_independence(self):
+        spec = RenewalActivity(mean_on=5.0, mean_off=15.0)
+        times = [0.0, 3.0, 7.5, 42.0, 11.1, 100.0, 55.5]
+        a = realize(spec, np.random.default_rng(77))
+        forward = [a.active_at(t) for t in sorted(times)]
+        b = realize(spec, np.random.default_rng(77))
+        shuffled = {t: b.active_at(t) for t in times}
+        assert forward == [shuffled[t] for t in sorted(times)]
+
+    def test_on_time_matches_windows(self):
+        spec = RenewalActivity(mean_on=5.0, mean_off=5.0, start_on=True)
+        tl = realize(spec, np.random.default_rng(1))
+        # on_time_before is non-decreasing and bounded by elapsed time.
+        prev = 0.0
+        for t in np.linspace(0.0, 200.0, 81):
+            cur = tl.on_time_before(float(t))
+            assert prev <= cur <= float(t) + 1e-9
+            prev = cur
+
+    def test_pinned_start_state(self):
+        on = realize(
+            RenewalActivity(1.0, 1.0, start_on=True), np.random.default_rng(0)
+        )
+        off = realize(
+            RenewalActivity(1.0, 1.0, start_on=False), np.random.default_rng(0)
+        )
+        assert on.active_at(0.0)
+        assert not off.active_at(0.0)
+
+
+class TestModels:
+    def test_bernoulli_validation(self):
+        assert BernoulliLoss(0.0).is_trivial
+        assert not BernoulliLoss(0.3).is_trivial
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(1.0)
+
+    def test_gilbert_elliott(self):
+        ge = GilbertElliott(mean_good=300.0, mean_bad=100.0)
+        assert ge.stationary_bad == pytest.approx(0.25)
+        assert GilbertElliott(p_good=0.0, p_bad=0.0).is_trivial
+        with pytest.raises(ConfigurationError):
+            GilbertElliott(p_good=1.0, p_bad=1.0)
+        with pytest.raises(ConfigurationError):
+            GilbertElliott(mean_good=0.0)
+
+    def test_jamming_channels(self):
+        jam = JammingBursts(FixedWindows(((0.0, 1.0),)), channels=(3, 1))
+        assert jam.channels == (1, 3)
+        with pytest.raises(ConfigurationError):
+            JammingBursts(FixedWindows(((0.0, 1.0),)), channels=())
+        with pytest.raises(ConfigurationError):
+            JammingBursts(FixedWindows(((0.0, 1.0),)), channels=(1, 1))
+        assert JammingBursts.from_duty_cycle(0.0, mean_burst=10.0).is_trivial
+        assert not JammingBursts.from_duty_cycle(0.4, mean_burst=10.0).is_trivial
+
+    def test_node_churn_accepts_mapping_and_pairs(self):
+        a = NodeChurn(joins={2: 5.0, 1: 3.0}, crashes=[(0, 9.0)])
+        assert a.joins == ((1, 3.0), (2, 5.0))
+        assert a.crashes == ((0, 9.0),)
+        assert NodeChurn().is_trivial
+        with pytest.raises(ConfigurationError):
+            NodeChurn(joins=[(1, 1.0), (1, 2.0)])
+        with pytest.raises(ConfigurationError):
+            NodeChurn(crashes={0: -1.0})
+
+    def test_clock_glitch_validation(self):
+        g = ClockGlitch(spike=0.05, activity=FixedWindows(((0.0, 1.0),)))
+        assert not g.is_trivial
+        assert ClockGlitch(0.0, FixedWindows(((0.0, 1.0),))).is_trivial
+        assert ClockGlitch(0.1, FixedWindows(())).is_trivial
+        with pytest.raises(ConfigurationError):
+            ClockGlitch(spike=1.0, activity=FixedWindows(((0.0, 1.0),)))
+
+
+class TestFaultPlan:
+    def test_trivial_detection(self):
+        assert FaultPlan().is_trivial
+        assert FaultPlan(models=(BernoulliLoss(0.0), NodeChurn())).is_trivial
+        assert not FaultPlan(models=(BernoulliLoss(0.1),)).is_trivial
+
+    def test_rejects_non_models(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(models=("not a model",))
+
+
+class TestSerialization:
+    def full_plan(self) -> FaultPlan:
+        return FaultPlan(
+            models=(
+                BernoulliLoss(0.1),
+                GilbertElliott(0.02, 0.8, 400.0, 40.0),
+                JammingBursts(
+                    RenewalActivity(10.0, 30.0, start_on=True), channels=(0, 2)
+                ),
+                DynamicPrimaryUsers(
+                    users=(PrimaryUser((0.5, 0.5), channel=1, radius=0.3),),
+                    activity=FixedWindows(((5.0, 25.0),)),
+                ),
+                NodeChurn(joins={1: 10.0}, crashes={0: 99.0}),
+                ClockGlitch(0.02, RenewalActivity(3.0, 9.0), nodes=(0,)),
+            )
+        )
+
+    def test_round_trip(self):
+        plan = self.full_plan()
+        assert plan_from_dict(plan_to_dict(plan)) == plan
+
+    def test_round_trip_through_json(self):
+        import json
+
+        plan = self.full_plan()
+        rebuilt = plan_from_dict(json.loads(json.dumps(plan_to_dict(plan))))
+        assert rebuilt == plan
+
+    def test_as_fault_plan(self):
+        plan = self.full_plan()
+        assert as_fault_plan(None) is None
+        assert as_fault_plan(plan) is plan
+        assert as_fault_plan(plan_to_dict(plan)) == plan
+        with pytest.raises(ConfigurationError):
+            as_fault_plan(42)
+
+    def test_unknown_kind_fails_loudly(self):
+        with pytest.raises(ConfigurationError):
+            plan_from_dict({"models": [{"kind": "solar_flare"}]})
+        with pytest.raises(ConfigurationError):
+            plan_from_dict({})
+
+
+class TestPresets:
+    def test_presets_build_nontrivial_plans(self):
+        names = fault_preset_names()
+        assert names == sorted(names) and names
+        for name in names:
+            plan = fault_preset(name)
+            assert isinstance(plan, FaultPlan) and not plan.is_trivial, name
+        with pytest.raises(ConfigurationError):
+            fault_preset("nope")
+
+
+class TestGlitchedClock:
+    def test_spike_adds_on_time(self):
+        tl = realize(FixedWindows(((10.0, 20.0),)))
+        clock = GlitchedClock(PerfectClock(offset=0.0), tl, spike=0.1)
+        assert clock.local_from_real(10.0) == pytest.approx(10.0)
+        assert clock.local_from_real(20.0) == pytest.approx(21.0)
+        assert clock.local_from_real(30.0) == pytest.approx(31.0)
+
+    def test_inverse_round_trip(self):
+        tl = realize(FixedWindows(((5.0, 9.0), (12.0, 30.0))))
+        base = ConstantDriftClock(0.01, offset=3.0, drift_bound=0.02)
+        clock = GlitchedClock(base, tl, spike=0.05)
+        for real in (0.0, 4.9, 7.3, 11.0, 25.0, 100.0):
+            local = clock.local_from_real(real)
+            assert clock.real_from_local(local) == pytest.approx(
+                real, abs=1e-6
+            )
+
+    def test_combined_bound_must_stay_below_one(self):
+        tl = realize(FixedWindows(((0.0, 1.0),)))
+        base = ConstantDriftClock(0.5, offset=0.0, drift_bound=0.6)
+        with pytest.raises(ClockModelError):
+            GlitchedClock(base, tl, spike=0.5)
+
+
+class TestCompilePlan:
+    def test_trivial_plan_compiles_to_none(self):
+        net = positioned_net()
+        assert compile_plan(FaultPlan(), net, RngFactory(0), "slots") is None
+        assert (
+            compile_plan(
+                FaultPlan(models=(BernoulliLoss(0.0),)),
+                net,
+                RngFactory(0),
+                "slots",
+            )
+            is None
+        )
+
+    def test_rejects_bad_inputs(self):
+        net = positioned_net()
+        plan = FaultPlan(models=(BernoulliLoss(0.5),))
+        with pytest.raises(ConfigurationError):
+            compile_plan(plan, net, RngFactory(0), "fortnights")
+        with pytest.raises(ConfigurationError):
+            compile_plan("nope", net, RngFactory(0), "slots")
+
+    def test_jamming_validates_channels_against_universal_set(self):
+        net = positioned_net()  # universal set {0, 1}
+        plan = FaultPlan(
+            models=(JammingBursts(FixedWindows(((0.0, 1.0),)), channels=(7,)),)
+        )
+        with pytest.raises(ConfigurationError):
+            compile_plan(plan, net, RngFactory(0), "slots")
+
+    def test_primary_users_require_positions(self):
+        nodes = [NodeSpec(0, frozenset({0})), NodeSpec(1, frozenset({0}))]
+        net = M2HeWNetwork(nodes, adjacency=[(0, 1)])
+        plan = FaultPlan(
+            models=(
+                DynamicPrimaryUsers(
+                    users=(PrimaryUser((0.5, 0.5), channel=0, radius=0.5),),
+                    activity=FixedWindows(((0.0, 10.0),)),
+                ),
+            )
+        )
+        with pytest.raises(ConfigurationError):
+            compile_plan(plan, net, RngFactory(0), "slots")
+
+    def test_churn_validates_node_ids(self):
+        net = positioned_net()
+        plan = FaultPlan(models=(NodeChurn(crashes={42: 1.0}),))
+        with pytest.raises(ConfigurationError):
+            compile_plan(plan, net, RngFactory(0), "slots")
+
+    def test_churn_accessors(self):
+        net = positioned_net()
+        plan = FaultPlan(
+            models=(NodeChurn(joins={1: 2.5}, crashes={0: 10.0}),)
+        )
+        rt = compile_plan(plan, net, RngFactory(0), "slots")
+        assert rt.join_time(1) == 2.5
+        assert rt.join_offset(1) == 3
+        assert rt.join_offset(0) == 0
+        assert rt.crash_time(0) == 10.0
+        assert rt.alive(0, 9.9) and not rt.alive(0, 10.0)
+        assert rt.alive(1, 1e9)
+
+    def test_blocked_tracks_timeline(self):
+        net = positioned_net()
+        plan = FaultPlan(
+            models=(
+                JammingBursts(FixedWindows(((5.0, 8.0),)), channels=(0,)),
+            )
+        )
+        rt = compile_plan(plan, net, RngFactory(0), "slots")
+        rt.begin_slot(4)
+        assert not rt.blocked(0, 0)
+        rt.begin_slot(5)
+        assert rt.blocked(0, 0) and not rt.blocked(0, 1)
+        rt.begin_slot(8)
+        assert not rt.blocked(0, 0)
+        events = rt.describe()["events"]
+        assert [e["on"] for e in events] == [True, False]
+
+    def test_pu_affects_only_nodes_in_radius(self):
+        net = positioned_net()  # node 0 at (.1,.1), node 1 at (.9,.9)
+        plan = FaultPlan(
+            models=(
+                DynamicPrimaryUsers(
+                    users=(PrimaryUser((0.1, 0.1), channel=0, radius=0.2),),
+                    activity=FixedWindows(((0.0, 100.0),)),
+                ),
+            )
+        )
+        rt = compile_plan(plan, net, RngFactory(0), "slots")
+        rt.begin_slot(0)
+        assert rt.blocked(0, 0)
+        assert not rt.blocked(1, 0)
+
+    def test_identical_trajectories_for_same_seed(self):
+        net = positioned_net()
+        plan = FaultPlan(
+            models=(
+                JammingBursts(RenewalActivity(5.0, 15.0), channels=(0,)),
+            )
+        )
+        flips = []
+        for _ in range(2):
+            rt = compile_plan(plan, net, RngFactory(123), "slots")
+            for t in range(500):
+                rt.begin_slot(t)
+            flips.append(rt.describe()["events"])
+        assert flips[0] == flips[1]

@@ -1,0 +1,107 @@
+"""Tests for the robustness degradation-curve analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.robustness import (
+    RobustnessPoint,
+    degradation_curve,
+    degradation_table,
+    is_monotone_non_improving,
+    rediscovery_delays,
+)
+from repro.exceptions import ConfigurationError
+from repro.faults import FaultPlan, FixedWindows, JammingBursts
+from repro.net import M2HeWNetwork, NodeSpec
+from repro.sim.runner import run_synchronous
+
+
+def pair_net() -> M2HeWNetwork:
+    nodes = [
+        NodeSpec(0, frozenset({0, 1})),
+        NodeSpec(1, frozenset({0, 1})),
+    ]
+    return M2HeWNetwork(nodes, adjacency=[(0, 1)])
+
+
+def jam_trial(intensity: float, seed: np.random.SeedSequence):
+    net = pair_net()
+    faults = None
+    if intensity > 0:
+        faults = FaultPlan(
+            models=(JammingBursts.from_duty_cycle(intensity, mean_burst=20.0),)
+        )
+    return run_synchronous(
+        net, "algorithm2", seed=seed, max_slots=2000, faults=faults
+    )
+
+
+class TestDegradationCurve:
+    def test_curve_shape_and_table(self):
+        points = degradation_curve(
+            [0.0, 0.3, 0.8], jam_trial, trials=4, base_seed=1
+        )
+        assert [p.intensity for p in points] == [0.0, 0.3, 0.8]
+        assert all(len(p.results) == 4 for p in points)
+        rows = degradation_table(points)
+        assert [r["intensity"] for r in rows] == [0.0, 0.3, 0.8]
+        assert all(
+            {"trials", "completed", "mean_coverage", "mean_time"} <= set(r)
+            for r in rows
+        )
+
+    def test_jamming_intensity_is_monotone_non_improving(self):
+        points = degradation_curve(
+            [0.0, 0.5, 0.9], jam_trial, trials=6, base_seed=2
+        )
+        assert is_monotone_non_improving(points)
+        # Heavier jamming really does cost time on this tiny net.
+        assert points[-1].mean_censored_time > points[0].mean_censored_time
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            degradation_curve([], jam_trial, trials=3, base_seed=0)
+        with pytest.raises(ConfigurationError):
+            degradation_curve([0.1], jam_trial, trials=0, base_seed=0)
+
+    def test_monotone_check_rejects_improvement(self):
+        def fake(intensity, coverage, time):
+            return RobustnessPoint(
+                intensity=intensity,
+                results=[],
+                mean_coverage=coverage,
+                mean_censored_time=time,
+                completed_fraction=1.0,
+            )
+
+        good = [fake(0.0, 1.0, 100.0), fake(0.5, 0.9, 150.0)]
+        assert is_monotone_non_improving(good)
+        faster = [fake(0.0, 1.0, 100.0), fake(0.5, 1.0, 50.0)]
+        assert not is_monotone_non_improving(faster)
+        better_cov = [fake(0.0, 0.5, 100.0), fake(0.5, 0.9, 100.0)]
+        assert not is_monotone_non_improving(better_cov)
+
+
+class TestRediscoveryDelays:
+    def test_delay_after_blocker_departs(self):
+        net = pair_net()
+        plan = FaultPlan(
+            models=(JammingBursts(FixedWindows(((0.0, 100.0),))),)
+        )
+        result = run_synchronous(
+            net, "algorithm2", seed=3, max_slots=2000, faults=plan
+        )
+        delays = rediscovery_delays(result)
+        # One OFF flip per jammed channel (both end at slot 100);
+        # everything is covered only afterwards, so delays are defined
+        # and positive.
+        assert len(delays) == 2
+        assert all(d is not None and d > 0 for d in delays)
+
+    def test_fault_free_result_yields_empty(self):
+        result = run_synchronous(
+            pair_net(), "algorithm2", seed=3, max_slots=2000
+        )
+        assert rediscovery_delays(result) == []

@@ -31,6 +31,28 @@ def test_every_scenario_discovers_completely(name):
             assert network.span(v, nid) <= recorded, (name, v, nid)
 
 
+@pytest.mark.parametrize("name", ["campus_pu_dynamics", "jammed_urban"])
+def test_fault_laden_scenarios_discover_under_their_faults(name):
+    s = scenario(name)
+    assert s.fault_plan is not None and not s.fault_plan.is_trivial
+    network = s.build(seed=0)
+    result = run_synchronous(
+        network,
+        "algorithm3",
+        seed=1,
+        max_slots=500_000,
+        delta_est=s.delta_est,
+        faults=s.fault_plan,
+    )
+    assert result.completed, name
+    assert "faults" in result.metadata
+    # Faults degrade timing, never soundness: every discovered id is a
+    # true neighbor.
+    for nid in network.node_ids:
+        truth = network.discoverable_neighbors(nid)
+        assert frozenset(result.neighbor_tables[nid]) <= truth, (name, nid)
+
+
 @pytest.mark.parametrize("name", ["rural_sparse", "urban_dense"])
 def test_scenarios_complete_async_too(name):
     from repro.sim.runner import run_asynchronous
