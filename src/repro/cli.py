@@ -202,6 +202,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="trials per worker dispatch (default: auto)",
     )
     batch.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "trials per vectorized batch (backend=vectorized only; "
+            "default: one batch per dispatch unit)"
+        ),
+    )
+    batch.add_argument(
         "--trial-timeout",
         type=float,
         default=None,
@@ -509,6 +518,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         backend=args.backend,
         chunk_size=args.chunk_size,
+        batch_size=args.batch_size,
         trial_timeout=args.trial_timeout,
     )
     print(

@@ -21,6 +21,7 @@ _RULE_CLASSES = (
     determinism.WallClockInSimulation,
     determinism.RandomnessWithoutRngParameter,
     determinism.DocstringExampleDrift,
+    determinism.DensePerSlotAllocation,
     model.TableMutationOutsideHook,
     model.LiteralTransmitProbability,
     model.ProtocolOwnRandomSource,

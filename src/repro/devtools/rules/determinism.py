@@ -21,6 +21,7 @@ __all__ = [
     "WallClockInSimulation",
     "RandomnessWithoutRngParameter",
     "DocstringExampleDrift",
+    "DensePerSlotAllocation",
 ]
 
 #: ``np.random.Generator`` drawing methods — seeing one of these called
@@ -260,6 +261,72 @@ class RandomnessWithoutRngParameter(Rule):
                     f"public function `{node.name}` draws randomness but "
                     "accepts no rng/seed parameter",
                 )
+
+
+#: numpy array constructors whose first argument is a shape.
+_DENSE_ALLOCATORS = frozenset({"zeros", "empty", "ones", "full"})
+
+
+def _axis_refs(node: ast.AST) -> Set[str]:
+    """Dotted names referenced by one shape axis (``self``/``cls`` aside)."""
+    refs: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Name, ast.Attribute)):
+            name = dotted_name(sub)
+            if name is not None and name not in ("self", "cls"):
+                refs.add(name)
+    return refs
+
+
+class DensePerSlotAllocation(Rule):
+    rule_id = "D107"
+    title = "dense O(N²) allocation inside a per-slot hot path"
+    rationale = (
+        "A `_run_slot` body executes once per simulated slot; allocating a "
+        "buffer whose shape repeats a size variable (N×N, C×N×N, …) there "
+        "makes every slot cost O(N²) in allocator traffic regardless of how "
+        "few nodes act. Hoist the buffer to __init__ or resolve reception "
+        "sparsely (repro.sim.fast_slotted.SparseReception)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.sim_critical:
+            return
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if "_run_slot" not in fn.name:
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if parts[0] not in ("np", "numpy"):
+                    continue
+                if parts[-1] not in _DENSE_ALLOCATORS or not node.args:
+                    continue
+                shape = node.args[0]
+                if not isinstance(shape, ast.Tuple) or len(shape.elts) < 2:
+                    continue
+                axes = [_axis_refs(elt) for elt in shape.elts]
+                repeated = {
+                    ref
+                    for i, refs in enumerate(axes)
+                    for ref in refs
+                    if any(ref in other for other in axes[i + 1 :])
+                }
+                if repeated:
+                    dims = " and ".join(sorted(repeated))
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"np.{parts[-1]} shape repeats `{dims}` — an O(N²) "
+                        f"allocation every slot in `{fn.name}`; preallocate "
+                        "in __init__ or use the sparse reception kernel",
+                    )
 
 
 class DocstringExampleDrift(Rule):

@@ -506,6 +506,59 @@ class FaultRuntime:
         return keep
 
     # ------------------------------------------------------------------
+    # batched entry points (trial-batched engine)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def batched_alive_mask(
+        runtimes: Sequence["FaultRuntime"], t: int
+    ) -> np.ndarray:
+        """Stacked :meth:`alive_mask` rows, shape ``(B, num_nodes)``.
+
+        ``runtimes[b]`` is trial ``b``'s runtime (all bound via
+        :meth:`bind_dense`); used by the trial-batched engine.
+        """
+        return np.stack([runtime.alive_mask(t) for runtime in runtimes])
+
+    @staticmethod
+    def batched_blocked_mask(
+        runtimes: Sequence["FaultRuntime"],
+    ) -> np.ndarray:
+        """Stacked :meth:`blocked_mask`, shape ``(B, num_nodes, num_dense)``."""
+        return np.stack([runtime.blocked_mask() for runtime in runtimes])
+
+    @staticmethod
+    def batched_keep_mask(
+        runtimes: Sequence["FaultRuntime"],
+        trial_indices: np.ndarray,
+        sender_indices: np.ndarray,
+        receiver_indices: np.ndarray,
+        time: float,
+        engine_rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Per-trial :meth:`keep_mask` over a trial-major delivery batch.
+
+        ``trial_indices`` must be non-decreasing so each trial's slice is
+        contiguous and its loss draws come from ``engine_rngs[b]`` in the
+        exact order a serial run of that trial would issue them. Trials
+        with no deliveries get no slice and therefore draw nothing —
+        matching the serial engine's early return on an empty slot.
+        """
+        keep = np.ones(int(trial_indices.size), dtype=bool)
+        for b, runtime in enumerate(runtimes):
+            lo = int(np.searchsorted(trial_indices, b, side="left"))
+            hi = int(np.searchsorted(trial_indices, b, side="right"))
+            if lo == hi:
+                continue
+            keep[lo:hi] = runtime.keep_mask(
+                sender_indices[lo:hi],
+                receiver_indices[lo:hi],
+                time,
+                engine_rngs[b],
+            )
+        return keep
+
+    # ------------------------------------------------------------------
     # clocks
     # ------------------------------------------------------------------
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from .async_engine import AsyncSimulator
 from .batch import BatchOutcome, ExperimentSpec, run_batch
+from .batched import BatchedSlottedSimulator
 from .clock import (
     Clock,
     ConstantDriftClock,
@@ -19,6 +20,7 @@ from .fast_slotted import (
     FastSlottedSimulator,
     FlatSchedule,
     GrowingEstimateSchedule,
+    SparseReception,
     StagedSchedule,
     VectorSchedule,
 )
@@ -31,6 +33,7 @@ from .runner import (
     random_start_offsets,
     run_asynchronous,
     run_experiment_trial,
+    run_experiment_trials_batched,
     run_synchronous,
     run_trials,
 )
@@ -46,6 +49,7 @@ from .trace import ExecutionTrace, FrameRecord, SlotRecord
 __all__ = [
     "AsyncSimulator",
     "BatchOutcome",
+    "BatchedSlottedSimulator",
     "ExperimentSpec",
     "TerminationOutcome",
     "load_result",
@@ -73,6 +77,7 @@ __all__ = [
     "SinusoidalDriftClock",
     "SlotRecord",
     "SlottedSimulator",
+    "SparseReception",
     "StagedSchedule",
     "StoppingCondition",
     "Transmission",
@@ -85,6 +90,7 @@ __all__ = [
     "resolve_plan",
     "run_asynchronous",
     "run_experiment_trial",
+    "run_experiment_trials_batched",
     "run_spec_trials",
     "run_synchronous",
     "run_trials",

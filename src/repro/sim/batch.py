@@ -95,6 +95,7 @@ def _run_spec(
     max_workers: int = 1,
     backend: str = "auto",
     chunk_size: Optional[int] = None,
+    batch_size: Optional[int] = None,
     trial_timeout: Optional[float] = None,
 ) -> BatchOutcome:
     network = generate_network(spec.workload, seed=spec.network_seed)
@@ -107,6 +108,7 @@ def _run_spec(
         max_workers=max_workers,
         backend=backend,
         chunk_size=chunk_size,
+        batch_size=batch_size,
         trial_timeout=trial_timeout,
         experiment=spec.name,
     )
@@ -137,6 +139,7 @@ def run_batch(
     max_workers: int = 1,
     backend: str = "auto",
     chunk_size: Optional[int] = None,
+    batch_size: Optional[int] = None,
     trial_timeout: Optional[float] = None,
 ) -> List[BatchOutcome]:
     """Run every experiment; optionally archive raw trials + manifest.
@@ -153,8 +156,12 @@ def run_batch(
             :mod:`repro.sim.parallel`). Archived output is byte-identical
             for any worker count, so neither it nor ``backend`` is
             recorded in the manifest.
-        backend: ``auto`` (default), ``serial`` or ``process``.
+        backend: ``auto`` (default), ``serial``, ``process`` or
+            ``vectorized`` (trial-batched engine; byte-identical
+            output, see :mod:`repro.sim.batched`).
         chunk_size: Trials per worker dispatch (default: auto).
+        batch_size: Trials per vectorized batch (``vectorized`` only;
+            default: one batch per dispatch unit).
         trial_timeout: Per-trial wall-clock budget in seconds.
     """
     if not specs:
@@ -170,6 +177,7 @@ def run_batch(
             max_workers=max_workers,
             backend=backend,
             chunk_size=chunk_size,
+            batch_size=batch_size,
             trial_timeout=trial_timeout,
         )
         for spec in specs

@@ -1,0 +1,461 @@
+"""Trial-batched synchronous engine: B seeded trials per numpy kernel.
+
+Monte-Carlo campaigns (E1–E3 theorem checks, robustness sweeps) run
+dozens-to-hundreds of independent trials of the same experiment. The
+process pool (:mod:`repro.sim.parallel`) buys little on small hosts, so
+this engine applies the other classic lever — a **batch axis**: one
+:class:`BatchedSlottedSimulator` advances ``B`` trials per slot with
+``(B, N)``-shaped arrays, and resolves reception for the whole batch
+with one :class:`~repro.sim.fast_slotted.SparseReception` scatter call
+whose keys carry a per-trial offset. Per-slot cost scales with the
+batch's actual transmitters and audibility edges, never O(B·C·N²), and
+memory stays O(B·(N + links)).
+
+Determinism contract (pinned by ``tests/test_batched_engine.py``):
+
+* trial ``i`` owns the ``"fast-engine"`` stream of its *own*
+  :class:`~repro.sim.rng.RngFactory` — the exact generator the serial
+  :class:`~repro.sim.fast_slotted.FastSlottedSimulator` would use — and
+  the engine replays the serial engine's per-trial draw sequence
+  call-for-call (decision uniforms, channel picks, erasure coins, loss
+  coins, including every data-dependent early exit);
+* therefore every trial's :class:`~repro.sim.results.DiscoveryResult`
+  is **byte-identical to the serial fast engine's**, which makes the
+  output independent of the batch size ``B`` by construction — batching
+  is a dispatch optimization exactly like worker fan-out, so results
+  report the same ``engine: slotted-fast`` metadata and archives never
+  encode how trials were grouped.
+
+Fault plans compile per trial (each against its trial's factory, so
+fault trajectories match serial runs) and are consulted through the
+batched entry points of :class:`~repro.faults.runtime.FaultRuntime`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..net.network import M2HeWNetwork
+from .fast_slotted import SparseReception, VectorSchedule
+from .results import DiscoveryResult
+from .rng import RngFactory
+from .stopping import StoppingCondition
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep sim/faults decoupled
+    from ..faults.plan import FaultPlan
+    from ..faults.runtime import FaultRuntime
+
+__all__ = ["BatchedSlottedSimulator"]
+
+
+class BatchedSlottedSimulator:
+    """Vectorized synchronous simulator for a batch of seeded trials.
+
+    Semantics per trial are identical to
+    :class:`~repro.sim.fast_slotted.FastSlottedSimulator` (bit-for-bit;
+    see the module docstring); ``rng_factories[i]`` seeds trial ``i``.
+    All trials share the network, schedule, start offsets, erasure
+    probability, fault *plan* (realized independently per trial) and
+    the stopping condition — i.e. one experiment's trial campaign.
+    """
+
+    def __init__(
+        self,
+        network: M2HeWNetwork,
+        schedule: VectorSchedule,
+        rng_factories: Sequence[RngFactory],
+        start_offsets: Optional[Mapping[int, int]] = None,
+        erasure_prob: float = 0.0,
+        faults: Optional["FaultPlan"] = None,
+    ) -> None:
+        if not rng_factories:
+            raise ConfigurationError("batch needs at least one RngFactory")
+        if not 0.0 <= erasure_prob < 1.0:
+            raise ConfigurationError(
+                f"erasure_prob must be in [0, 1), got {erasure_prob}"
+            )
+        self._network = network
+        self._ids = network.node_ids
+        self._index = {nid: i for i, nid in enumerate(self._ids)}
+        n = len(self._ids)
+        batch = len(rng_factories)
+        if schedule.num_nodes != n:
+            raise ConfigurationError(
+                f"schedule covers {schedule.num_nodes} nodes, network has {n}"
+            )
+        self._schedule = schedule
+        self._erasure_prob = erasure_prob
+        self._batch = batch
+        self._num_nodes = n
+        self._streams = [f.stream("fast-engine") for f in rng_factories]
+
+        # Fault plans realize independently per trial, exactly as the
+        # serial engine would with each trial's own factory.
+        self._runtimes: Optional[List["FaultRuntime"]] = None
+        if faults is not None:
+            from ..faults.runtime import compile_plan
+
+            runtimes = [
+                compile_plan(faults, network, factory, time_unit="slots")
+                for factory in rng_factories
+            ]
+            if any(rt is not None for rt in runtimes):
+                # compile_plan is deterministic in plan triviality, so
+                # it returns None for every trial or for none.
+                self._runtimes = [rt for rt in runtimes if rt is not None]
+        runtimes_list = self._runtimes
+        self._has_spectrum = bool(runtimes_list) and runtimes_list[0].has_spectrum
+        self._has_churn = bool(runtimes_list) and runtimes_list[0].has_churn
+        self._has_loss = bool(runtimes_list) and runtimes_list[0].has_loss
+
+        # Per-trial start offsets (joins fold in per trial, mirroring
+        # the serial constructor).
+        offsets = dict(start_offsets or {})
+        base = np.zeros(n, dtype=np.int64)
+        for nid, off in offsets.items():
+            if off < 0:
+                raise ConfigurationError(
+                    f"start offset of node {nid} must be >= 0, got {off}"
+                )
+            base[self._index[nid]] = int(off)
+        self._offsets = np.tile(base, (batch, 1))
+        if runtimes_list is not None:
+            for b, runtime in enumerate(runtimes_list):
+                for i, nid in enumerate(self._ids):
+                    join = runtime.join_offset(nid)
+                    if join > self._offsets[b, i]:
+                        self._offsets[b, i] = join
+
+        # Dense channel indexing shared by every trial (identical to the
+        # serial fast engine's).
+        universal = sorted(network.universal_channel_set)
+        dense_of_channel = {c: k for k, c in enumerate(universal)}
+        self._num_dense = len(universal)
+        self._sizes = np.array(
+            [len(network.channels_of(nid)) for nid in self._ids], dtype=np.int64
+        )
+        self._chan_starts = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self._sizes, out=self._chan_starts[1:])
+        self._chan_flat = np.empty(int(self._chan_starts[-1]), dtype=np.int64)
+        for i, nid in enumerate(self._ids):
+            chans = sorted(network.channels_of(nid))
+            self._chan_flat[self._chan_starts[i] : self._chan_starts[i + 1]] = [
+                dense_of_channel[c] for c in chans
+            ]
+        if runtimes_list is not None:
+            for runtime in runtimes_list:
+                runtime.bind_dense(self._ids, dense_of_channel, self._num_dense)
+
+        # The sparse reception kernel, shared across trials; per-trial
+        # key offsets keep the batch's scatter spaces disjoint.
+        self._kernel = SparseReception(network, self._index, universal)
+
+        # Links in network.links() order; coverage is stored per trial
+        # as a (B, num_links) row — O(E) per trial, never O(N²).
+        self._links = network.links()
+        lookup = np.full(n * n, -1, dtype=np.int64)
+        for e_i, link in enumerate(self._links):
+            tx = self._index[link.transmitter]
+            rx = self._index[link.receiver]
+            lookup[tx * n + rx] = e_i
+        self._link_lookup = lookup
+        self._num_links = len(self._links)
+
+        # Per-trial, per-node counters (radio activity + contention);
+        # the flat aliases let the hot loop scatter by raveled index.
+        self._tx_slots = np.zeros((batch, n), dtype=np.int64)
+        self._rx_slots = np.zeros((batch, n), dtype=np.int64)
+        self._collisions = np.zeros((batch, n), dtype=np.int64)
+        self._clear = np.zeros((batch, n), dtype=np.int64)
+        self._collisions_flat = self._collisions.reshape(-1)
+        self._clear_flat = self._clear.reshape(-1)
+
+        # Per-slot scratch (allocated once; rows refill under per-trial
+        # gating so stale rows are never read where it matters).
+        self._uni = np.empty((batch, n), dtype=np.float64)
+        self._pick = np.zeros((batch, n), dtype=np.int64)
+        self._row_idx = np.arange(n)
+        self._trial_idx = np.arange(batch)
+
+        # Fast-path precomputation. Once every node has started (and no
+        # churn), the per-slot activity mask is just the live vector;
+        # when offset rows coincide across trials (always, unless a
+        # future fault model draws per-trial joins) one shared schedule
+        # evaluation serves the whole batch.
+        self._max_offset = int(self._offsets.max())
+        self._chan_base = self._chan_starts[:-1]
+        self._span = self._num_dense * n
+        self._shared_offsets: Optional[np.ndarray] = (
+            self._offsets[0]
+            if bool((self._offsets == self._offsets[0]).all())
+            else None
+        )
+        # Homogeneous |A(u)| lets channel picks use a scalar bound —
+        # bitstream-identical to the array-bound call (numpy uses the
+        # same masked-rejection draw; pinned by a test) but cheaper.
+        self._scalar_size: Optional[int] = (
+            int(self._sizes[0])
+            if bool((self._sizes == self._sizes[0]).all())
+            else None
+        )
+        if self._has_spectrum:
+            # Flat (trial, node) base into a raveled (B, N, C) blocked
+            # tensor; adding the chosen channel yields gather indices.
+            self._spectrum_base = (
+                self._trial_idx[:, None] * n + self._row_idx[None, :]
+            ) * self._num_dense
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch
+
+    def run(self, stopping: StoppingCondition) -> List[DiscoveryResult]:
+        """Execute all trials; one result per trial, in factory order."""
+        budget = stopping.require_slot_budget()
+        batch = self._batch
+        cov = np.full((batch, self._num_links), -1.0)
+        uncovered = np.full(batch, self._num_links, dtype=np.int64)
+        slots_executed = np.zeros(batch, dtype=np.int64)
+        oracle = stopping.stop_on_full_coverage
+
+        # Liveness bookkeeping happens only when a trial completes
+        # (mirrors the serial loop: a completed trial executes no
+        # further slots, everyone else runs to the budget).
+        live = np.ones(batch, dtype=bool)
+        live_list = list(range(batch))
+        t = 0
+        for t in range(budget):
+            completed = self._run_slot(t, live, live_list, cov, uncovered)
+            if oracle and completed is not None and completed.size:
+                live[completed] = False
+                slots_executed[completed] = t + 1
+                live_list = np.flatnonzero(live).tolist()
+                if not live_list:
+                    break
+        slots_executed[live] = min(t + 1, budget)
+
+        return [
+            self._build_result(b, cov[b], int(slots_executed[b]))
+            for b in range(batch)
+        ]
+
+    def _run_slot(
+        self,
+        t: int,
+        live: np.ndarray,
+        live_list: List[int],
+        cov: np.ndarray,
+        uncovered: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        """Advance every live trial one slot; return newly-completed trials."""
+        n = self._num_nodes
+        streams = self._streams
+        runtimes = self._runtimes
+        if runtimes is not None:
+            from ..faults.runtime import FaultRuntime
+
+            for b in live_list:
+                runtimes[b].begin_slot(t)
+
+        # Activity: skip the (B, N) offset comparison once every node
+        # has started and churn cannot remove any (the common steady
+        # state); ``active is None`` then stands for ``live[:, None]``.
+        active: Optional[np.ndarray]
+        if runtimes is not None and self._has_churn:
+            active = self._offsets <= t
+            active &= FaultRuntime.batched_alive_mask(runtimes, t)
+            active &= live[:, None]
+            act_list = np.flatnonzero(active.any(axis=1)).tolist()
+        elif t < self._max_offset:
+            active = self._offsets <= t
+            active &= live[:, None]
+            act_list = np.flatnonzero(active.any(axis=1)).tolist()
+        else:
+            active = None
+            act_list = live_list
+        if not act_list:
+            return None
+
+        # One shared schedule evaluation when offset rows coincide
+        # (p depends only on the local slot and |A(u)|, both shared).
+        if self._shared_offsets is not None:
+            p = self._schedule.probabilities(t - self._shared_offsets)
+        else:
+            p = self._schedule.probabilities(t - self._offsets)
+        uni = self._uni
+        for b in act_list:
+            # Same stream, same call shape as the serial engine's
+            # `rng.random(n)`; `out=` fills row b without reallocating.
+            streams[b].random(out=uni[b])
+        transmit = uni < p
+        if active is None:
+            transmit &= live[:, None]
+            listen = ~transmit
+            listen &= live[:, None]
+        else:
+            transmit &= active
+            listen = active & ~transmit
+        self._tx_slots += transmit
+        self._rx_slots += listen
+
+        # Inactive rows never transmit, so no extra `act` mask is needed.
+        proceed = transmit.any(axis=1)
+        proceed &= listen.any(axis=1)
+        proceed_list = np.flatnonzero(proceed).tolist()
+        if not proceed_list:
+            return None
+        pick = self._pick
+        if self._scalar_size is not None:
+            size = self._scalar_size
+            for b in proceed_list:
+                pick[b] = streams[b].integers(0, size, n)
+        else:
+            sizes = self._sizes
+            for b in proceed_list:
+                pick[b] = streams[b].integers(0, sizes)
+        chan = np.take(self._chan_flat, self._chan_base + pick)
+
+        if runtimes is not None and self._has_spectrum:
+            from ..faults.runtime import FaultRuntime
+
+            blocked = FaultRuntime.batched_blocked_mask(runtimes)
+            suppressed = blocked.reshape(-1)[self._spectrum_base + chan]
+            suppressed &= proceed[:, None]
+            transmit &= ~suppressed
+            listen &= ~suppressed
+            proceed &= transmit.any(axis=1)
+            proceed &= listen.any(axis=1)
+            if not proceed.any():
+                return None
+
+        # --- batched sparse reception: one scatter for every trial ---
+        # Trials outside `proceed` contribute nothing that matters:
+        # their key blocks are disjoint, a transmitter-less trial's
+        # listeners read zero counts, a listener-less trial's edges are
+        # never queried. So no per-trial re-indexing is needed.
+        span = self._span
+        chan_flat = chan.reshape(-1)
+        tflat = np.flatnonzero(transmit)
+        tx_trial = tflat // n
+        tv = tflat - tx_trial * n
+        lflat = np.flatnonzero(listen)
+        l_trial = lflat // n
+        lu = lflat - l_trial * n
+        counts, senders_at = self._kernel.resolve(
+            chan_flat[tflat] * n + tv,
+            tx_trial * span,
+            tv,
+            l_trial * span + chan_flat[lflat] * n + lu,
+            self._batch * span,
+        )
+        self._collisions_flat[lflat[counts >= 2]] += 1
+        sel = np.flatnonzero(counts == 1)
+        self._clear_flat[lflat[sel]] += 1
+        if not sel.size:
+            return None
+
+        # --- delivery. np.flatnonzero emits listeners trial-major, so
+        # the clear receptions are already grouped by trial in ascending
+        # order — exactly the order the serial loop would process them.
+        if self._erasure_prob > 0.0:
+            # Erasure coins must come from each trial's own stream, one
+            # `random(count)` call per trial with clear receptions —
+            # call-for-call what the serial engine draws.
+            clear_trials = l_trial[sel]
+            bounds = np.flatnonzero(np.diff(clear_trials)) + 1
+            segs = np.concatenate(([0], bounds, [clear_trials.size]))
+            keep = np.empty(clear_trials.size, dtype=bool)
+            for s0, s1 in zip(segs[:-1], segs[1:]):
+                keep[s0:s1] = (
+                    streams[int(clear_trials[s0])].random(s1 - s0)
+                    >= self._erasure_prob
+                )
+            sel = sel[keep]
+            if sel.size == 0:
+                return None
+        trial_ids = l_trial[sel]
+        senders_all = senders_at[sel]
+        receivers_all = lu[sel]
+
+        if runtimes is not None and self._has_loss:
+            from ..faults.runtime import FaultRuntime
+
+            keep = FaultRuntime.batched_keep_mask(
+                runtimes,
+                trial_ids,
+                senders_all,
+                receivers_all,
+                float(t),
+                streams,
+            )
+            trial_ids = trial_ids[keep]
+            senders_all = senders_all[keep]
+            receivers_all = receivers_all[keep]
+            if trial_ids.size == 0:
+                return None
+
+        link_ids = self._link_lookup[senders_all * n + receivers_all]
+        flat = trial_ids * self._num_links + link_ids
+        cov_flat = cov.reshape(-1)
+        fresh = cov_flat[flat] < 0
+        if not fresh.any():
+            return None
+        cov_flat[flat[fresh]] = float(t)
+        dec = np.bincount(trial_ids[fresh], minlength=self._batch)
+        uncovered -= dec
+        done = np.flatnonzero((dec > 0) & (uncovered == 0))
+        return done if done.size else None
+
+    def _build_result(
+        self, b: int, cov_row: np.ndarray, slots_executed: int
+    ) -> DiscoveryResult:
+        coverage: Dict[Tuple[int, int], Optional[float]] = {}
+        tables: Dict[int, Dict[int, frozenset]] = {nid: {} for nid in self._ids}
+        for e_i, link in enumerate(self._links):
+            t = cov_row[e_i]
+            coverage[link.key] = None if t < 0 else float(t)
+            if t >= 0:
+                tables[link.receiver][link.transmitter] = link.span
+        completed = all(v is not None for v in coverage.values())
+        # "slotted-fast", not a distinct label: a batched trial is
+        # defined to be indistinguishable from a serial fast-engine
+        # trial, and archives never record dispatch choices (same rule
+        # as worker-count invariance in repro.sim.parallel).
+        metadata: Dict[str, object] = {
+            "engine": "slotted-fast",
+            "erasure_prob": self._erasure_prob,
+            "radio_activity": {
+                nid: {
+                    "tx": int(self._tx_slots[b, self._index[nid]]),
+                    "rx": int(self._rx_slots[b, self._index[nid]]),
+                    "quiet": 0,
+                }
+                for nid in self._ids
+            },
+            "collisions": {
+                nid: int(self._collisions[b, self._index[nid]])
+                for nid in self._ids
+            },
+            "clear_receptions": {
+                nid: int(self._clear[b, self._index[nid]])
+                for nid in self._ids
+            },
+        }
+        if self._runtimes is not None:
+            metadata["faults"] = self._runtimes[b].describe()
+        return DiscoveryResult(
+            time_unit="slots",
+            coverage=coverage,
+            horizon=float(slots_executed),
+            completed=completed,
+            neighbor_tables=tables,
+            start_times={
+                nid: float(self._offsets[b, self._index[nid]])
+                for nid in self._ids
+            },
+            network_params=self._network.parameter_summary(),
+            metadata=metadata,
+        )

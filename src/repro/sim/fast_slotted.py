@@ -5,12 +5,28 @@ template: *select a channel uniformly at random from* ``A(u)`` *and
 transmit with probability* ``p(u, local_slot)``, *listening otherwise*.
 This engine exploits that: decisions for all nodes are drawn with a few
 numpy operations per slot and receptions are resolved with per-channel
-adjacency matrices, giving orders of magnitude more slots per second
+adjacency structures, giving orders of magnitude more slots per second
 than the reference engine. A test pins the two engines' statistical
 agreement.
 
+Two interchangeable reception kernels resolve who hears whom (byte-
+identical results, pinned by tests):
+
+* **dense** — a stacked ``(C, N, N)`` float32 audibility tensor and one
+  batched matmul per slot; fastest for small networks, but costs
+  O(C·N²) memory and per-slot work regardless of how few nodes
+  transmit;
+* **sparse** (:class:`SparseReception`) — CSR-style per-channel
+  adjacency plus one ``np.bincount`` scatter-add over the slot's
+  *actual* transmitters, so per-slot cost scales with
+  transmitters-and-edges and memory with O(E). The default above
+  :data:`DENSE_RECEPTION_CEILING` dense entries, and the kernel
+  :class:`~repro.sim.batched.BatchedSlottedSimulator` batches whole
+  trial campaigns through.
+
 The probability schedules live in :class:`VectorSchedule` subclasses —
-one per algorithm — which compute ``p`` for all nodes at once.
+one per algorithm — which compute ``p`` for all nodes at once (and
+broadcast over a leading batch axis, see :mod:`repro.sim.batched`).
 
 Limitations (use the reference engine instead): protocols that pick
 channels non-uniformly (universal sweep, deterministic scan) and
@@ -37,12 +53,125 @@ if TYPE_CHECKING:  # imported lazily at runtime to keep sim/faults decoupled
     from ..faults.plan import FaultPlan
 
 __all__ = [
+    "DENSE_RECEPTION_CEILING",
+    "RECEPTION_KERNELS",
+    "SparseReception",
     "VectorSchedule",
     "StagedSchedule",
     "GrowingEstimateSchedule",
     "FlatSchedule",
     "FastSlottedSimulator",
 ]
+
+#: Accepted ``reception=`` values for :class:`FastSlottedSimulator`.
+RECEPTION_KERNELS = ("auto", "dense", "sparse")
+
+#: ``reception="auto"`` switches from the dense ``(C, N, N)`` tensor to
+#: the sparse kernel once the tensor would exceed this many entries
+#: (4 MiB of float32 — beyond that the matmul touches more zeros than
+#: the sparse kernel touches edges on any realistic workload).
+DENSE_RECEPTION_CEILING = 1 << 20
+
+
+class SparseReception:
+    """CSR per-channel audibility + scatter aggregation over transmitters.
+
+    The structure answers, for one slot, the same two questions the
+    dense matmul answers — per listening slot ``(trial, channel, node)``
+    the number of audible transmitters, and their identity where unique
+    — but via one ``np.bincount`` scatter-add plus a last-write-wins
+    sender scatter in O(E_t + B·C·N), where ``E_t`` is the number of
+    audibility edges leaving the slot's *actual* transmitters, instead
+    of O(C·N²).
+
+    Layout: edges are grouped by ``(dense channel k, transmitter v)``;
+    ``starts[k·N + v] : starts[k·N + v + 1]`` indexes the listeners that
+    hear ``v`` on channel ``k`` in ``flat``. All arithmetic is int64 and
+    exact (the dense float32 path is exact too — small-integer sums —
+    which is why the two kernels are byte-identical).
+
+    The ``resolve`` key space has room for a leading batch axis: caller
+    ``b`` offsets both transmitter and listener keys by
+    ``b · (num_dense · N)``, which is how
+    :class:`~repro.sim.batched.BatchedSlottedSimulator` resolves every
+    trial of a batch in one call.
+    """
+
+    def __init__(
+        self,
+        network: M2HeWNetwork,
+        node_index: Mapping[int, int],
+        universal: List[int],
+    ) -> None:
+        n = len(node_index)
+        num_dense = len(universal)
+        listeners_of: List[List[int]] = [[] for _ in range(num_dense * n)]
+        for k, c in enumerate(universal):
+            for u, i in node_index.items():
+                for v in network.neighbors_on(u, c):
+                    listeners_of[k * n + node_index[v]].append(i)
+        counts = np.array([len(ls) for ls in listeners_of], dtype=np.int64)
+        self.starts = np.zeros(num_dense * n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.starts[1:])
+        self.flat = np.empty(int(self.starts[-1]), dtype=np.int64)
+        for j, ls in enumerate(listeners_of):
+            self.flat[self.starts[j] : self.starts[j + 1]] = sorted(ls)
+        self.num_nodes = n
+        self.num_dense = num_dense
+
+    def resolve(
+        self,
+        csr_idx: np.ndarray,
+        bases: np.ndarray,
+        senders: np.ndarray,
+        query_keys: np.ndarray,
+        space: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Counts and identity-weighted sums at each listening slot.
+
+        Args:
+            csr_idx: Per transmitter, ``k·N + v`` (its channel row).
+            bases: Per transmitter, the batch offset ``b·(C·N)`` (all
+                zeros for a single trial).
+            senders: Per transmitter, its node index ``v``.
+            query_keys: Per listener, ``b·(C·N) + k·N + u`` for the
+                channel ``k`` it listens on.
+            space: Size of the key space, ``B·C·N`` — the
+                ``np.bincount`` accumulator length.
+
+        Returns:
+            ``(counts, senders_at)`` int64 arrays aligned with
+            ``query_keys``: the number of audible transmitters on that
+            (trial, channel) as heard by ``u``, and the node index of
+            one of them — **meaningful only where the count is exactly
+            one** (at collided keys it is an arbitrary transmitter, at
+            silent keys uninitialized scratch; callers must mask).
+        """
+        edge_counts = self.starts[csr_idx + 1] - self.starts[csr_idx]
+        seg_ends = np.cumsum(edge_counts)
+        total = int(seg_ends[-1]) if seg_ends.size else 0
+        if total == 0:
+            zeros = np.zeros(query_keys.shape[0], dtype=np.int64)
+            return zeros, zeros.copy()
+        # Expand each transmitter's CSR segment into flat edge pointers.
+        shifts = np.repeat(
+            self.starts[csr_idx] - seg_ends + edge_counts, edge_counts
+        )
+        shifts += np.arange(total, dtype=np.int64)
+        listeners = self.flat[shifts]
+        # Edge key = batch offset + channel row + listener; the channel
+        # row of transmitter j is csr_idx[j] − senders[j] (= k·N). The
+        # count scatter-add over the (small) dense key space is one
+        # ``np.bincount`` — O(E_t + B·C·N), no sort, exact int64. The
+        # sender identity needs no summation at all: a last-write-wins
+        # scatter leaves the *unique* transmitter wherever the count is
+        # one, which is the only place callers may look.
+        edge_keys = np.repeat(bases + csr_idx - senders, edge_counts)
+        edge_keys += listeners
+        counts = np.bincount(edge_keys, minlength=space)
+        sender_at = np.empty(space, dtype=np.int64)
+        sender_at[edge_keys] = np.repeat(senders, edge_counts)
+        return counts[query_keys], sender_at[query_keys]
 
 
 class VectorSchedule(abc.ABC):
@@ -65,8 +194,11 @@ class VectorSchedule(abc.ABC):
     def probabilities(self, local_slots: np.ndarray) -> np.ndarray:
         """``p(u, local_slots[u])`` for every node ``u`` at once.
 
-        Entries for negative ``local_slots`` (not yet started nodes) may
-        be arbitrary — the engine masks them out.
+        ``local_slots`` is ``(N,)`` for a single trial or ``(B, N)`` for
+        a trial batch (:class:`~repro.sim.batched.
+        BatchedSlottedSimulator`); the result broadcasts against the
+        input shape. Entries for negative ``local_slots`` (not yet
+        started nodes) may be arbitrary — the engine masks them out.
         """
 
 
@@ -92,16 +224,23 @@ class GrowingEstimateSchedule(VectorSchedule):
     def __init__(self, sizes: np.ndarray) -> None:
         super().__init__(sizes)
         self._boundaries = [0]
+        self._bounds_arr = np.asarray(self._boundaries)
 
     def _extend(self, local_slot: int) -> None:
+        # The array form is rebuilt only when a new stage boundary is
+        # actually appended — probabilities() runs once per slot, so a
+        # per-call np.asarray over the whole list would dominate.
+        if self._boundaries[-1] > local_slot:
+            return
         while self._boundaries[-1] <= local_slot:
             d = 2 + len(self._boundaries) - 1
             self._boundaries.append(self._boundaries[-1] + stage_length(d))
+        self._bounds_arr = np.asarray(self._boundaries)
 
     def probabilities(self, local_slots: np.ndarray) -> np.ndarray:
         clipped = np.maximum(local_slots, 0)
         self._extend(int(clipped.max(initial=0)))
-        bounds = np.asarray(self._boundaries)
+        bounds = self._bounds_arr
         stage_idx = np.searchsorted(bounds, clipped, side="right") - 1
         i = clipped - bounds[stage_idx] + 1
         return np.minimum(0.5, self._sizes / np.exp2(i))
@@ -113,6 +252,9 @@ class FlatSchedule(VectorSchedule):
     def __init__(self, sizes: np.ndarray, delta_est: int) -> None:
         super().__init__(sizes)
         self._p = np.minimum(0.5, self._sizes / float(validate_delta_est(delta_est)))
+        # Handed out by reference every slot; a writable return would
+        # let one caller silently corrupt every later slot's schedule.
+        self._p.setflags(write=False)
 
     def probabilities(self, local_slots: np.ndarray) -> np.ndarray:
         return self._p
@@ -125,6 +267,14 @@ class FastSlottedSimulator:
     (same collision rules, start offsets and erasure model); only the
     protocol representation differs — a :class:`VectorSchedule` instead
     of per-node protocol objects.
+
+    ``reception`` selects the kernel that resolves who hears whom:
+    ``"dense"`` (batched matmul over a ``(C, N, N)`` tensor),
+    ``"sparse"`` (:class:`SparseReception`), or ``"auto"`` (dense until
+    the tensor would exceed :data:`DENSE_RECEPTION_CEILING` entries).
+    The choice never changes a single output byte — both kernels
+    compute exact integer counts — it only trades memory for per-slot
+    constant factors.
     """
 
     def __init__(
@@ -135,10 +285,16 @@ class FastSlottedSimulator:
         start_offsets: Optional[Mapping[int, int]] = None,
         erasure_prob: float = 0.0,
         faults: Optional["FaultPlan"] = None,
+        reception: str = "auto",
     ) -> None:
         if not 0.0 <= erasure_prob < 1.0:
             raise ConfigurationError(
                 f"erasure_prob must be in [0, 1), got {erasure_prob}"
+            )
+        if reception not in RECEPTION_KERNELS:
+            raise ConfigurationError(
+                f"unknown reception kernel {reception!r}; choose from "
+                f"{RECEPTION_KERNELS}"
             )
         self._faults = None
         if faults is not None:
@@ -192,20 +348,40 @@ class FastSlottedSimulator:
                 dense_of_channel[c] for c in chans
             ]
 
-        # Stacked per-channel audibility tensor (C, N, N) in float32:
-        # reception for a whole slot is resolved with one batched
-        # contraction — per (listener, channel) the count of audible
-        # transmitters and the identity-weighted sum that directly
-        # yields the sender id where the count is exactly one.
+        # Reception kernel. Dense: stacked per-channel audibility tensor
+        # (C, N, N) in float32 — reception for a whole slot is one
+        # batched contraction giving, per (listener, channel), the count
+        # of audible transmitters and the identity-weighted sum that
+        # directly yields the sender id where the count is exactly one.
+        # Sparse: CSR adjacency + scatter over actual transmitters, same
+        # two quantities in O(edges-of-transmitters) (see
+        # SparseReception). Identical outputs either way.
         num_dense = len(universal)
-        self._adj3 = np.zeros((num_dense, n, n), dtype=np.float32)
-        for k, c in enumerate(universal):
-            for i, u in enumerate(self._ids):
-                for v in network.neighbors_on(u, c):
-                    self._adj3[k, i, self._index[v]] = 1.0
+        if reception == "auto":
+            reception = (
+                "dense"
+                if num_dense * n * n <= DENSE_RECEPTION_CEILING
+                else "sparse"
+            )
+        self._reception = reception
+        self._adj3: Optional[np.ndarray] = None
+        self._sparse: Optional[SparseReception] = None
+        if reception == "dense":
+            self._adj3 = np.zeros((num_dense, n, n), dtype=np.float32)
+            for k, c in enumerate(universal):
+                for i, u in enumerate(self._ids):
+                    for v in network.neighbors_on(u, c):
+                        self._adj3[k, i, self._index[v]] = 1.0
+            # Per-slot one-hot scratch: written and wiped per slot, only
+            # on the rows actually touched (re-zeroing all C·N·2 entries
+            # every slot dominated small-slot profiles).
+            self._e_buf = np.zeros((num_dense, n, 2), dtype=np.float32)
+        else:
+            self._sparse = SparseReception(network, self._index, universal)
         self._num_dense = num_dense
         self._node_idx = np.arange(n, dtype=np.float32)
         self._row_idx = np.arange(n)
+        self._zero_bases = np.zeros(n, dtype=np.int64)
         if self._faults is not None:
             self._faults.bind_dense(self._ids, dense_of_channel, num_dense)
 
@@ -271,27 +447,50 @@ class FastSlottedSimulator:
                 if not transmit.any() or not listen.any():
                     return 0
 
-        # Per-transmitter one-hot over channels, plus the identity-
-        # weighted copy: E[v, c, 0] = [v transmits on c],
-        # E[v, c, 1] = v's index if so.
         n = len(self._ids)
         tx_idx = np.flatnonzero(transmit)
-        e = np.zeros((self._num_dense, n, 2), dtype=np.float32)
-        e[chan[tx_idx], tx_idx, 0] = 1.0
-        e[chan[tx_idx], tx_idx, 1] = self._node_idx[tx_idx]
-        # Batched matmul (BLAS): r[c, u, 0] = audible transmitters on c
-        # as heard by u; r[c, u, 1] = sum of their indices.
-        r = np.matmul(self._adj3, e)
-        counts = r[chan, self._row_idx, 0]
-        weighted = r[chan, self._row_idx, 1]
+        if self._adj3 is not None:
+            # Dense kernel. Per-transmitter one-hot over channels, plus
+            # the identity-weighted copy: E[v, c, 0] = [v transmits on
+            # c], E[v, c, 1] = v's index if so. The scratch tensor is
+            # preallocated; only the rows touched this slot are wiped.
+            chan_tx = chan[tx_idx]
+            e = self._e_buf
+            e[chan_tx, tx_idx, 0] = 1.0
+            e[chan_tx, tx_idx, 1] = self._node_idx[tx_idx]
+            # Batched matmul (BLAS): r[c, u, 0] = audible transmitters
+            # on c as heard by u; r[c, u, 1] = sum of their indices.
+            r = np.matmul(self._adj3, e)
+            e[chan_tx, tx_idx, :] = 0.0
+            counts = r[chan, self._row_idx, 0]
+            weighted = r[chan, self._row_idx, 1]
 
-        self._collisions += listen & (counts >= 1.5)
-        clear_mask = listen & (np.abs(counts - 1.0) < 0.25)
-        self._clear += clear_mask
-        if not clear_mask.any():
-            return 0
-        receivers = np.flatnonzero(clear_mask)
-        senders = np.rint(weighted[receivers]).astype(np.int64)
+            self._collisions += listen & (counts >= 1.5)
+            clear_mask = listen & (np.abs(counts - 1.0) < 0.25)
+            self._clear += clear_mask
+            if not clear_mask.any():
+                return 0
+            receivers = np.flatnonzero(clear_mask)
+            senders = np.rint(weighted[receivers]).astype(np.int64)
+        else:
+            # Sparse kernel: scatter over this slot's transmitters only.
+            assert self._sparse is not None
+            listeners = np.flatnonzero(listen)
+            counts_l, senders_l = self._sparse.resolve(
+                chan[tx_idx] * n + tx_idx,
+                self._zero_bases[: tx_idx.size],
+                tx_idx,
+                chan[listeners] * n + listeners,
+                self._num_dense * n,
+            )
+            collided = counts_l >= 2
+            self._collisions[listeners[collided]] += 1
+            clear_l = counts_l == 1
+            self._clear[listeners[clear_l]] += 1
+            if not clear_l.any():
+                return 0
+            receivers = listeners[clear_l]
+            senders = senders_l[clear_l]
         if self._erasure_prob > 0.0:
             keep = self._rng.random(receivers.size) >= self._erasure_prob
             receivers, senders = receivers[keep], senders[keep]

@@ -40,7 +40,7 @@ from ..net.network import M2HeWNetwork
 from ..net.serialization import network_from_json, network_to_json
 from .results import DiscoveryResult
 from .rng import derive_trial_seed
-from .runner import run_experiment_trial
+from .runner import run_experiment_trial, run_experiment_trials_batched
 
 __all__ = [
     "BACKENDS",
@@ -55,8 +55,12 @@ __all__ = [
 
 #: Accepted ``backend`` values: ``auto`` picks ``process`` when more
 #: than one worker is requested and the platform can host a pool,
-#: degrading to ``serial`` otherwise.
-BACKENDS = ("auto", "serial", "process")
+#: degrading to ``serial`` otherwise. ``vectorized`` routes each
+#: dispatch unit through the trial-batched engine
+#: (:func:`~repro.sim.runner.run_experiment_trials_batched`) — with
+#: workers the pool's chunks *are* the batches — falling back to the
+#: serial per-trial loop for campaigns the batched engine cannot take.
+BACKENDS = ("auto", "serial", "process", "vectorized")
 
 #: Default dispatch granularity: enough chunks that the pool stays busy
 #: (4 per worker) without shipping one pickle per cheap trial.
@@ -73,12 +77,16 @@ class ParallelPlan:
         chunk_size: Trials shipped per dispatch unit.
         start_method: Multiprocessing start method for the pool, or
             ``None`` for the serial backend.
+        vectorized: Execute each dispatch unit through the trial-batched
+            engine (its chunk becomes one batch) instead of a per-trial
+            loop. Output is byte-identical either way.
     """
 
     backend: str
     max_workers: int
     chunk_size: int
     start_method: Optional[str]
+    vectorized: bool = False
 
 
 def pool_supported() -> bool:
@@ -121,10 +129,12 @@ def resolve_plan(
     """Validate options and resolve the backend actually used.
 
     Degradation rules: ``max_workers=1`` always runs serially;
-    ``backend="auto"`` falls back to serial when the platform cannot
-    host a pool; an *explicit* ``backend="process"`` on such a platform
-    is a :class:`~repro.exceptions.ConfigurationError` instead of a
-    silent behavior change.
+    ``backend="auto"`` (and ``"vectorized"``) fall back to serial when
+    the platform cannot host a pool; an *explicit* ``backend="process"``
+    on such a platform is a
+    :class:`~repro.exceptions.ConfigurationError` instead of a silent
+    behavior change. ``backend="vectorized"`` keeps its batched
+    execution either way — only the pool degrades, never the batching.
     """
     if backend not in BACKENDS:
         raise ConfigurationError(
@@ -135,7 +145,10 @@ def resolve_plan(
     if chunk_size is not None and chunk_size < 1:
         raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
 
-    use_pool = backend == "process" or (backend == "auto" and max_workers > 1)
+    vectorized = backend == "vectorized"
+    use_pool = backend == "process" or (
+        backend in ("auto", "vectorized") and max_workers > 1
+    )
     if use_pool and not pool_supported():
         if backend == "process":
             raise ConfigurationError(
@@ -152,6 +165,7 @@ def resolve_plan(
             max_workers=1,
             chunk_size=chunk_size or trials,
             start_method=None,
+            vectorized=vectorized,
         )
     method = start_method or preferred_start_method()
     return ParallelPlan(
@@ -159,6 +173,7 @@ def resolve_plan(
         max_workers=max_workers,
         chunk_size=chunk_size or default_chunk_size(trials, max_workers),
         start_method=method,
+        vectorized=vectorized,
     )
 
 
@@ -181,6 +196,7 @@ class _ChunkPayload:
     runner_params: Dict[str, Any]
     trial_indices: Tuple[int, ...]
     seeds: Tuple[np.random.SeedSequence, ...]
+    vectorized: bool = False
 
 
 def chunk_indices(trials: int, chunk_size: int) -> List[Tuple[int, ...]]:
@@ -198,6 +214,13 @@ def chunk_indices(trials: int, chunk_size: int) -> List[Tuple[int, ...]]:
 def _run_chunk(payload: _ChunkPayload) -> List[DiscoveryResult]:
     """Worker entry point: rebuild the workload, run the chunk in order."""
     network = network_from_json(payload.network_json)
+    if payload.vectorized:
+        return run_experiment_trials_batched(
+            network,
+            payload.protocol,
+            payload.seeds,
+            runner_params=payload.runner_params,
+        )
     return [
         run_experiment_trial(
             network,
@@ -284,6 +307,7 @@ def run_spec_trials(
     max_workers: int = 1,
     backend: str = "auto",
     chunk_size: Optional[int] = None,
+    batch_size: Optional[int] = None,
     trial_timeout: Optional[float] = None,
     experiment: Optional[str] = None,
 ) -> List[DiscoveryResult]:
@@ -291,8 +315,8 @@ def run_spec_trials(
 
     Trial ``t`` always uses ``derive_trial_seed(base_seed, t)`` and the
     returned list is always ordered by trial index, so the output is
-    bitwise independent of ``max_workers``, ``backend`` and
-    ``chunk_size``.
+    bitwise independent of ``max_workers``, ``backend``, ``chunk_size``
+    and ``batch_size``.
 
     Args:
         network: The realized workload (shipped to workers via
@@ -306,6 +330,9 @@ def run_spec_trials(
         max_workers: Worker processes; 1 means serial.
         backend: One of :data:`BACKENDS`.
         chunk_size: Trials per dispatch unit (default: auto).
+        batch_size: Trials per vectorized batch (default: all trials
+            when serial, the chunk size when pooled — chunks *are*
+            batches). Only meaningful with ``backend="vectorized"``.
         trial_timeout: Per-trial wall-clock budget in seconds; a chunk
             gets ``trial_timeout × len(chunk)``. Exceeding it aborts
             the campaign with :class:`TrialTimeoutError`.
@@ -316,6 +343,21 @@ def run_spec_trials(
             process died); carries the trial indices and base seed.
         TrialTimeoutError: A chunk exceeded its budget.
     """
+    if batch_size is not None:
+        if backend != "vectorized":
+            raise ConfigurationError(
+                "batch_size is only meaningful with backend='vectorized'"
+            )
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        if chunk_size is not None and chunk_size != batch_size:
+            raise ConfigurationError(
+                "pass either chunk_size or batch_size, not conflicting "
+                "values: with backend='vectorized' chunks are batches"
+            )
+        chunk_size = batch_size
     plan = resolve_plan(
         trials, max_workers=max_workers, backend=backend, chunk_size=chunk_size
     )
@@ -323,6 +365,27 @@ def run_spec_trials(
     seeds = [derive_trial_seed(base_seed, t) for t in range(trials)]
 
     if plan.backend == "serial":
+        if plan.vectorized:
+            results_v: List[DiscoveryResult] = []
+            for indices in chunk_indices(trials, plan.chunk_size):
+                try:
+                    results_v.extend(
+                        run_experiment_trials_batched(
+                            network,
+                            protocol,
+                            [seeds[i] for i in indices],
+                            runner_params=params,
+                        )
+                    )
+                except Exception as exc:
+                    raise _wrap_failure(
+                        exc,
+                        kind="failed",
+                        experiment=experiment,
+                        indices=indices,
+                        base_seed=base_seed,
+                    ) from exc
+            return results_v
         results: List[DiscoveryResult] = []
         for t in range(trials):
             try:
@@ -359,6 +422,7 @@ def run_spec_trials(
                         runner_params=params,
                         trial_indices=indices,
                         seeds=tuple(seeds[i] for i in indices),
+                        vectorized=plan.vectorized,
                     ),
                 ),
             )

@@ -60,6 +60,7 @@ __all__ = [
     "run_synchronous",
     "run_asynchronous",
     "run_experiment_trial",
+    "run_experiment_trials_batched",
     "run_trials",
     "make_clocks",
     "random_start_offsets",
@@ -317,6 +318,77 @@ def run_experiment_trial(
     raise ConfigurationError(
         f"unknown protocol {protocol!r} for batch experiments"
     )
+
+
+#: ``runner_params`` keys the batched engine can honor directly; any
+#: other key (tracing, baseline parameters, …) routes the group through
+#: the serial trial loop instead.
+_BATCHABLE_PARAMS = frozenset(
+    {
+        "max_slots",
+        "delta_est",
+        "start_offsets",
+        "erasure_prob",
+        "stop_on_full_coverage",
+        "engine",
+        "faults",
+    }
+)
+
+
+def run_experiment_trials_batched(
+    network: M2HeWNetwork,
+    protocol: str,
+    seeds: Sequence[np.random.SeedSequence],
+    *,
+    runner_params: Optional[Mapping[str, Any]] = None,
+) -> List[DiscoveryResult]:
+    """Run a group of batch-experiment trials, vectorized when possible.
+
+    Eligible campaigns — a paper sync protocol on the fast engine with
+    only :data:`_BATCHABLE_PARAMS` parameters — execute as one
+    :class:`~repro.sim.batched.BatchedSlottedSimulator` batch; anything
+    else (``algorithm4``, ``engine="reference"``, traces, baseline
+    parameters) falls back to the serial :func:`run_experiment_trial`
+    loop. Either way trial ``i``'s result is byte-identical to the
+    serial path, so callers may group seeds freely — the grouping
+    invariance ``run_batch(backend="vectorized")`` pins with tests.
+    """
+    from .batched import BatchedSlottedSimulator
+
+    seed_list = list(seeds)
+    params: Dict[str, Any] = dict(runner_params or {})
+    if (
+        protocol not in SYNC_PROTOCOLS
+        or params.get("engine", "fast") != "fast"
+        or not set(params) <= _BATCHABLE_PARAMS
+        or not seed_list
+    ):
+        return [
+            run_experiment_trial(
+                network, protocol, seed=s, runner_params=runner_params
+            )
+            for s in seed_list
+        ]
+    params.setdefault("max_slots", 200_000)
+    schedule = _vector_schedule(protocol, network, params.get("delta_est"))
+    sim = BatchedSlottedSimulator(
+        network,
+        schedule,
+        [RngFactory(s) for s in seed_list],
+        start_offsets=params.get("start_offsets"),
+        erasure_prob=params.get("erasure_prob", 0.0),
+        faults=_resolve_faults(params.get("faults")),
+    )
+    stopping = StoppingCondition(
+        max_slots=params["max_slots"],
+        stop_on_full_coverage=params.get("stop_on_full_coverage", True),
+    )
+    results = sim.run(stopping)
+    for result in results:
+        result.metadata["protocol"] = protocol
+        result.metadata["delta_est"] = params.get("delta_est")
+    return results
 
 
 def run_trials(

@@ -184,6 +184,7 @@ class TestBatchCommand:
         assert args.workers == 1
         assert args.backend == "auto"
         assert args.chunk_size is None
+        assert args.batch_size is None
         assert args.trial_timeout is None
         assert args.output is None
 
@@ -240,6 +241,45 @@ class TestBatchCommand:
         manifest = json.loads((serial_dir / "manifest.json").read_text())
         assert manifest["experiments"][0]["name"] == "rural_sparse_algorithm3"
 
+    def test_vectorized_backend_parses(self):
+        args = build_parser().parse_args(
+            [
+                "batch",
+                "rural_sparse",
+                "--backend", "vectorized",
+                "--batch-size", "8",
+            ]
+        )
+        assert args.backend == "vectorized"
+        assert args.batch_size == 8
+
+    def test_vectorized_archive_identical_to_serial(self, tmp_path, capsys):
+        base = [
+            "batch",
+            "rural_sparse",
+            "--trials", "3",
+            "--max-slots", "50000",
+            "--protocols", "algorithm3",
+        ]
+        serial_dir = tmp_path / "serial"
+        vec_dir = tmp_path / "vec"
+        assert main(base + ["--output", str(serial_dir)]) == 0
+        assert (
+            main(
+                base
+                + [
+                    "--backend", "vectorized",
+                    "--batch-size", "2",
+                    "--output", str(vec_dir),
+                ]
+            )
+            == 0
+        )
+        for name in ("manifest.json", "rural_sparse_algorithm3.json"):
+            assert (serial_dir / name).read_bytes() == (
+                vec_dir / name
+            ).read_bytes()
+
     def test_batch_async_protocol(self, capsys):
         code = main(
             [
@@ -279,6 +319,8 @@ class TestHelpTextDrift:
         assert "--workers" in help_text
         assert "--backend" in help_text
         assert "--trial-timeout" in help_text
+        assert "--batch-size" in help_text
+        assert "vectorized" in help_text
 
     def test_top_level_help_lists_batch(self):
         help_text = build_parser().format_help()

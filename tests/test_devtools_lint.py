@@ -39,7 +39,7 @@ def rule_ids(findings) -> set:
 class TestRegistry:
     def test_all_series_present(self):
         ids = {rule.rule_id for rule in all_rules()}
-        assert {"D101", "D102", "D103", "D104", "D105", "D106"} <= ids
+        assert {"D101", "D102", "D103", "D104", "D105", "D106", "D107"} <= ids
         assert {"M201", "M202", "M203"} <= ids
         assert {"Q301", "Q302", "Q303"} <= ids
 
@@ -206,6 +206,67 @@ class TestD106DocstringDrift:
         """rng = np.random.default_rng(7)"""
         '''
         assert not check(src, path=SCRIPT_PATH, rule="D106")
+
+
+class TestD107DensePerSlotAllocation:
+    def test_flags_dense_alloc_in_run_slot(self):
+        src = """
+        import numpy as np
+
+        class Engine:
+            def _run_slot(self, t, n, c):
+                return np.zeros((c, n, n), dtype=np.float32)
+        """
+        assert "D107" in rule_ids(check(src, rule="D107"))
+
+    def test_attribute_dims_flagged(self):
+        src = """
+        import numpy as np
+
+        class Engine:
+            def _run_slot(self, t):
+                return np.empty((self._n, self._n))
+        """
+        assert "D107" in rule_ids(check(src, rule="D107"))
+
+    def test_linear_alloc_passes(self):
+        src = """
+        import numpy as np
+
+        class Engine:
+            def _run_slot(self, t, n, c):
+                return np.zeros((c, n), dtype=np.float32)
+        """
+        assert not check(src, rule="D107")
+
+    def test_outside_hot_path_passes(self):
+        src = """
+        import numpy as np
+
+        class Engine:
+            def __init__(self, n, c):
+                self._aud = np.zeros((c, n, n), dtype=np.float32)
+        """
+        assert not check(src, rule="D107")
+
+    def test_non_sim_package_exempt(self):
+        src = """
+        import numpy as np
+
+        def _run_slot(n):
+            return np.zeros((n, n))
+        """
+        assert not check(src, path=ANALYSIS_PATH, rule="D107")
+
+    def test_pragma_disables(self):
+        src = """
+        import numpy as np
+
+        class Engine:
+            def _run_slot(self, t, n):
+                return np.zeros((n, n))  # lint: disable=D107
+        """
+        assert not check(src, rule="D107")
 
 
 class TestM201TableMutation:

@@ -8,7 +8,11 @@ Two cross-checks guard against silent divergence:
   must agree within a combined confidence interval (they consume
   randomness differently, so per-seed equality is not expected);
 * **parallel vs serial** — the process-pool campaign executor must be a
-  pure dispatch optimization: byte-identical archives, trial for trial.
+  pure dispatch optimization: byte-identical archives, trial for trial;
+* **batched vs reference** — the trial-batched vectorized engine must
+  agree statistically with the object-per-node reference engine, the
+  same Welch-CI check the fast engine passes (byte-level agreement with
+  the *fast* engine is pinned separately in ``test_batched_engine.py``).
 """
 
 from __future__ import annotations
@@ -50,6 +54,21 @@ def completion_times(net, protocol, engine, delta_est):
     return times
 
 
+def batched_completion_times(net, protocol, delta_est):
+    from repro.sim.runner import run_experiment_trials_batched
+
+    seeds = [derive_trial_seed(BASE_SEED, t) for t in range(SEEDS)]
+    results = run_experiment_trials_batched(
+        net,
+        protocol,
+        seeds,
+        runner_params={"max_slots": 100_000, "delta_est": delta_est},
+    )
+    for t, result in enumerate(results):
+        assert result.completed, (protocol, "batched", t)
+    return [float(r.completion_time) for r in results]
+
+
 def mean_std(xs):
     m = sum(xs) / len(xs)
     var = sum((x - m) ** 2 for x in xs) / (len(xs) - 1)
@@ -73,6 +92,20 @@ class TestEnginesAgreeStatistically:
         stderr = math.sqrt(sf**2 / len(fast) + sr**2 / len(ref))
         assert abs(mf - mr) <= 3.0 * stderr + 1e-9, (
             f"{protocol}: fast mean {mf:.2f} vs reference mean {mr:.2f} "
+            f"(3*stderr = {3 * stderr:.2f})"
+        )
+
+    @pytest.mark.parametrize("protocol", SYNC_PROTOCOLS)
+    def test_batched_mean_completion_within_ci(self, protocol):
+        net = diff_net()
+        delta_est = None if protocol == "algorithm2" else 8
+        batched = batched_completion_times(net, protocol, delta_est)
+        ref = completion_times(net, protocol, "reference", delta_est)
+        mb, sb = mean_std(batched)
+        mr, sr = mean_std(ref)
+        stderr = math.sqrt(sb**2 / len(batched) + sr**2 / len(ref))
+        assert abs(mb - mr) <= 3.0 * stderr + 1e-9, (
+            f"{protocol}: batched mean {mb:.2f} vs reference mean {mr:.2f} "
             f"(3*stderr = {3 * stderr:.2f})"
         )
 
