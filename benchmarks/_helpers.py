@@ -7,6 +7,7 @@ prints a paper-style table; tables are also written to
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Any, List, Mapping, Optional, Sequence
@@ -15,6 +16,7 @@ import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.net import M2HeWNetwork, build_network, channels, topology
+from repro.resilience.atomic import atomic_write_text
 from repro.sim.parallel import run_spec_trials
 from repro.sim.results import DiscoveryResult
 
@@ -94,5 +96,15 @@ def emit_table(
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+    atomic_write_text(RESULTS_DIR / f"{experiment}.txt", text + "\n")
     return text
+
+
+def emit_bench_record(path: Path, record: Mapping[str, Any]) -> None:
+    """Write a ``BENCH_*.json`` record atomically (tmp + fsync + rename).
+
+    A benchmark interrupted mid-write must leave either the previous
+    record or the new one — CI gates read these files, and a torn JSON
+    would fail the gate for the wrong reason.
+    """
+    atomic_write_text(path, json.dumps(record, indent=2, sort_keys=True) + "\n")

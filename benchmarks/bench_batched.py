@@ -28,7 +28,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from _helpers import emit_table
+from _helpers import emit_bench_record, emit_table
 from repro.net import build_network, channels, topology
 from repro.sim.batched import BatchedSlottedSimulator
 from repro.sim.fast_slotted import FastSlottedSimulator
@@ -108,7 +108,7 @@ def run_experiment() -> dict:
         "headline_speedup_n200": headline["speedup"],
         "byte_identical": all(r["identical"] for r in rows),
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    emit_bench_record(BENCH_PATH, record)
     emit_table(
         "batched",
         rows,

@@ -28,7 +28,7 @@ from pathlib import Path
 
 import pytest
 
-from _helpers import emit_table, heterogeneous_net, run_bench_trials
+from _helpers import emit_bench_record, emit_table, heterogeneous_net, run_bench_trials
 from repro.analysis.robustness import (
     aggregate_point,
     degradation_table,
@@ -125,7 +125,7 @@ def run_experiment() -> dict:
         "monotone_non_improving": monotone,
         **overhead,
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    emit_bench_record(BENCH_PATH, record)
     emit_table(
         "e18_robustness",
         rows,

@@ -21,7 +21,7 @@ from pathlib import Path
 
 import pytest
 
-from _helpers import emit_table
+from _helpers import emit_bench_record, emit_table
 from repro.sim.batch import ExperimentSpec, run_batch
 from repro.workloads.scenarios import scenario
 
@@ -97,7 +97,7 @@ def run_experiment(workers: int = 0) -> dict:
         "speedup": round(serial_seconds / parallel_seconds, 3),
         "byte_identical": byte_identical,
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    emit_bench_record(BENCH_PATH, record)
     emit_table(
         "parallel",
         [record],

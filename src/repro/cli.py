@@ -10,6 +10,11 @@ Subcommands:
 * ``compare`` — run several algorithms on one scenario and tabulate;
 * ``batch`` — run a seeded multi-protocol campaign, optionally fanned
   out over worker processes (``--workers``), with JSON archiving;
+  ``--retries``/``--checkpoint``/``--resume`` run it supervised
+  (retry + quarantine + checkpoint/resume, see
+  :mod:`repro.resilience`);
+* ``verify-archive`` — check a campaign archive against its manifest
+  (checksums, schema stamps, truncation, orphan files);
 * ``timeline`` — render an asynchronous frame timeline (paper Fig. 2);
 * ``terminate`` — run with node-local termination and report energy;
 * ``bounds`` — print every theorem budget for given parameters;
@@ -20,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from .analysis.energy import EnergyModel, energy_report
@@ -222,7 +228,59 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="archive directory (one JSON per experiment + manifest.json)",
     )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "supervise execution: retry each failing trial chunk up to N "
+            "times with seeded backoff before quarantining it"
+        ),
+    )
+    batch.add_argument(
+        "--no-quarantine",
+        action="store_true",
+        help=(
+            "abort the campaign when a trial exhausts its retries instead "
+            "of quarantining it into the manifest"
+        ),
+    )
+    batch.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help=(
+            "journal completed trials to DIR so an interrupted campaign "
+            "can be resumed (implies supervision)"
+        ),
+    )
+    batch.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help=(
+            "resume from the checkpoint journals in DIR, skipping trials "
+            "they already record (same as --checkpoint, but DIR must exist)"
+        ),
+    )
+    batch.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject deterministic execution-layer faults for recovery "
+            "drills: comma-separated mode@trial[xTIMES] with mode in "
+            "raise|exit|timeout, e.g. 'raise@3,exit@0x2'"
+        ),
+    )
     _add_faults_argument(batch)
+
+    varch = sub.add_parser(
+        "verify-archive",
+        help="check a campaign archive against its manifest checksums",
+    )
+    varch.add_argument("directory", help="archive directory to verify")
 
     bnd = sub.add_parser("bounds", help="print the paper's theorem budgets")
     bnd.add_argument("--s", type=int, required=True, help="S (max channel set size)")
@@ -483,7 +541,35 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _resolve_resilience(
+    args: argparse.Namespace,
+) -> "tuple[Any, Optional[str], Any]":
+    """(retry policy, checkpoint dir, chaos plan) from batch flags."""
+    from .exceptions import ConfigurationError
+    from .resilience import RetryPolicy, parse_chaos_spec
+
+    retry = None
+    if args.retries is not None or args.no_quarantine:
+        kwargs: Dict[str, Any] = {"quarantine": not args.no_quarantine}
+        if args.retries is not None:
+            kwargs["max_retries"] = args.retries
+        retry = RetryPolicy(**kwargs)
+    if args.checkpoint is not None and args.resume is not None:
+        raise ConfigurationError(
+            "pass either --checkpoint or --resume, not both (resume "
+            "already journals the trials it runs)"
+        )
+    checkpoint_dir = args.checkpoint or args.resume
+    if args.resume is not None and not Path(args.resume).is_dir():
+        raise ConfigurationError(
+            f"--resume {args.resume}: no such checkpoint directory"
+        )
+    chaos = parse_chaos_spec(args.chaos) if args.chaos is not None else None
+    return retry, checkpoint_dir, chaos
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
+    from .exceptions import TrialExecutionError
     from .sim.batch import ExperimentSpec, run_batch
 
     s = scenario(args.scenario)
@@ -511,16 +597,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 runner_params=runner_params,
             )
         )
-    outcomes = run_batch(
-        specs,
-        base_seed=args.seed,
-        output_dir=args.output,
-        max_workers=args.workers,
-        backend=args.backend,
-        chunk_size=args.chunk_size,
-        batch_size=args.batch_size,
-        trial_timeout=args.trial_timeout,
-    )
+    retry, checkpoint_dir, chaos = _resolve_resilience(args)
+    try:
+        outcomes = run_batch(
+            specs,
+            base_seed=args.seed,
+            output_dir=args.output,
+            max_workers=args.workers,
+            backend=args.backend,
+            chunk_size=args.chunk_size,
+            batch_size=args.batch_size,
+            trial_timeout=args.trial_timeout,
+            retry=retry,
+            checkpoint_dir=checkpoint_dir,
+            chaos=chaos,
+        )
+    except TrialExecutionError as exc:
+        # The campaign aborted (no supervision, quarantine disabled, or
+        # the retry budget ran out); the message carries the replay
+        # coordinates: derive_trial_seed(base_seed, trial).
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        return 3
     print(
         format_table(
             [o.as_row() for o in outcomes],
@@ -530,9 +627,41 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             ),
         )
     )
+    restored = sum(o.restored for o in outcomes)
+    if restored:
+        print(
+            f"resumed: {restored} trial(s) restored from checkpoint",
+            file=sys.stderr,
+        )
+    for outcome in outcomes:
+        for q in outcome.quarantined:
+            print(
+                f"quarantined: {q.experiment} trial {q.trial} "
+                f"(replay seed derive_trial_seed({q.base_seed}, {q.trial})): "
+                f"{q.error}",
+                file=sys.stderr,
+            )
     if args.output:
         print(f"archived to {args.output}/manifest.json", file=sys.stderr)
     return 0 if all(o.completed_fraction == 1.0 for o in outcomes) else 1
+
+
+def _cmd_verify_archive(args: argparse.Namespace) -> int:
+    from .resilience import verify_archive
+
+    report = verify_archive(args.directory)
+    if report.ok:
+        print(
+            f"{args.directory}: OK ({report.files_checked} file(s) verified)"
+        )
+        return 0
+    for issue in report.issues:
+        print(str(issue), file=sys.stderr)
+    print(
+        f"{args.directory}: CORRUPT ({len(report.issues)} issue(s))",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
@@ -595,6 +724,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "verify-archive":
+        return _cmd_verify_archive(args)
     if args.command == "bounds":
         return _cmd_bounds(args)
     if args.command == "lint":

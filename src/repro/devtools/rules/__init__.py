@@ -28,6 +28,7 @@ _RULE_CLASSES = (
     hygiene.MutableDefaultArgument,
     hygiene.BareExcept,
     hygiene.MissingAllExport,
+    hygiene.CauseDroppingBroadExcept,
 )
 
 

@@ -15,7 +15,12 @@ from typing import Iterator, List, Optional, Set, Tuple
 
 from ..lint import Finding, ModuleContext, Rule, dotted_name
 
-__all__ = ["MutableDefaultArgument", "BareExcept", "MissingAllExport"]
+__all__ = [
+    "MutableDefaultArgument",
+    "BareExcept",
+    "MissingAllExport",
+    "CauseDroppingBroadExcept",
+]
 
 _MUTABLE_CALLS = frozenset(
     {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
@@ -172,4 +177,77 @@ class MissingAllExport(Rule):
                     ctx,
                     node,
                     f"public symbol `{name}` missing from __all__",
+                )
+
+
+_BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad_type(node: Optional[ast.AST]) -> bool:
+    """Whether an except clause's type catches Exception/BaseException."""
+    if node is None:
+        return True  # bare except (Q302's finding, but also broad)
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad_type(elt) for elt in node.elts)
+    name = dotted_name(node)
+    return name is not None and name.rsplit(".", 1)[-1] in _BROAD_TYPES
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _handler_raises(handler: ast.ExceptHandler) -> Iterator[ast.Raise]:
+    """`raise` statements belonging to this handler's own body.
+
+    Nested except handlers and nested function/class definitions own
+    their raises; they are analyzed (or exempted) on their own terms.
+    """
+    stack: List[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node,
+            (ast.ExceptHandler, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            continue
+        if isinstance(node, ast.Raise):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class CauseDroppingBroadExcept(Rule):
+    rule_id = "Q304"
+    title = "broad excepts must not drop the original traceback"
+    rationale = (
+        "In sim-critical code an `except Exception` that raises a new "
+        "exception without chaining (`raise New(...) from exc`, or passing "
+        "`exc` into the wrapper) destroys the traceback that locates the "
+        "failing trial — the one artifact the replay contract depends on. "
+        "It also swallows typed errors (TrialExecutionError et al.) that "
+        "carry replay coordinates; re-raise those untouched first."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.sim_critical:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad_type(node.type):
+                continue
+            for raised in _handler_raises(node):
+                if raised.exc is None:
+                    continue  # bare re-raise keeps the traceback
+                if raised.cause is not None:
+                    continue  # explicit `from ...`
+                if node.name is not None and node.name in _names_in(raised.exc):
+                    continue  # caught exception handed to the wrapper
+                yield self.finding(
+                    ctx,
+                    raised,
+                    "broad except replaces the exception without chaining; "
+                    "use `raise ... from "
+                    f"{node.name or '<caught exception>'}` or pass it to "
+                    "the wrapper so __cause__ survives",
                 )

@@ -18,6 +18,8 @@ __all__ = [
     "ClockModelError",
     "TrialExecutionError",
     "TrialTimeoutError",
+    "TrialQuarantinedError",
+    "ArchiveCorruptionError",
 ]
 
 
@@ -71,3 +73,23 @@ class TrialExecutionError(SimulationError):
 
 class TrialTimeoutError(TrialExecutionError):
     """A dispatched trial chunk exceeded its wall-clock budget."""
+
+
+class TrialQuarantinedError(TrialExecutionError):
+    """A trial exhausted its supervised retry budget.
+
+    Raised by the trial supervisor when a trial keeps failing after
+    ``max_retries`` attempts and quarantine is disabled; with quarantine
+    enabled the same information is recorded in the campaign manifest
+    instead and the campaign completes without the trial. Carries the
+    standard replay fields of :class:`TrialExecutionError`.
+    """
+
+
+class ArchiveCorruptionError(ReproError):
+    """An experiment archive or checkpoint journal failed verification.
+
+    Raised when a results directory shows truncation, a content-hash
+    mismatch, or structurally invalid payloads — i.e. the archived bytes
+    can no longer be trusted to reproduce the campaign they describe.
+    """

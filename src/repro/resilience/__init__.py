@@ -1,0 +1,85 @@
+"""Resilient campaign execution.
+
+Everything that keeps a long seeded campaign alive and its archives
+trustworthy when the execution substrate misbehaves:
+
+* :mod:`~repro.resilience.supervisor` — supervised trial execution:
+  per-chunk retries with seeded backoff, quarantine of trials that
+  exhaust their budget, graceful pool/vectorized degradation;
+* :mod:`~repro.resilience.policy` — the knobs for the above;
+* :mod:`~repro.resilience.checkpoint` — append-only per-trial journals
+  enabling ``m2hew batch --resume``;
+* :mod:`~repro.resilience.verify` — self-verification of format-2
+  archives (checksums, schema stamps, orphan detection);
+* :mod:`~repro.resilience.atomic` — crash-safe file writes shared by
+  all of the above;
+* :mod:`~repro.resilience.chaos` — deterministic execution-layer fault
+  injection for testing all of the above.
+
+The guiding invariant is inherited from :mod:`repro.sim.parallel`:
+recovery may change *how* trials execute, never *what* they compute —
+a campaign that retried, degraded or resumed archives byte-identical
+results to one that ran clean.
+"""
+
+from .atomic import atomic_write_text, sha256_of_bytes, sha256_of_file, sha256_of_text
+from .chaos import (
+    CHAOS_MODES,
+    ChaosEvent,
+    ChaosInjectedFailure,
+    ChaosPlan,
+    flip_byte,
+    parse_chaos_spec,
+    truncate_file,
+)
+from .checkpoint import (
+    JOURNAL_SCHEMA_VERSION,
+    JOURNAL_SUFFIX,
+    TrialJournal,
+    campaign_fingerprint,
+    journal_path,
+)
+from .policy import RetryPolicy, backoff_delay
+from .supervisor import (
+    ARCHIVED_EVENT_KINDS,
+    QuarantinedTrial,
+    SupervisedTrials,
+    SupervisorEvent,
+    run_supervised_trials,
+)
+from .verify import (
+    ARCHIVE_SCHEMA_VERSION,
+    VerificationIssue,
+    VerificationReport,
+    verify_archive,
+)
+
+__all__ = [
+    "ARCHIVED_EVENT_KINDS",
+    "ARCHIVE_SCHEMA_VERSION",
+    "CHAOS_MODES",
+    "ChaosEvent",
+    "ChaosInjectedFailure",
+    "ChaosPlan",
+    "JOURNAL_SCHEMA_VERSION",
+    "JOURNAL_SUFFIX",
+    "QuarantinedTrial",
+    "RetryPolicy",
+    "SupervisedTrials",
+    "SupervisorEvent",
+    "TrialJournal",
+    "VerificationIssue",
+    "VerificationReport",
+    "atomic_write_text",
+    "backoff_delay",
+    "campaign_fingerprint",
+    "flip_byte",
+    "journal_path",
+    "parse_chaos_spec",
+    "run_supervised_trials",
+    "sha256_of_bytes",
+    "sha256_of_file",
+    "sha256_of_text",
+    "truncate_file",
+    "verify_archive",
+]

@@ -1,0 +1,91 @@
+"""Crash-safe file writes and content hashing for experiment archives.
+
+A campaign archive is only as trustworthy as its weakest write: a
+``SIGKILL`` in the middle of a plain ``write_text`` leaves a truncated
+JSON file that parses as corruption at best and as silently wrong data
+at worst. Every archive, manifest and benchmark record in this repo
+therefore goes through :func:`atomic_write_text` — write to a temporary
+file in the destination directory, flush, ``fsync``, then atomically
+``os.replace`` into place — so readers only ever observe the old bytes
+or the complete new bytes, never a torn write.
+
+The companion SHA-256 helpers produce the content hashes recorded in
+``manifest.json`` and checked by ``m2hew verify-archive``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_text", "sha256_of_bytes", "sha256_of_file", "sha256_of_text"]
+
+_PathLike = Union[str, Path]
+
+
+def atomic_write_text(path: _PathLike, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (tmp + fsync + rename).
+
+    The temporary file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename, which POSIX guarantees
+    to be atomic. The file descriptor is fsynced before the rename and
+    the directory entry afterwards (best effort — some platforms do not
+    support fsyncing directories), so the new bytes survive a crash
+    immediately after the call returns.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        # The write never happened as far as readers are concerned;
+        # remove the orphan tmp file and let the original error surface.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(target.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush the directory entry of a just-renamed file (best effort)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir fds
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - e.g. network filesystems
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def sha256_of_bytes(data: bytes) -> str:
+    """Hex SHA-256 of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_of_text(text: str, encoding: str = "utf-8") -> str:
+    """Hex SHA-256 of ``text`` encoded as written by :func:`atomic_write_text`."""
+    return sha256_of_bytes(text.encode(encoding))
+
+
+def sha256_of_file(path: _PathLike) -> str:
+    """Hex SHA-256 of a file's bytes (streamed, so large archives are fine)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(block)
+    return digest.hexdigest()

@@ -1,0 +1,186 @@
+"""Checkpoint journals: crash-safe per-experiment trial logs.
+
+A supervised campaign with ``checkpoint_dir`` set journals every
+completed trial as one JSONL line in
+``<checkpoint_dir>/<experiment>.journal.jsonl``. A later run of the
+same campaign (``m2hew batch --resume <dir>``) restores those trials
+and only executes the missing ones; because per-trial seeds derive from
+``(base_seed, trial_index)`` independently of execution order, the
+resumed campaign's archives are byte-identical to an uninterrupted run.
+
+Crash-safety model:
+
+* the journal file is **created atomically** (header written via
+  tmp + fsync + rename), so a journal either exists with a valid header
+  or not at all;
+* trial lines are **append-only**, flushed and fsynced per record; a
+  kill mid-append can tear at most the final line, which
+  :meth:`TrialJournal.open` detects and discards on restore;
+* a torn line anywhere *before* the end cannot come from an append
+  crash — that is real corruption and raises
+  :class:`~repro.exceptions.ArchiveCorruptionError`.
+
+The header pins a fingerprint of the campaign (spec + base seed), so a
+journal can never silently resume a *different* campaign: a mismatch is
+a :class:`~repro.exceptions.ConfigurationError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Any, Dict, Mapping, Optional, Union
+
+from ..exceptions import ArchiveCorruptionError, ConfigurationError
+from .atomic import atomic_write_text, sha256_of_text
+
+__all__ = [
+    "JOURNAL_SCHEMA_VERSION",
+    "JOURNAL_SUFFIX",
+    "TrialJournal",
+    "campaign_fingerprint",
+    "journal_path",
+]
+
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Journal filename suffix; ``verify-archive`` ignores files carrying it
+#: so a checkpoint directory may double as the output directory.
+JOURNAL_SUFFIX = ".journal.jsonl"
+
+
+def journal_path(checkpoint_dir: Union[str, Path], experiment: str) -> Path:
+    """Journal file for one experiment of a checkpointed campaign."""
+    return Path(checkpoint_dir) / f"{experiment}{JOURNAL_SUFFIX}"
+
+
+def campaign_fingerprint(payload: Mapping[str, Any]) -> str:
+    """Stable digest of the campaign facts a journal must match to resume."""
+    return sha256_of_text(json.dumps(payload, sort_keys=True))
+
+
+class TrialJournal:
+    """Append-only JSONL journal of one experiment's completed trials.
+
+    Use :meth:`open` — it creates the journal (atomically) on first use
+    and restores completed trials from an existing one, validating the
+    header fingerprint either way.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        restored: Dict[int, Dict[str, Any]],
+        handle: IO[str],
+    ) -> None:
+        self.path = path
+        #: Trial payloads restored from a previous run, keyed by index.
+        self.restored = restored
+        self._handle: Optional[IO[str]] = handle
+
+    @classmethod
+    def open(
+        cls,
+        checkpoint_dir: Union[str, Path],
+        experiment: str,
+        fingerprint: str,
+    ) -> "TrialJournal":
+        """Create or resume the journal for ``experiment``.
+
+        Raises:
+            ConfigurationError: The existing journal was written for a
+                different campaign (fingerprint mismatch).
+            ArchiveCorruptionError: The existing journal is corrupt in a
+                way a mid-append crash cannot explain.
+        """
+        path = journal_path(checkpoint_dir, experiment)
+        restored: Dict[int, Dict[str, Any]] = {}
+        if path.exists():
+            restored = cls._load(path, experiment, fingerprint)
+        else:
+            header = {
+                "kind": "header",
+                "schema_version": JOURNAL_SCHEMA_VERSION,
+                "experiment": experiment,
+                "fingerprint": fingerprint,
+            }
+            atomic_write_text(path, json.dumps(header, sort_keys=True) + "\n")
+        handle = open(path, "a", encoding="utf-8")
+        return cls(path, restored, handle)
+
+    @staticmethod
+    def _load(
+        path: Path, experiment: str, fingerprint: str
+    ) -> Dict[int, Dict[str, Any]]:
+        lines = path.read_text(encoding="utf-8").split("\n")
+        # A trailing newline yields one empty final entry; strip it so
+        # "last line" below means the last *record*.
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            raise ArchiveCorruptionError(f"journal {path} is empty")
+        records = []
+        for lineno, line in enumerate(lines):
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines) - 1:
+                    # Torn final append from a kill-mid-write: the trial
+                    # it described simply re-runs.
+                    break
+                raise ArchiveCorruptionError(
+                    f"journal {path} line {lineno + 1} is corrupt "
+                    "(not a torn final append)"
+                ) from exc
+        if not records or records[0].get("kind") != "header":
+            raise ArchiveCorruptionError(f"journal {path} has no header line")
+        header = records[0]
+        if header.get("schema_version") != JOURNAL_SCHEMA_VERSION:
+            raise ArchiveCorruptionError(
+                f"journal {path} has unsupported schema_version "
+                f"{header.get('schema_version')!r}"
+            )
+        if header.get("experiment") != experiment or (
+            header.get("fingerprint") != fingerprint
+        ):
+            raise ConfigurationError(
+                f"journal {path} was written for a different campaign "
+                "(spec/base-seed fingerprint mismatch); resume with the "
+                "original arguments or use a fresh checkpoint directory"
+            )
+        restored: Dict[int, Dict[str, Any]] = {}
+        for record in records[1:]:
+            if record.get("kind") != "trial":
+                raise ArchiveCorruptionError(
+                    f"journal {path} contains an unknown record kind "
+                    f"{record.get('kind')!r}"
+                )
+            # Duplicate indices can only arise from a crash between the
+            # append and the supervisor observing it; last write wins.
+            restored[int(record["trial"])] = record["result"]
+        return restored
+
+    def record(self, trial_index: int, result_payload: Mapping[str, Any]) -> None:
+        """Append one completed trial, flushed and fsynced before returning."""
+        if self._handle is None:
+            raise ConfigurationError("journal is closed")
+        line = json.dumps(
+            {"kind": "trial", "trial": trial_index, "result": dict(result_payload)},
+            sort_keys=True,
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the append handle (restored payloads stay available)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TrialJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

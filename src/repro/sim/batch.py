@@ -7,6 +7,19 @@ seeded trials — and archive everything it produced. An
 executes the campaign and (optionally) writes one JSON file per
 experiment plus a manifest, so a results directory is self-describing
 and every number in a paper table can be traced to raw trial files.
+
+Archives are written in format 2 (:data:`ARCHIVE_SCHEMA_VERSION`):
+every file lands atomically (tmp + fsync + rename), every payload
+carries a ``schema_version`` and the manifest records a SHA-256 per
+file — ``m2hew verify-archive`` checks all of it.
+
+Campaigns can run *supervised* (any of ``retry``, ``checkpoint_dir`` or
+``chaos`` set): failing trial chunks are retried with seeded backoff,
+trials that exhaust their budget are quarantined into the manifest with
+replay seeds instead of aborting the campaign, and completed trials are
+journaled so an interrupted campaign resumes where it stopped. The
+archived bytes of a supervised campaign that recovered are identical to
+those of one that ran clean — see :mod:`repro.resilience`.
 """
 
 from __future__ import annotations
@@ -14,16 +27,30 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 from ..analysis.stats import SampleSummary, summarize
 from ..exceptions import ConfigurationError
+from ..resilience.atomic import atomic_write_text, sha256_of_text
+from ..resilience.chaos import ChaosPlan
+from ..resilience.checkpoint import TrialJournal, campaign_fingerprint
+from ..resilience.policy import RetryPolicy
+from ..resilience.verify import ARCHIVE_SCHEMA_VERSION
 from ..workloads.generator import WorkloadConfig, generate_network
 from .parallel import run_spec_trials
 from .results import DiscoveryResult
 from .runner import SYNC_PROTOCOLS
 
-__all__ = ["ExperimentSpec", "BatchOutcome", "SYNC_PROTOCOLS", "run_batch"]
+if TYPE_CHECKING:  # import cycle: resilience.supervisor dispatches via sim
+    from ..resilience.supervisor import QuarantinedTrial, SupervisorEvent
+
+__all__ = [
+    "ARCHIVE_SCHEMA_VERSION",
+    "ExperimentSpec",
+    "BatchOutcome",
+    "SYNC_PROTOCOLS",
+    "run_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -66,13 +93,23 @@ class ExperimentSpec:
 
 @dataclass
 class BatchOutcome:
-    """All trials of one experiment, with a completion-time summary."""
+    """All trials of one experiment, with a completion-time summary.
+
+    ``results`` holds one entry per *completed* trial; a supervised
+    campaign with quarantined trials lists them in ``quarantined`` (with
+    replay coordinates) instead. Each result's ``metadata["trial"]``
+    carries its true trial index, so gaps are attributable.
+    """
 
     spec: ExperimentSpec
     results: List[DiscoveryResult]
     network_params: Dict[str, float]
     completion: Optional[SampleSummary]
     completed_fraction: float
+    quarantined: List["QuarantinedTrial"] = field(default_factory=list)
+    events: List["SupervisorEvent"] = field(default_factory=list)
+    #: Trials restored from a checkpoint journal rather than executed.
+    restored: int = 0
 
     def as_row(self) -> Dict[str, Any]:
         """Row form for table rendering."""
@@ -88,6 +125,21 @@ class BatchOutcome:
         return row
 
 
+def _spec_fingerprint(spec: ExperimentSpec, base_seed: Optional[int]) -> str:
+    """Campaign fingerprint a checkpoint journal must match to resume."""
+    return campaign_fingerprint(
+        {
+            "base_seed": base_seed,
+            "name": spec.name,
+            "network_seed": spec.network_seed,
+            "protocol": spec.protocol,
+            "runner_params": _archived_runner_params(spec.runner_params),
+            "trials": spec.trials,
+            "workload": spec.workload.describe(),
+        }
+    )
+
+
 def _run_spec(
     spec: ExperimentSpec,
     base_seed: Optional[int],
@@ -97,27 +149,74 @@ def _run_spec(
     chunk_size: Optional[int] = None,
     batch_size: Optional[int] = None,
     trial_timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    chaos: Optional[ChaosPlan] = None,
 ) -> BatchOutcome:
     network = generate_network(spec.workload, seed=spec.network_seed)
-    results: List[DiscoveryResult] = run_spec_trials(
-        network,
-        spec.protocol,
-        trials=spec.trials,
-        base_seed=base_seed,
-        runner_params=spec.runner_params,
-        max_workers=max_workers,
-        backend=backend,
-        chunk_size=chunk_size,
-        batch_size=batch_size,
-        trial_timeout=trial_timeout,
-        experiment=spec.name,
-    )
-    # Campaign metadata is stamped in the parent, after reassembly, so
-    # archived bytes cannot depend on where a trial happened to run.
-    for t, result in enumerate(results):
+    supervised = retry is not None or checkpoint_dir is not None or chaos is not None
+
+    quarantined: List["QuarantinedTrial"] = []
+    events: List["SupervisorEvent"] = []
+    restored = 0
+    if supervised:
+        # Deferred import: repro.sim's eager imports would otherwise
+        # race the resilience package's own initialization.
+        from ..resilience.supervisor import run_supervised_trials
+
+        journal: Optional[TrialJournal] = None
+        if checkpoint_dir is not None:
+            journal = TrialJournal.open(
+                checkpoint_dir, spec.name, _spec_fingerprint(spec, base_seed)
+            )
+        try:
+            outcome = run_supervised_trials(
+                network,
+                spec.protocol,
+                trials=spec.trials,
+                base_seed=base_seed,
+                runner_params=spec.runner_params,
+                max_workers=max_workers,
+                backend=backend,
+                chunk_size=chunk_size,
+                batch_size=batch_size,
+                trial_timeout=trial_timeout,
+                experiment=spec.name,
+                policy=retry,
+                journal=journal,
+                chaos=chaos,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
+        indexed = outcome.results_in_order()
+        quarantined = list(outcome.quarantined)
+        events = list(outcome.events)
+        restored = outcome.restored
+    else:
+        trial_results = run_spec_trials(
+            network,
+            spec.protocol,
+            trials=spec.trials,
+            base_seed=base_seed,
+            runner_params=spec.runner_params,
+            max_workers=max_workers,
+            backend=backend,
+            chunk_size=chunk_size,
+            batch_size=batch_size,
+            trial_timeout=trial_timeout,
+            experiment=spec.name,
+        )
+        indexed = list(enumerate(trial_results))
+
+    # Campaign metadata is stamped in the parent, after reassembly (and
+    # after any checkpoint restore), so archived bytes cannot depend on
+    # where — or in which run — a trial happened to execute.
+    for t, result in indexed:
         result.metadata["experiment"] = spec.name
         result.metadata["trial"] = t
         result.metadata["workload"] = spec.workload.describe()
+    results = [result for _, result in indexed]
 
     times = [
         float(r.completion_time) for r in results if r.completion_time is not None
@@ -127,7 +226,10 @@ def _run_spec(
         results=results,
         network_params=dict(network.parameter_summary()),
         completion=summarize(times) if times else None,
-        completed_fraction=sum(r.completed for r in results) / len(results),
+        completed_fraction=sum(r.completed for r in results) / spec.trials,
+        quarantined=quarantined,
+        events=events,
+        restored=restored,
     )
 
 
@@ -141,6 +243,9 @@ def run_batch(
     chunk_size: Optional[int] = None,
     batch_size: Optional[int] = None,
     trial_timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    chaos: Optional[ChaosPlan] = None,
 ) -> List[BatchOutcome]:
     """Run every experiment; optionally archive raw trials + manifest.
 
@@ -151,7 +256,8 @@ def run_batch(
             the same workload face identical protocol randomness and
             differ only in what is being compared.
         output_dir: If given, write ``<name>.json`` per experiment (all
-            trial results) and ``manifest.json``.
+            trial results) and ``manifest.json``, all atomically and
+            checksummed (format :data:`ARCHIVE_SCHEMA_VERSION`).
         max_workers: Trial fan-out per experiment (see
             :mod:`repro.sim.parallel`). Archived output is byte-identical
             for any worker count, so neither it nor ``backend`` is
@@ -163,6 +269,20 @@ def run_batch(
         batch_size: Trials per vectorized batch (``vectorized`` only;
             default: one batch per dispatch unit).
         trial_timeout: Per-trial wall-clock budget in seconds.
+        retry: Supervise execution with this retry/quarantine policy
+            (see :class:`~repro.resilience.policy.RetryPolicy`) instead
+            of failing the campaign on the first trial error.
+        checkpoint_dir: Journal completed trials here and restore any
+            found from a previous interrupted run of the same campaign
+            (implies supervision). The resumed campaign's archives are
+            byte-identical to an uninterrupted run's.
+        chaos: Deterministic execution-layer fault plan (implies
+            supervision); for tests and recovery drills.
+
+    Campaigns that quarantined trials or degraded their backend record
+    a ``"resilience"`` section in the manifest (with replay seeds per
+    quarantined trial); campaigns that ran clean — retries included —
+    archive bytes indistinguishable from an unsupervised run.
     """
     if not specs:
         raise ConfigurationError("batch needs at least one experiment")
@@ -179,46 +299,75 @@ def run_batch(
             chunk_size=chunk_size,
             batch_size=batch_size,
             trial_timeout=trial_timeout,
+            retry=retry,
+            checkpoint_dir=checkpoint_dir,
+            chaos=chaos,
         )
         for spec in specs
     ]
 
     if output_dir is not None:
-        out = Path(output_dir)
-        out.mkdir(parents=True, exist_ok=True)
-        manifest = {
-            "base_seed": base_seed,
-            "experiments": [],
-        }
-        for outcome in outcomes:
-            payload = {
-                "spec": {
-                    "name": outcome.spec.name,
-                    "protocol": outcome.spec.protocol,
-                    "trials": outcome.spec.trials,
-                    "network_seed": outcome.spec.network_seed,
-                    "workload": outcome.spec.workload.describe(),
-                    "runner_params": _archived_runner_params(
-                        outcome.spec.runner_params
-                    ),
-                },
-                "network_params": outcome.network_params,
-                "trials": [r.to_dict() for r in outcome.results],
-            }
-            (out / f"{outcome.spec.name}.json").write_text(
-                json.dumps(payload, indent=2, sort_keys=True)
-            )
-            manifest["experiments"].append(
-                {
-                    "name": outcome.spec.name,
-                    "file": f"{outcome.spec.name}.json",
-                    "summary": outcome.as_row(),
-                }
-            )
-        (out / "manifest.json").write_text(
-            json.dumps(manifest, indent=2, sort_keys=True)
-        )
+        _archive(outcomes, base_seed, Path(output_dir))
     return outcomes
+
+
+def _archive(
+    outcomes: Sequence[BatchOutcome], base_seed: Optional[int], out: Path
+) -> None:
+    """Write the format-2 archive: per-experiment payloads + manifest."""
+    from ..resilience.supervisor import ARCHIVED_EVENT_KINDS
+
+    out.mkdir(parents=True, exist_ok=True)
+    manifest: Dict[str, Any] = {
+        "schema_version": ARCHIVE_SCHEMA_VERSION,
+        "base_seed": base_seed,
+        "experiments": [],
+    }
+    quarantined: List[Dict[str, Any]] = []
+    downgrades: List[Dict[str, Any]] = []
+    for outcome in outcomes:
+        payload = {
+            "schema_version": ARCHIVE_SCHEMA_VERSION,
+            "spec": {
+                "name": outcome.spec.name,
+                "protocol": outcome.spec.protocol,
+                "trials": outcome.spec.trials,
+                "network_seed": outcome.spec.network_seed,
+                "workload": outcome.spec.workload.describe(),
+                "runner_params": _archived_runner_params(
+                    outcome.spec.runner_params
+                ),
+            },
+            "network_params": outcome.network_params,
+            "trials": [r.to_dict() for r in outcome.results],
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        atomic_write_text(out / f"{outcome.spec.name}.json", text)
+        manifest["experiments"].append(
+            {
+                "name": outcome.spec.name,
+                "file": f"{outcome.spec.name}.json",
+                "sha256": sha256_of_text(text),
+                "summary": outcome.as_row(),
+            }
+        )
+        quarantined.extend(q.as_dict() for q in outcome.quarantined)
+        downgrades.extend(
+            e.as_dict()
+            for e in outcome.events
+            if e.kind in ARCHIVED_EVENT_KINDS
+        )
+    # Only a campaign that actually lost trials or changed how it
+    # executed gets a resilience section — recovered-but-clean runs must
+    # archive byte-identical to never-faulted ones.
+    if quarantined or downgrades:
+        manifest["resilience"] = {
+            "quarantined": quarantined,
+            "downgrades": downgrades,
+        }
+    atomic_write_text(
+        out / "manifest.json", json.dumps(manifest, indent=2, sort_keys=True)
+    )
 
 
 def _jsonable(value: Any) -> Any:

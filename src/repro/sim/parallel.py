@@ -31,9 +31,21 @@ from __future__ import annotations
 import concurrent.futures
 import multiprocessing
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
+
+if TYPE_CHECKING:  # imported lazily to keep sim decoupled from resilience
+    from ..resilience.chaos import ChaosPlan
 
 from ..exceptions import ConfigurationError, TrialExecutionError, TrialTimeoutError
 from ..net.network import M2HeWNetwork
@@ -197,6 +209,11 @@ class _ChunkPayload:
     trial_indices: Tuple[int, ...]
     seeds: Tuple[np.random.SeedSequence, ...]
     vectorized: bool = False
+    #: Chaos injection (supervised campaigns only): the plan and the
+    #: chunk's zero-based attempt number travel with the payload so a
+    #: "fail the first k attempts" event reproduces across processes.
+    chaos: Optional["ChaosPlan"] = None
+    attempt: int = 0
 
 
 def chunk_indices(trials: int, chunk_size: int) -> List[Tuple[int, ...]]:
@@ -213,6 +230,11 @@ def chunk_indices(trials: int, chunk_size: int) -> List[Tuple[int, ...]]:
 
 def _run_chunk(payload: _ChunkPayload) -> List[DiscoveryResult]:
     """Worker entry point: rebuild the workload, run the chunk in order."""
+    if payload.chaos is not None:
+        # Raises or kills the worker when the plan covers this attempt;
+        # no-op otherwise. The plan object travels inside the payload so
+        # this module never imports the resilience package.
+        payload.chaos.strike(payload.trial_indices, payload.attempt)
     network = network_from_json(payload.network_json)
     if payload.vectorized:
         return run_experiment_trials_batched(
@@ -297,6 +319,26 @@ def _collect_in_order(
     return results
 
 
+def _merge_batch_size(
+    backend: str, chunk_size: Optional[int], batch_size: Optional[int]
+) -> Optional[int]:
+    """Fold ``batch_size`` into ``chunk_size`` (vectorized chunks ARE batches)."""
+    if batch_size is None:
+        return chunk_size
+    if backend != "vectorized":
+        raise ConfigurationError(
+            "batch_size is only meaningful with backend='vectorized'"
+        )
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    if chunk_size is not None and chunk_size != batch_size:
+        raise ConfigurationError(
+            "pass either chunk_size or batch_size, not conflicting "
+            "values: with backend='vectorized' chunks are batches"
+        )
+    return batch_size
+
+
 def run_spec_trials(
     network: M2HeWNetwork,
     protocol: str,
@@ -343,21 +385,7 @@ def run_spec_trials(
             process died); carries the trial indices and base seed.
         TrialTimeoutError: A chunk exceeded its budget.
     """
-    if batch_size is not None:
-        if backend != "vectorized":
-            raise ConfigurationError(
-                "batch_size is only meaningful with backend='vectorized'"
-            )
-        if batch_size < 1:
-            raise ConfigurationError(
-                f"batch_size must be >= 1, got {batch_size}"
-            )
-        if chunk_size is not None and chunk_size != batch_size:
-            raise ConfigurationError(
-                "pass either chunk_size or batch_size, not conflicting "
-                "values: with backend='vectorized' chunks are batches"
-            )
-        chunk_size = batch_size
+    chunk_size = _merge_batch_size(backend, chunk_size, batch_size)
     plan = resolve_plan(
         trials, max_workers=max_workers, backend=backend, chunk_size=chunk_size
     )
@@ -377,6 +405,10 @@ def run_spec_trials(
                             runner_params=params,
                         )
                     )
+                except TrialExecutionError:
+                    # Already typed with replay info; re-wrapping would
+                    # bury the original trial indices one level deep.
+                    raise
                 except Exception as exc:
                     raise _wrap_failure(
                         exc,
@@ -394,6 +426,8 @@ def run_spec_trials(
                         network, protocol, seed=seeds[t], runner_params=params
                     )
                 )
+            except TrialExecutionError:
+                raise
             except Exception as exc:
                 raise _wrap_failure(
                     exc,

@@ -61,6 +61,7 @@ __all__ = [
     "run_asynchronous",
     "run_experiment_trial",
     "run_experiment_trials_batched",
+    "replay_trial",
     "run_trials",
     "make_clocks",
     "random_start_offsets",
@@ -317,6 +318,31 @@ def run_experiment_trial(
         return run_asynchronous(network, seed=seed, **params)
     raise ConfigurationError(
         f"unknown protocol {protocol!r} for batch experiments"
+    )
+
+
+def replay_trial(
+    network: M2HeWNetwork,
+    protocol: str,
+    *,
+    base_seed: Optional[int],
+    trial_index: int,
+    runner_params: Optional[Mapping[str, Any]] = None,
+) -> DiscoveryResult:
+    """Re-run one campaign trial from its replay coordinates, in-process.
+
+    The replay contract: every :class:`~repro.exceptions.TrialExecutionError`
+    (and every quarantine record in a campaign manifest) carries the
+    campaign ``base_seed`` and the failing trial indices — this function
+    turns those coordinates back into the exact trial, because trial
+    ``t`` always runs from ``derive_trial_seed(base_seed, t)`` no matter
+    which worker, backend or retry attempt originally dispatched it.
+    """
+    return run_experiment_trial(
+        network,
+        protocol,
+        seed=derive_trial_seed(base_seed, trial_index),
+        runner_params=runner_params,
     )
 
 

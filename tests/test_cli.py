@@ -325,3 +325,124 @@ class TestHelpTextDrift:
     def test_top_level_help_lists_batch(self):
         help_text = build_parser().format_help()
         assert "batch" in help_text
+
+
+class TestBatchResilience:
+    BASE = [
+        "batch",
+        "rural_sparse",
+        "--trials", "2",
+        "--max-slots", "50000",
+        "--protocols", "algorithm3",
+    ]
+
+    def test_resilience_flags_parse(self):
+        args = build_parser().parse_args(
+            self.BASE + ["--retries", "3", "--no-quarantine", "--chaos", "raise@0"]
+        )
+        assert args.retries == 3
+        assert args.no_quarantine is True
+        assert args.chaos == "raise@0"
+        assert args.checkpoint is None
+        assert args.resume is None
+
+    def test_chaos_recovery_archive_byte_identical(self, tmp_path, capsys):
+        clean = tmp_path / "clean"
+        chaos = tmp_path / "chaos"
+        assert main(self.BASE + ["--output", str(clean)]) == 0
+        assert (
+            main(
+                self.BASE
+                + ["--retries", "2", "--chaos", "raise@0", "--output", str(chaos)]
+            )
+            == 0
+        )
+        for name in ("manifest.json", "rural_sparse_algorithm3.json"):
+            assert (clean / name).read_bytes() == (chaos / name).read_bytes()
+
+    def test_quarantine_reports_replay_seed(self, capsys):
+        code = main(self.BASE + ["--retries", "0", "--chaos", "raise@0x-1"])
+        assert code == 1  # campaign finished, but not every trial did
+        err = capsys.readouterr().err
+        assert "quarantined: rural_sparse_algorithm3 trial 0" in err
+        assert "derive_trial_seed(0, 0)" in err
+
+    def test_no_quarantine_aborts_with_exit_code_3(self, capsys):
+        code = main(
+            self.BASE
+            + ["--retries", "0", "--no-quarantine", "--chaos", "raise@0x-1"]
+        )
+        assert code == 3
+        assert "campaign failed" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        out = tmp_path / "out"
+        assert main(self.BASE + ["--checkpoint", str(ck)]) == 0
+        capsys.readouterr()
+        assert (
+            main(self.BASE + ["--resume", str(ck), "--output", str(out)]) == 0
+        )
+        err = capsys.readouterr().err
+        assert "resumed: 2 trial(s) restored from checkpoint" in err
+
+    def test_checkpoint_and_resume_conflict(self, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="not both"):
+            main(
+                self.BASE
+                + [
+                    "--checkpoint", str(tmp_path / "a"),
+                    "--resume", str(tmp_path / "b"),
+                ]
+            )
+
+    def test_resume_requires_existing_directory(self, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="no such checkpoint"):
+            main(self.BASE + ["--resume", str(tmp_path / "missing")])
+
+    def test_bad_chaos_spec_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(self.BASE + ["--chaos", "explode@banana"])
+
+
+class TestVerifyArchiveCommand:
+    def _archive(self, tmp_path):
+        out = tmp_path / "archive"
+        assert (
+            main(
+                [
+                    "batch",
+                    "rural_sparse",
+                    "--trials", "1",
+                    "--max-slots", "50000",
+                    "--protocols", "algorithm3",
+                    "--output", str(out),
+                ]
+            )
+            == 0
+        )
+        return out
+
+    def test_intact_archive_verifies(self, tmp_path, capsys):
+        out = self._archive(tmp_path)
+        capsys.readouterr()
+        assert main(["verify-archive", str(out)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_truncated_archive_flagged(self, tmp_path, capsys):
+        out = self._archive(tmp_path)
+        target = out / "rural_sparse_algorithm3.json"
+        target.write_bytes(target.read_bytes()[:-20])
+        capsys.readouterr()
+        assert main(["verify-archive", str(out)]) == 1
+        assert "CORRUPT" in capsys.readouterr().err
+
+    def test_missing_directory_flagged(self, tmp_path, capsys):
+        assert main(["verify-archive", str(tmp_path / "nope")]) == 1
+        assert "CORRUPT" in capsys.readouterr().err

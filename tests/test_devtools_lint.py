@@ -41,7 +41,7 @@ class TestRegistry:
         ids = {rule.rule_id for rule in all_rules()}
         assert {"D101", "D102", "D103", "D104", "D105", "D106", "D107"} <= ids
         assert {"M201", "M202", "M203"} <= ids
-        assert {"Q301", "Q302", "Q303"} <= ids
+        assert {"Q301", "Q302", "Q303", "Q304"} <= ids
 
     def test_rules_have_metadata(self):
         for rule in all_rules():
@@ -469,6 +469,114 @@ class TestQ303MissingAll:
             pass
         """
         assert not check(src, path=SCRIPT_PATH, rule="Q303")
+
+
+class TestQ304CauseDroppingBroadExcept:
+    BAD = """
+    def f():
+        try:
+            return work()
+        except Exception:
+            raise RuntimeError("work failed")
+    """
+
+    def test_flags_cause_dropping_reraise(self):
+        findings = check(self.BAD, rule="Q304")
+        assert "Q304" in rule_ids(findings)
+
+    def test_flags_broad_base_exception(self):
+        src = """
+        def f():
+            try:
+                return work()
+            except BaseException:
+                raise RuntimeError("work failed")
+        """
+        assert "Q304" in rule_ids(check(src, rule="Q304"))
+
+    def test_chained_raise_passes(self):
+        src = """
+        def f():
+            try:
+                return work()
+            except Exception as exc:
+                raise RuntimeError("work failed") from exc
+        """
+        assert not check(src, rule="Q304")
+
+    def test_wrapper_referencing_cause_passes(self):
+        # The supervisor idiom: the caught exception is folded into the
+        # raised expression, so the cause travels even without ``from``.
+        src = """
+        def f():
+            try:
+                return work()
+            except Exception as exc:
+                raise _wrap_failure(exc, context="campaign")
+        """
+        assert not check(src, rule="Q304")
+
+    def test_bare_reraise_passes(self):
+        src = """
+        def f():
+            try:
+                return work()
+            except Exception:
+                cleanup()
+                raise
+        """
+        assert not check(src, rule="Q304")
+
+    def test_narrow_except_passes(self):
+        src = """
+        def f():
+            try:
+                return work()
+            except ValueError:
+                raise RuntimeError("bad value")
+        """
+        assert not check(src, rule="Q304")
+
+    def test_nested_function_not_attributed_to_handler(self):
+        src = """
+        def f():
+            try:
+                return work()
+            except Exception:
+                def fallback():
+                    raise RuntimeError("inner")
+                return fallback
+        """
+        assert not check(src, rule="Q304")
+
+    def test_nested_handler_judged_on_its_own(self):
+        # The inner handler chains; the outer one never raises. Neither
+        # should be flagged — the walk must not leak raises across
+        # handler boundaries.
+        src = """
+        def f():
+            try:
+                return work()
+            except Exception:
+                try:
+                    return retry()
+                except Exception as exc:
+                    raise RuntimeError("retry failed") from exc
+        """
+        assert not check(src, rule="Q304")
+
+    def test_clean_outside_sim_critical_packages(self):
+        assert not check(self.BAD, path=ANALYSIS_PATH, rule="Q304")
+
+    def test_pragma_suppresses(self):
+        src = """
+        def f():
+            try:
+                return work()
+            except Exception:
+                raise RuntimeError("work failed")  # lint: disable=Q304
+        """
+        assert not check(src, rule="Q304")
 
 
 class TestPragmas:

@@ -25,7 +25,7 @@ from repro.sim.parallel import (
     run_spec_trials,
 )
 from repro.sim.rng import derive_trial_seed
-from repro.sim.runner import run_experiment_trial
+from repro.sim.runner import replay_trial, run_experiment_trial
 from repro.workloads.generator import WorkloadConfig
 
 
@@ -363,3 +363,86 @@ class TestArchiveManifestJson:
         manifest = json.loads((tmp_path / "manifest.json").read_text())
         assert "workers" not in json.dumps(manifest)
         assert manifest["base_seed"] == 1
+
+
+class TestReplayContract:
+    """A carried (base_seed, trial_index) must reconstruct the trial."""
+
+    def test_replay_trial_reproduces_archived_result(self):
+        net = tiny_net()
+        params = {"delta_est": 4, "max_slots": 30_000}
+        results = run_spec_trials(
+            net, "algorithm1", trials=4, base_seed=9, runner_params=params
+        )
+        replayed = replay_trial(
+            net,
+            "algorithm1",
+            base_seed=9,
+            trial_index=2,
+            runner_params=params,
+        )
+        assert replayed.to_dict() == results[2].to_dict()
+
+    def test_replay_trial_reproduces_failure(self):
+        net = tiny_net()
+        with pytest.raises(TrialExecutionError) as info:
+            run_spec_trials(
+                net,
+                "algorithm1",
+                trials=2,
+                base_seed=5,
+                runner_params={"max_slots": 100},
+                experiment="poison",
+            )
+        err = info.value
+        # The same coordinates raise the same underlying error in-process.
+        with pytest.raises(ConfigurationError):
+            replay_trial(
+                net,
+                "algorithm1",
+                base_seed=err.base_seed,
+                trial_index=err.trial_indices[0],
+                runner_params={"max_slots": 100},
+            )
+
+    def test_timeout_error_carries_replay_coordinates(self):
+        # TrialTimeoutError is a TrialExecutionError: same replay fields.
+        err = TrialTimeoutError(
+            "m", experiment="e", trial_indices=(3, 4), base_seed=6
+        )
+        assert isinstance(err, TrialExecutionError)
+        assert err.trial_indices == (3, 4)
+        assert err.base_seed == 6
+
+    def test_typed_error_passes_through_serial_loop_unwrapped(self, monkeypatch):
+        # A TrialExecutionError raised below the dispatch layer must
+        # surface as-is (replay fields intact), not double-wrapped.
+        original = TrialExecutionError(
+            "inner", experiment="inner-exp", trial_indices=(1,), base_seed=3
+        )
+
+        def poisoned(*_args, **_kwargs):
+            raise original
+
+        monkeypatch.setattr("repro.sim.parallel.run_experiment_trial", poisoned)
+        with pytest.raises(TrialExecutionError) as info:
+            run_spec_trials(
+                tiny_net(),
+                "algorithm1",
+                trials=1,
+                base_seed=0,
+                runner_params={"delta_est": 4, "max_slots": 100},
+                experiment="outer-exp",
+            )
+        assert info.value is original
+
+    def test_wrapped_error_chains_the_original_traceback(self):
+        with pytest.raises(TrialExecutionError) as info:
+            run_spec_trials(
+                tiny_net(),
+                "algorithm1",
+                trials=1,
+                base_seed=0,
+                runner_params={"max_slots": 100},
+            )
+        assert isinstance(info.value.__cause__, ConfigurationError)
