@@ -18,12 +18,16 @@ Subcommands:
 * ``timeline`` — render an asynchronous frame timeline (paper Fig. 2);
 * ``terminate`` — run with node-local termination and report energy;
 * ``bounds`` — print every theorem budget for given parameters;
-* ``lint`` — run the repo's determinism/model-invariant static analysis.
+* ``lint`` — run the repo's determinism/model-invariant static analysis;
+* ``audit`` — run the whole-program determinism audit: RNG
+  stream-provenance registry, parallel-ordering rules, and cross-layer
+  parity contracts (see :mod:`repro.devtools.audit`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -312,6 +316,51 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument(
         "--list-rules", action="store_true", help="list rule IDs and exit"
+    )
+
+    audit = sub.add_parser(
+        "audit",
+        help=(
+            "whole-program determinism audit: RNG stream provenance, "
+            "parallel-ordering hazards, engine parity contracts "
+            "(S/P/C rules + stream-registry drift)"
+        ),
+    )
+    audit.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to audit (default: src)",
+    )
+    audit.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this audit rule ID (repeatable), e.g. --rule S401",
+    )
+    audit.add_argument("--format", choices=("text", "json"), default="text")
+    audit.add_argument(
+        "--list-rules", action="store_true", help="list audit rule IDs and exit"
+    )
+    audit.add_argument(
+        "--registry",
+        default=None,
+        metavar="PATH",
+        help=(
+            "stream-registry snapshot to diff against (default: the "
+            "committed src/repro/devtools/stream_registry.json)"
+        ),
+    )
+    audit.add_argument(
+        "--update-registry",
+        action="store_true",
+        help="rewrite the registry snapshot from the audited sources",
+    )
+    audit.add_argument(
+        "--no-registry-check",
+        action="store_true",
+        help="skip the registry drift comparison",
     )
 
     return parser
@@ -703,6 +752,44 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .devtools.audit import DEFAULT_REGISTRY_PATH, run_audit
+    from .devtools.rules import all_audit_rules, select_audit_rules
+
+    if args.list_rules:
+        rows = [
+            {"id": rule.rule_id, "title": rule.title}
+            for rule in all_audit_rules()
+        ]
+        print(format_table(rows, columns=["id", "title"]))
+        return 0
+    if args.rule:
+        try:
+            rules = select_audit_rules(args.rule)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    else:
+        rules = None
+    registry_path = (
+        Path(args.registry) if args.registry is not None else DEFAULT_REGISTRY_PATH
+    )
+    report = run_audit(
+        args.paths,
+        rules=rules,
+        registry_path=registry_path,
+        check_registry=not (args.no_registry_check or args.update_registry),
+    )
+    if args.update_registry:
+        registry_path.write_text(
+            json.dumps(report.registry, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"registry snapshot written to {registry_path}", file=sys.stderr)
+    print(report.to_json() if args.format == "json" else report.to_text())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -730,6 +817,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bounds(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -1,7 +1,8 @@
 """Developer tooling for the repro codebase.
 
-The centerpiece is :mod:`repro.devtools.lint`, an AST-based linter
-enforcing the repo-specific invariants every empirical claim rests on:
+Two complementary static-analysis tools live here:
+
+:mod:`repro.devtools.lint` — the per-file AST linter (``m2hew lint``):
 
 * **D-series (determinism)** — all randomness in simulation packages
   must flow through :mod:`repro.sim.rng`; no wall-clock reads, no
@@ -14,12 +15,33 @@ enforcing the repo-specific invariants every empirical claim rests on:
 * **Q-series (hygiene)** — mutable default arguments, bare ``except:``
   clauses, and public symbols missing from ``__all__``.
 
-Run it as ``m2hew lint [paths ...]`` or programmatically through
-:func:`repro.devtools.lint.lint_paths`.
+:mod:`repro.devtools.audit` — the whole-program audit (``m2hew
+audit``), for the global properties a per-file pass cannot see:
+
+* **S-series (stream provenance)** — every ``RngFactory`` stream/fork
+  key resolved into a template, collected into the committed
+  ``stream_registry.json`` snapshot, and checked for collisions.
+* **P-series (parallel ordering)** — set-iteration, filesystem and
+  pool-completion ordering must never leak into seeds or results.
+* **C-series (parity contracts)** — engine keyword surfaces, batchable
+  parameter plumbing, typed-exception replay coordinates and CLI flag
+  plumbing stay in lockstep across layers.
+
+Run them as ``m2hew lint [paths ...]`` / ``m2hew audit [paths ...]`` or
+programmatically through :func:`repro.devtools.lint.lint_paths` /
+:func:`repro.devtools.audit.run_audit`.
 """
 
 from __future__ import annotations
 
+from .audit import AuditReport, run_audit
 from .lint import Finding, LintReport, lint_paths, lint_source
 
-__all__ = ["Finding", "LintReport", "lint_paths", "lint_source"]
+__all__ = [
+    "AuditReport",
+    "Finding",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "run_audit",
+]

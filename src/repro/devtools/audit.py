@@ -1,0 +1,322 @@
+"""Whole-program determinism audit (``m2hew audit``).
+
+``m2hew lint`` checks files one at a time; the properties this module
+audits are **global**: RNG stream keys must never collide across
+modules, no code path may let container- or filesystem-ordering leak
+into results, and the four engines plus the runner/batch/CLI plumbing
+must keep their keyword surfaces in lockstep. Each is a property of the
+*project*, not of any single file, so the audit parses every module
+under the given roots once into a :class:`ProjectContext` and runs
+whole-program :class:`AuditRule` packs over it:
+
+* **S-series** (:mod:`repro.devtools.rules.streams`) — stream
+  provenance: every ``RngFactory.stream(key)`` / ``node_stream`` /
+  ``fork(label)`` call site is resolved into a key template and
+  collected into a :class:`~repro.devtools.rules.streams.StreamRegistry`;
+  unifiable templates, colliding constants and dynamic keys are flagged.
+* **P-series** (:mod:`repro.devtools.rules.parallel_order`) —
+  parallel-ordering hazards: set iteration feeding accumulation,
+  unsorted filesystem enumeration, ``as_completed`` consumption,
+  ``id()``/``hash()`` sort keys, wall-clock-derived seeds.
+* **C-series** (:mod:`repro.devtools.rules.contracts`) — cross-layer
+  parity contracts: engine keyword surfaces, batchable-parameter
+  plumbing, call-site keyword validity, typed-exception replay
+  coordinates, CLI flag plumbing.
+
+Findings reuse the linter's :class:`~repro.devtools.lint.Finding` type
+and the same ``# lint: disable=<ID>`` pragma mechanism, so one
+suppression syntax covers both tools.
+
+The audit also maintains the **stream-registry snapshot**
+(``stream_registry.json`` next to this module): a committed,
+machine-readable map of every stream/fork key template in the project.
+``m2hew audit`` regenerates the registry on every run and fails with a
+readable diff when it drifts from the snapshot, so adding a stream key
+is always a reviewed change.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .lint import (
+    Finding,
+    LintError,
+    ModuleContext,
+    PathLike,
+    _module_for_path,
+    _sort_key,
+    _suppressions,
+    iter_python_files,
+)
+
+__all__ = [
+    "AuditReport",
+    "AuditRule",
+    "DEFAULT_REGISTRY_PATH",
+    "ProjectContext",
+    "build_project",
+    "registry_drift",
+    "run_audit",
+]
+
+#: The committed stream-registry snapshot ships inside the package so
+#: the drift check works from any checkout or installed copy.
+DEFAULT_REGISTRY_PATH = Path(__file__).resolve().parent / "stream_registry.json"
+
+
+@dataclass
+class ProjectContext:
+    """Every parsed module of one audit run, plus per-file suppressions.
+
+    Attributes:
+        modules: Dotted module path (relative to the ``repro`` package
+            root, e.g. ``"sim.rng"``) to the parsed module. Only files
+            inside a ``repro`` package land here.
+        extra: Parsed files outside any ``repro`` package (scripts,
+            scratch fixtures); whole-program rules still see them.
+        errors: Files that could not be read or parsed.
+    """
+
+    modules: Dict[str, ModuleContext] = field(default_factory=dict)
+    extra: List[ModuleContext] = field(default_factory=list)
+    errors: List[LintError] = field(default_factory=list)
+    _suppressions: Dict[str, Tuple[Set[str], Dict[int, Set[str]]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def files_checked(self) -> int:
+        return len(self.modules) + len(self.extra)
+
+    def all_modules(self) -> Iterator[ModuleContext]:
+        """Every parsed module, ``repro`` package first, in stable order."""
+        for name in sorted(self.modules):
+            yield self.modules[name]
+        for ctx in sorted(self.extra, key=lambda c: str(c.path)):
+            yield ctx
+
+    def get(self, module: str) -> Optional[ModuleContext]:
+        """The parsed module for a dotted path, or ``None``."""
+        return self.modules.get(module)
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether a ``# lint: disable=`` pragma covers this finding."""
+        file_level, per_line = self._suppressions.get(
+            finding.path, (set(), {})
+        )
+        if finding.rule_id in file_level:
+            return True
+        return finding.rule_id in per_line.get(finding.line, set())
+
+
+def build_project(paths: Iterable[PathLike]) -> ProjectContext:
+    """Parse every ``*.py`` file under ``paths`` into a project context."""
+    project = ProjectContext()
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            project.errors.append(LintError(path=str(path), message=str(exc)))
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            project.errors.append(LintError(path=str(path), message=str(exc)))
+            continue
+        ctx = ModuleContext(
+            path=path,
+            source=source,
+            tree=tree,
+            module=_module_for_path(path),
+        )
+        project._suppressions[str(path)] = _suppressions(source, tree)
+        if ctx.module is not None and ctx.module not in project.modules:
+            project.modules[ctx.module] = ctx
+        else:
+            project.extra.append(ctx)
+    return project
+
+
+class AuditRule:
+    """Base class for whole-program audit rules.
+
+    Unlike :class:`~repro.devtools.lint.Rule`, which sees one module at
+    a time, an audit rule's :meth:`check` receives the whole
+    :class:`ProjectContext` — it may correlate call sites across
+    modules, resolve definitions in other files, or inspect the project
+    as a graph.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+@dataclass
+class AuditReport:
+    """Findings, parse errors and the generated registry of one audit run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    errors: List[LintError] = field(default_factory=list)
+    files_checked: int = 0
+    #: Serialized stream registry generated from the audited sources
+    #: (the S-series analyzer's artifact; compare against the committed
+    #: snapshot with :func:`registry_drift`).
+    registry: Dict[str, object] = field(default_factory=dict)
+    #: Human-readable registry-drift lines (empty = snapshot matches or
+    #: the check was skipped).
+    drift: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors and not self.drift
+
+    def to_text(self) -> str:
+        lines = [f.format_text() for f in self.findings]
+        lines.extend(f"{e.path}: error: {e.message}" for e in self.errors)
+        if self.drift:
+            lines.append("stream-registry drift (run with --update-registry "
+                         "after reviewing):")
+            lines.extend(f"  {entry}" for entry in self.drift)
+        lines.append(
+            f"{len(self.findings)} finding(s), {len(self.errors)} error(s), "
+            f"{len(self.drift)} drift line(s) in {self.files_checked} file(s)"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "findings": [f.as_dict() for f in self.findings],
+                "errors": [
+                    {"path": e.path, "message": e.message} for e in self.errors
+                ],
+                "registry": self.registry,
+                "registry_drift": list(self.drift),
+                "files_checked": self.files_checked,
+            },
+            indent=2,
+        )
+
+
+def registry_drift(
+    fresh: Dict[str, object], snapshot_path: Path
+) -> List[str]:
+    """Compare a freshly generated registry against a committed snapshot.
+
+    Returns human-readable drift lines; empty means the snapshot is
+    current. A missing snapshot is itself drift — the registry is part
+    of the reviewed source tree.
+    """
+    if not snapshot_path.exists():
+        return [
+            f"snapshot {snapshot_path} does not exist "
+            "(generate it with --update-registry)"
+        ]
+    try:
+        committed = json.loads(snapshot_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"snapshot {snapshot_path} is unreadable: {exc}"]
+    if committed == fresh:
+        return []
+    lines: List[str] = []
+    fresh_ns = fresh.get("namespaces", {})
+    committed_ns = committed.get("namespaces", {})
+    if not isinstance(fresh_ns, dict) or not isinstance(committed_ns, dict):
+        return [f"snapshot {snapshot_path} has an unrecognized structure"]
+    for namespace in sorted(set(fresh_ns) | set(committed_ns)):
+        fresh_entries = {
+            e["template"]: e for e in fresh_ns.get(namespace, ())
+        }
+        committed_entries = {
+            e["template"]: e for e in committed_ns.get(namespace, ())
+        }
+        for template in sorted(set(fresh_entries) - set(committed_entries)):
+            modules = ", ".join(fresh_entries[template]["modules"])
+            lines.append(
+                f"+ {namespace} key {template!r} (new, from {modules})"
+            )
+        for template in sorted(set(committed_entries) - set(fresh_entries)):
+            lines.append(
+                f"- {namespace} key {template!r} (in snapshot, not in source)"
+            )
+        for template in sorted(set(fresh_entries) & set(committed_entries)):
+            if fresh_entries[template] != committed_entries[template]:
+                lines.append(
+                    f"~ {namespace} key {template!r}: snapshot "
+                    f"{committed_entries[template]} != source "
+                    f"{fresh_entries[template]}"
+                )
+    if not lines:
+        lines.append(
+            "registries differ outside namespace entries "
+            "(schema or metadata change)"
+        )
+    return lines
+
+
+def run_audit(
+    paths: Iterable[PathLike],
+    rules: Optional[Sequence[AuditRule]] = None,
+    *,
+    registry_path: Optional[Path] = None,
+    check_registry: bool = True,
+) -> AuditReport:
+    """Run the whole-program audit over every ``*.py`` file in ``paths``.
+
+    Args:
+        paths: Files or directories to audit (typically ``src``).
+        rules: Rule instances to run (default: every registered S/P/C
+            rule from :func:`repro.devtools.rules.all_audit_rules`).
+        registry_path: Snapshot to diff the generated stream registry
+            against (default :data:`DEFAULT_REGISTRY_PATH`).
+        check_registry: Set ``False`` to skip the snapshot comparison
+            (the registry is still generated and reported).
+    """
+    from .rules import all_audit_rules
+    from .rules.streams import build_registry
+
+    project = build_project(paths)
+    report = AuditReport(
+        errors=list(project.errors), files_checked=project.files_checked
+    )
+    report.registry = build_registry(project).as_dict()
+    for rule in rules if rules is not None else all_audit_rules():
+        for finding in rule.check(project):
+            if not project.suppressed(finding):
+                report.findings.append(finding)
+    report.findings.sort(key=_sort_key)
+    if check_registry:
+        report.drift = registry_drift(
+            report.registry,
+            registry_path if registry_path is not None else DEFAULT_REGISTRY_PATH,
+        )
+    return report

@@ -1,18 +1,28 @@
-"""Rule registry for the repro linter.
+"""Rule registries for the repro static-analysis tools.
 
-Rules live in three modules — :mod:`determinism` (D-series),
-:mod:`model` (M-series), :mod:`hygiene` (Q-series) — and register here.
-``docs/static_analysis.md`` documents every ID.
+Per-file lint rules (``m2hew lint``) live in :mod:`determinism`
+(D-series), :mod:`model` (M-series) and :mod:`hygiene` (Q-series).
+Whole-program audit rules (``m2hew audit``) live in :mod:`streams`
+(S-series), :mod:`parallel_order` (P-series) and :mod:`contracts`
+(C-series). ``docs/static_analysis.md`` documents every ID.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List
 
+from ..audit import AuditRule
 from ..lint import Rule
-from . import determinism, hygiene, model
+from . import contracts, determinism, hygiene, model, parallel_order, streams
 
-__all__ = ["all_rules", "rules_by_id", "select_rules"]
+__all__ = [
+    "all_audit_rules",
+    "all_rules",
+    "audit_rules_by_id",
+    "rules_by_id",
+    "select_audit_rules",
+    "select_rules",
+]
 
 _RULE_CLASSES = (
     determinism.BannedRandomImport,
@@ -31,20 +41,46 @@ _RULE_CLASSES = (
     hygiene.CauseDroppingBroadExcept,
 )
 
+_AUDIT_RULE_CLASSES = (
+    streams.StreamKeyCollision,
+    streams.DynamicStreamKey,
+    streams.UnifiableStreamTemplates,
+    parallel_order.SetIterationOrder,
+    parallel_order.UnsortedFilesystemIteration,
+    parallel_order.CompletionOrderConsumption,
+    parallel_order.IdentityOrderSort,
+    parallel_order.WallClockSeed,
+    contracts.EngineSurfaceParity,
+    contracts.CallKeywordValidity,
+    contracts.BatchableParamsSubset,
+    contracts.ReplayCoordinateContract,
+    contracts.CliFlagPlumbing,
+)
+
 
 def all_rules() -> List[Rule]:
-    """One fresh instance of every registered rule, in ID order."""
+    """One fresh instance of every registered lint rule, in ID order."""
     return sorted((cls() for cls in _RULE_CLASSES), key=lambda r: r.rule_id)
 
 
 def rules_by_id() -> Dict[str, Rule]:
-    """Map rule ID -> rule instance."""
+    """Map lint rule ID -> rule instance."""
     return {rule.rule_id: rule for rule in all_rules()}
 
 
-def select_rules(ids: Iterable[str]) -> List[Rule]:
-    """Rules for the given IDs; raises ``KeyError`` on an unknown ID."""
-    registry = rules_by_id()
+def all_audit_rules() -> List[AuditRule]:
+    """One fresh instance of every registered audit rule, in ID order."""
+    return sorted(
+        (cls() for cls in _AUDIT_RULE_CLASSES), key=lambda r: r.rule_id
+    )
+
+
+def audit_rules_by_id() -> Dict[str, AuditRule]:
+    """Map audit rule ID -> rule instance."""
+    return {rule.rule_id: rule for rule in all_audit_rules()}
+
+
+def _select(registry: Dict[str, object], ids: Iterable[str]) -> List[object]:
     selected = []
     for rule_id in ids:
         key = rule_id.strip().upper()
@@ -53,3 +89,13 @@ def select_rules(ids: Iterable[str]) -> List[Rule]:
             raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}")
         selected.append(registry[key])
     return selected
+
+
+def select_rules(ids: Iterable[str]) -> List[Rule]:
+    """Lint rules for the given IDs; raises ``KeyError`` on unknown IDs."""
+    return _select(dict(rules_by_id()), ids)  # type: ignore[return-value]
+
+
+def select_audit_rules(ids: Iterable[str]) -> List[AuditRule]:
+    """Audit rules for the given IDs; raises ``KeyError`` on unknown IDs."""
+    return _select(dict(audit_rules_by_id()), ids)  # type: ignore[return-value]

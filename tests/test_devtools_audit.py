@@ -1,0 +1,864 @@
+"""Tests for the whole-program determinism audit (``m2hew audit``).
+
+The audit's whole-program rules need a *project* to look at, so most
+tests here write a scratch tree shaped like the real package
+(``<tmp>/repro/sim/...``) and run :func:`repro.devtools.audit.run_audit`
+over it. The registry-snapshot tests run against the real ``src`` tree,
+pinning the committed ``stream_registry.json`` to the sources.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.devtools.audit import (
+    DEFAULT_REGISTRY_PATH,
+    build_project,
+    registry_drift,
+    run_audit,
+)
+from repro.devtools.rules import (
+    all_audit_rules,
+    audit_rules_by_id,
+    select_audit_rules,
+)
+from repro.devtools.rules.streams import (
+    SHARED_STREAM_KEYS,
+    build_registry,
+    templates_unify,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+
+
+def write_tree(root: Path, files: dict) -> Path:
+    """Write ``{relative path: source}`` under ``root``; returns ``root``."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+def audit_tree(root: Path, files: dict, rule: str = None):
+    write_tree(root, files)
+    rules = select_audit_rules([rule]) if rule else None
+    return run_audit([root], rules=rules, check_registry=False)
+
+
+def rule_ids(report) -> set:
+    return {f.rule_id for f in report.findings}
+
+
+class TestRegistryOfRules:
+    def test_all_series_present(self):
+        ids = {rule.rule_id for rule in all_audit_rules()}
+        assert {"S401", "S402", "S403"} <= ids
+        assert {"P501", "P502", "P503", "P504", "P505"} <= ids
+        assert {"C601", "C602", "C603", "C604", "C605"} <= ids
+
+    def test_rules_have_metadata(self):
+        for rule in all_audit_rules():
+            assert rule.rule_id and rule.title and rule.rationale
+
+    def test_select_unknown_rule(self):
+        with pytest.raises(KeyError):
+            select_audit_rules(["Z999"])
+
+    def test_select_is_case_insensitive(self):
+        (rule,) = select_audit_rules(["s401"])
+        assert rule.rule_id == "S401"
+
+    def test_audit_and_lint_ids_disjoint(self):
+        from repro.devtools.rules import rules_by_id
+
+        assert not set(audit_rules_by_id()) & set(rules_by_id())
+
+
+class TestRepoIsClean:
+    """The acceptance bar: the audit ships at zero findings on src."""
+
+    def test_src_has_no_findings(self):
+        report = run_audit([SRC], check_registry=False)
+        assert report.findings == []
+        assert report.errors == []
+
+    def test_committed_registry_matches_sources(self):
+        """The drift test: regenerating the registry from ``src`` must
+        reproduce the committed snapshot byte-for-byte (update with
+        ``m2hew audit src --update-registry`` after review)."""
+        report = run_audit([SRC], check_registry=False)
+        committed = json.loads(DEFAULT_REGISTRY_PATH.read_text(encoding="utf-8"))
+        assert report.registry == committed
+
+    def test_shared_keys_are_present_in_registry(self):
+        report = run_audit([SRC], check_registry=False)
+        templates = {
+            entry["template"]: entry
+            for entry in report.registry["namespaces"]["stream"]
+        }
+        for key, reason in SHARED_STREAM_KEYS.items():
+            if key in templates:
+                assert templates[key]["shared"] == reason
+
+
+class TestRegistryDrift:
+    FILES = {
+        "repro/sim/one.py": """
+        def go(factory):
+            factory.stream("alpha")
+        """,
+    }
+
+    def fresh(self, tmp_path):
+        write_tree(tmp_path / "tree", self.FILES)
+        project = build_project([tmp_path / "tree"])
+        return build_registry(project).as_dict()
+
+    def test_matching_snapshot_is_quiet(self, tmp_path):
+        fresh = self.fresh(tmp_path)
+        snap = tmp_path / "snap.json"
+        snap.write_text(json.dumps(fresh), encoding="utf-8")
+        assert registry_drift(fresh, snap) == []
+
+    def test_missing_snapshot_is_drift(self, tmp_path):
+        fresh = self.fresh(tmp_path)
+        lines = registry_drift(fresh, tmp_path / "absent.json")
+        assert len(lines) == 1 and "--update-registry" in lines[0]
+
+    def test_new_key_reads_as_plus_line(self, tmp_path):
+        fresh = self.fresh(tmp_path)
+        stale = json.loads(json.dumps(fresh))
+        stale["namespaces"]["stream"] = []
+        snap = tmp_path / "snap.json"
+        snap.write_text(json.dumps(stale), encoding="utf-8")
+        (line,) = registry_drift(fresh, snap)
+        assert line.startswith("+ stream key 'alpha'")
+        assert "sim.one" in line
+
+    def test_removed_key_reads_as_minus_line(self, tmp_path):
+        fresh = self.fresh(tmp_path)
+        stale = json.loads(json.dumps(fresh))
+        stale["namespaces"]["stream"].append(
+            {
+                "template": "zeta",
+                "kind": "constant",
+                "call": "stream",
+                "modules": ["sim.gone"],
+                "shared": None,
+            }
+        )
+        snap = tmp_path / "snap.json"
+        snap.write_text(json.dumps(stale), encoding="utf-8")
+        (line,) = registry_drift(fresh, snap)
+        assert line.startswith("- stream key 'zeta'")
+
+    def test_changed_entry_reads_as_tilde_line(self, tmp_path):
+        fresh = self.fresh(tmp_path)
+        stale = json.loads(json.dumps(fresh))
+        stale["namespaces"]["stream"][0]["modules"] = ["sim.other"]
+        snap = tmp_path / "snap.json"
+        snap.write_text(json.dumps(stale), encoding="utf-8")
+        (line,) = registry_drift(fresh, snap)
+        assert line.startswith("~ stream key 'alpha'")
+
+    def test_drift_fails_the_run(self, tmp_path):
+        write_tree(tmp_path / "tree", self.FILES)
+        snap = tmp_path / "snap.json"
+        snap.write_text(json.dumps({"namespaces": {}}), encoding="utf-8")
+        report = run_audit([tmp_path / "tree"], registry_path=snap)
+        assert report.drift and not report.ok
+
+
+class TestS401StreamKeyCollision:
+    def test_cross_module_duplicate_flags_both_sites(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/a.py": "def f(x):\n    x.stream('dup')\n",
+                "repro/sim/b.py": "def g(x):\n    x.stream('dup')\n",
+            },
+            rule="S401",
+        )
+        assert len(report.findings) == 2
+        assert all("dup" in f.message for f in report.findings)
+
+    def test_same_module_reuse_is_fine(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {"repro/sim/a.py": "def f(x):\n    x.stream('k')\n    x.stream('k')\n"},
+            rule="S401",
+        )
+        assert not report.findings
+
+    def test_declared_shared_key_is_exempt(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/a.py": "def f(x):\n    x.stream('erasure')\n",
+                "repro/sim/b.py": "def g(x):\n    x.stream('erasure')\n",
+            },
+            rule="S401",
+        )
+        assert not report.findings
+
+    def test_pragma_suppresses(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/a.py": (
+                    "def f(x):\n    x.stream('dup')  # lint: disable=S401\n"
+                ),
+                "repro/sim/b.py": "def g(x):\n    x.stream('dup')\n",
+            },
+            rule="S401",
+        )
+        assert len(report.findings) == 1
+        assert report.findings[0].path.endswith("b.py")
+
+
+class TestS402DynamicStreamKey:
+    def test_variable_key_flags(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {"repro/sim/a.py": "def f(x, name):\n    x.stream(name)\n"},
+            rule="S402",
+        )
+        assert rule_ids(report) == {"S402"}
+
+    def test_fstring_key_is_fine(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {"repro/sim/a.py": "def f(x, i):\n    x.stream(f'part-{i}')\n"},
+            rule="S402",
+        )
+        assert not report.findings
+
+    def test_concatenation_of_literals_is_fine(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {"repro/sim/a.py": "def f(x):\n    x.stream('a-' + 'b')\n"},
+            rule="S402",
+        )
+        assert not report.findings
+
+
+class TestS403UnifiableTemplates:
+    def test_stream_key_unifying_with_node_stream_family(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/a.py": "def f(x, i):\n    x.node_stream(i)\n",
+                "repro/sim/b.py": "def g(x, i):\n    x.stream(f'node-{i}')\n",
+            },
+            rule="S403",
+        )
+        assert rule_ids(report) == {"S403"}
+
+    def test_disjoint_prefixes_are_fine(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/a.py": "def f(x, i):\n    x.stream(f'alpha-{i}')\n",
+                "repro/sim/b.py": "def g(x, i):\n    x.stream(f'beta-{i}')\n",
+            },
+            rule="S403",
+        )
+        assert not report.findings
+
+    def test_fork_namespace_is_separate(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/a.py": "def f(x):\n    x.stream('same')\n",
+                "repro/sim/b.py": "def g(x):\n    x.fork('same')\n",
+            },
+            rule="S403",
+        )
+        assert not report.findings
+
+
+class TestTemplatesUnify:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("node-{}", "node-{}", True),
+            ("node-{}", "no{}-7", True),
+            ("{}", "anything at all", True),
+            ("a-{}", "{}-b", True),
+            ("alpha-{}", "beta-{}", False),
+            ("faults-ge-{}", "faults-jam-{}-ch{}", False),
+            ("faults-pu-{}-{}", "faults-glitch-{}-node{}", False),
+            ("exact", "exact", True),
+            ("exact", "other", False),
+            ("a{}c", "abc", True),
+            ("a{}c", "adc", True),
+            ("a{}c", "abd", False),
+        ],
+    )
+    def test_pairs(self, a, b, expected):
+        assert templates_unify(a, b) is expected
+        assert templates_unify(b, a) is expected
+
+    def test_repo_fault_templates_pairwise_disjoint(self):
+        report = run_audit([SRC], rules=select_audit_rules(["S403"]),
+                           check_registry=False)
+        assert not report.findings
+
+
+class TestP501SetIteration:
+    def test_for_over_set_literal(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/a.py": """
+                def f(out):
+                    for item in {1, 2, 3}:
+                        out.append(item)
+                """
+            },
+            rule="P501",
+        )
+        assert rule_ids(report) == {"P501"}
+
+    def test_for_over_name_bound_to_set(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/a.py": """
+                def f(items, out):
+                    pending = set(items)
+                    for item in pending:
+                        out.append(item)
+                """
+            },
+            rule="P501",
+        )
+        assert rule_ids(report) == {"P501"}
+
+    def test_sorted_set_is_fine(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/a.py": """
+                def f(items, out):
+                    for item in sorted(set(items)):
+                        out.append(item)
+                """
+            },
+            rule="P501",
+        )
+        assert not report.findings
+
+    def test_order_free_reduction_is_fine(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/a.py": """
+                def f(items):
+                    return sum(x * 2 for x in set(items))
+                """
+            },
+            rule="P501",
+        )
+        assert not report.findings
+
+    def test_outside_order_scope_is_fine(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/workloads/a.py": """
+                def f(out):
+                    for item in {1, 2}:
+                        out.append(item)
+                """
+            },
+            rule="P501",
+        )
+        assert not report.findings
+
+
+class TestP502FilesystemOrder:
+    def test_unsorted_iterdir(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/resilience/a.py": """
+                def f(d, out):
+                    for p in d.iterdir():
+                        out.append(p)
+                """
+            },
+            rule="P502",
+        )
+        assert rule_ids(report) == {"P502"}
+
+    def test_unsorted_listdir(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/analysis/a.py": """
+                import os
+
+                def f(d):
+                    return [p for p in os.listdir(d)]
+                """
+            },
+            rule="P502",
+        )
+        assert rule_ids(report) == {"P502"}
+
+    def test_sorted_glob_is_fine(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/resilience/a.py": """
+                def f(d):
+                    return sorted(d.glob("*.json"))
+                """
+            },
+            rule="P502",
+        )
+        assert not report.findings
+
+
+class TestP503CompletionOrder:
+    def test_as_completed_flags(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/a.py": """
+                from concurrent.futures import as_completed
+
+                def f(futures, out):
+                    for fut in as_completed(futures):
+                        out.append(fut.result())
+                """
+            },
+            rule="P503",
+        )
+        assert rule_ids(report) == {"P503"}
+
+
+class TestP504IdentitySort:
+    def test_key_id_flags(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {"repro/sim/a.py": "def f(xs):\n    return sorted(xs, key=id)\n"},
+            rule="P504",
+        )
+        assert rule_ids(report) == {"P504"}
+
+    def test_lambda_hash_flags(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/a.py": (
+                    "def f(xs):\n"
+                    "    xs.sort(key=lambda x: hash(x.name))\n"
+                )
+            },
+            rule="P504",
+        )
+        assert rule_ids(report) == {"P504"}
+
+    def test_stable_key_is_fine(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/a.py": (
+                    "def f(xs):\n"
+                    "    return sorted(xs, key=lambda x: x.trial)\n"
+                )
+            },
+            rule="P504",
+        )
+        assert not report.findings
+
+
+class TestP505WallClockSeed:
+    def test_time_seed_flags(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/analysis/a.py": """
+                import time
+
+                def f(run):
+                    return run(seed=int(time.time()))
+                """
+            },
+            rule="P505",
+        )
+        assert rule_ids(report) == {"P505"}
+
+    def test_sink_positional_arg_flags(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/resilience/a.py": """
+                import time
+                from repro.sim.rng import make_generator
+
+                def f():
+                    return make_generator(time.time_ns())
+                """
+            },
+            rule="P505",
+        )
+        assert rule_ids(report) == {"P505"}
+
+    def test_configured_seed_is_fine(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/analysis/a.py": """
+                def f(run, cfg):
+                    return run(seed=cfg.seed)
+                """
+            },
+            rule="P505",
+        )
+        assert not report.findings
+
+
+class TestC601EngineSurface:
+    ENGINE = """
+    class SlottedSimulator:
+        def __init__(self, network, protocol, *, rng_factory,
+                     start_offsets=None, erasure_prob={erasure}, trace=None,
+                     faults=None):
+            pass
+    """
+
+    def test_conforming_engine_is_fine(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {"repro/sim/slotted.py": self.ENGINE.format(erasure="0.0")},
+            rule="C601",
+        )
+        assert not report.findings
+
+    def test_missing_contract_keyword(self, tmp_path):
+        source = self.ENGINE.format(erasure="0.0").replace(
+            "faults=None", "unused=None"
+        )
+        report = audit_tree(
+            tmp_path, {"repro/sim/slotted.py": source}, rule="C601"
+        )
+        assert rule_ids(report) == {"C601"}
+        assert "faults" in report.findings[0].message
+
+    def test_drifted_default(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {"repro/sim/slotted.py": self.ENGINE.format(erasure="0.1")},
+            rule="C601",
+        )
+        assert rule_ids(report) == {"C601"}
+        assert "erasure_prob" in report.findings[0].message
+
+    def test_scratch_tree_without_engines_is_quiet(self, tmp_path):
+        report = audit_tree(
+            tmp_path, {"repro/sim/other.py": "X = 1\n"}, rule="C601"
+        )
+        assert not report.findings
+
+
+class TestC602CallKeywords:
+    RUNNER = """
+    def run_synchronous(network, protocol, *, seed, max_slots=None):
+        pass
+    """
+
+    def test_unknown_keyword_flags(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/runner.py": self.RUNNER,
+                "repro/analysis/use.py": """
+                from repro.sim.runner import run_synchronous
+
+                def f(net, proto):
+                    return run_synchronous(net, proto, seed=1, max_slotz=9)
+                """,
+            },
+            rule="C602",
+        )
+        assert rule_ids(report) == {"C602"}
+        assert "max_slotz" in report.findings[0].message
+
+    def test_declared_keywords_are_fine(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/runner.py": self.RUNNER,
+                "repro/analysis/use.py": """
+                from repro.sim.runner import run_synchronous
+
+                def f(net, proto):
+                    return run_synchronous(net, proto, seed=1, max_slots=9)
+                """,
+            },
+            rule="C602",
+        )
+        assert not report.findings
+
+    def test_real_tree_call_sites_are_valid(self):
+        report = run_audit([SRC], rules=select_audit_rules(["C602"]),
+                           check_registry=False)
+        assert not report.findings
+
+
+class TestC603BatchableSubset:
+    def test_superset_entry_flags(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/runner.py": """
+                _BATCHABLE_PARAMS = frozenset({"max_slots", "bogus"})
+
+                def run_synchronous(network, protocol, *, seed, max_slots=None):
+                    pass
+                """
+            },
+            rule="C603",
+        )
+        assert rule_ids(report) == {"C603"}
+        assert "bogus" in report.findings[0].message
+
+    def test_subset_is_fine(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/runner.py": """
+                _BATCHABLE_PARAMS = frozenset({"max_slots"})
+
+                def run_synchronous(network, protocol, *, seed, max_slots=None):
+                    pass
+                """
+            },
+            rule="C603",
+        )
+        assert not report.findings
+
+
+class TestC604ReplayCoordinates:
+    EXCEPTIONS = """
+    class TrialExecutionError(RuntimeError):
+        def __init__(self, message, *, experiment=None, trial_indices=(),
+                     base_seed=None):
+            super().__init__(message)
+
+    class TrialTimeoutError(TrialExecutionError):
+        pass
+    """
+
+    def test_raise_without_coordinates_flags(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/exceptions.py": self.EXCEPTIONS,
+                "repro/resilience/a.py": """
+                from repro.exceptions import TrialTimeoutError
+
+                def f():
+                    raise TrialTimeoutError("slow")
+                """,
+            },
+            rule="C604",
+        )
+        assert rule_ids(report) == {"C604"}
+        assert "trial_indices" in report.findings[0].message
+
+    def test_full_coordinates_are_fine(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/exceptions.py": self.EXCEPTIONS,
+                "repro/resilience/a.py": """
+                from repro.exceptions import TrialTimeoutError
+
+                def f(exp, idx, seed):
+                    raise TrialTimeoutError(
+                        "slow", experiment=exp, trial_indices=(idx,),
+                        base_seed=seed,
+                    )
+                """,
+            },
+            rule="C604",
+        )
+        assert not report.findings
+
+    def test_lost_field_flags(self, tmp_path):
+        source = self.EXCEPTIONS.replace(" base_seed=None", " seed=None")
+        report = audit_tree(
+            tmp_path, {"repro/exceptions.py": source}, rule="C604"
+        )
+        assert any("base_seed" in f.message for f in report.findings)
+
+
+class TestC605CliPlumbing:
+    def test_unread_dest_flags(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/cli.py": """
+                import argparse
+
+                def build_parser():
+                    p = argparse.ArgumentParser()
+                    p.add_argument("--workers", type=int)
+                    p.add_argument("--orphan", type=int)
+                    return p
+
+                def main(argv=None):
+                    args = build_parser().parse_args(argv)
+                    return args.workers
+                """
+            },
+            rule="C605",
+        )
+        assert rule_ids(report) == {"C605"}
+        assert "orphan" in report.findings[0].message
+
+
+class TestIssueMutations:
+    """The acceptance mutation: a scratch module with a duplicated
+    stream() key and an unsorted iterdir must be caught."""
+
+    def test_seeded_mutations_are_caught(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/mut_a.py": """
+                def seed_streams(factory):
+                    return factory.stream("mutation-key")
+                """,
+                "repro/sim/mut_b.py": """
+                def seed_streams(factory, root, out):
+                    for path in root.iterdir():
+                        out.append(path)
+                    return factory.stream("mutation-key")
+                """,
+            },
+        )
+        assert {"S401", "P502"} <= rule_ids(report)
+        assert not report.ok
+
+
+class TestAuditCli:
+    CLEAN = {
+        "repro/sim/a.py": "def f(x):\n    x.stream('only-here')\n",
+    }
+    DIRTY = {
+        "repro/sim/a.py": "def f(x):\n    x.stream('dup')\n",
+        "repro/sim/b.py": "def g(x):\n    x.stream('dup')\n",
+    }
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write_tree(tmp_path / "t", self.CLEAN)
+        rc = main(["audit", str(tmp_path / "t"), "--no-registry-check"])
+        assert rc == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        write_tree(tmp_path / "t", self.DIRTY)
+        rc = main(["audit", str(tmp_path / "t"), "--no-registry-check"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "S401" in out and "dup" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        write_tree(tmp_path / "t", self.DIRTY)
+        rc = main(
+            [
+                "audit",
+                str(tmp_path / "t"),
+                "--no-registry-check",
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload["findings"]} == {"S401"}
+        assert payload["files_checked"] == 2
+        assert "only-here" not in json.dumps(payload)
+
+    def test_rule_filter(self, tmp_path, capsys):
+        write_tree(tmp_path / "t", self.DIRTY)
+        rc = main(
+            [
+                "audit",
+                str(tmp_path / "t"),
+                "--no-registry-check",
+                "--rule",
+                "P501",
+            ]
+        )
+        assert rc == 0
+
+    def test_unknown_rule_exits_two(self, capsys):
+        rc = main(["audit", "src", "--rule", "Z999"])
+        assert rc == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        rc = main(["audit", "--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for rule_id in ("S401", "P501", "C601"):
+            assert rule_id in out
+
+    def test_pragma_passthrough(self, tmp_path, capsys):
+        files = {
+            "repro/sim/a.py": (
+                "def f(x):\n    x.stream('dup')  # lint: disable=S401\n"
+            ),
+            "repro/sim/b.py": (
+                "def g(x):\n    x.stream('dup')  # lint: disable=S401\n"
+            ),
+        }
+        write_tree(tmp_path / "t", files)
+        rc = main(["audit", str(tmp_path / "t"), "--no-registry-check"])
+        assert rc == 0
+
+    def test_registry_mismatch_path(self, tmp_path, capsys):
+        write_tree(tmp_path / "t", self.CLEAN)
+        snap = tmp_path / "snap.json"
+        snap.write_text(json.dumps({"namespaces": {"stream": []}}))
+        rc = main(
+            ["audit", str(tmp_path / "t"), "--registry", str(snap)]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "stream-registry drift" in out
+        assert "+ stream key 'only-here'" in out
+
+    def test_update_registry_then_clean(self, tmp_path, capsys):
+        write_tree(tmp_path / "t", self.CLEAN)
+        snap = tmp_path / "snap.json"
+        rc = main(
+            [
+                "audit",
+                str(tmp_path / "t"),
+                "--registry",
+                str(snap),
+                "--update-registry",
+            ]
+        )
+        assert rc == 0
+        assert snap.exists()
+        capsys.readouterr()
+        rc = main(["audit", str(tmp_path / "t"), "--registry", str(snap)])
+        assert rc == 0
+
+    def test_real_src_audit_is_clean(self, capsys):
+        assert main(["audit", "src"]) == 0
