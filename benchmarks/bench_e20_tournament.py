@@ -1,0 +1,92 @@
+"""E20 (extension) — the protocol league: rivals vs the paper's algorithms.
+
+Runs the standing tournament (:func:`repro.analysis.tournament.
+default_league` — a clean clique, a bursty heterogeneous ring, and a
+lightly-jammed grid) over every registered synchronous protocol and
+records the league table in ``BENCH_tournament.json``. Two gates:
+
+1. **Determinism** — the rendered league is byte-identical across two
+   full runs (standings derive only from ``(cells, protocols, trials,
+   base_seed, max_slots)``).
+2. **Sanity** — every registered protocol completes every trial on the
+   standing league within the slot horizon; a regression that stalls a
+   protocol (or a fixture that starves one) trips the gate before it
+   reaches EXPERIMENTS.md.
+
+Campaigns honor ``M2HEW_BENCH_WORKERS``; the archive and the tables are
+byte-identical for any worker count.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_e20_tournament.py``)
+or via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from _helpers import bench_workers, emit_bench_record, emit_table
+from repro.analysis.tournament import run_tournament
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_tournament.json"
+
+TRIALS = 15
+MAX_SLOTS = 30_000
+BASE_SEED = 20
+
+
+def _league():
+    return run_tournament(
+        trials=TRIALS,
+        base_seed=BASE_SEED,
+        max_slots=MAX_SLOTS,
+        max_workers=bench_workers(),
+    )
+
+
+def run_experiment() -> dict:
+    first = _league()
+    second = _league()
+    overall = first.overall()
+    rows = [s.as_row() for s in overall]
+    record = {
+        "benchmark": "tournament",
+        "protocols": list(first.protocols),
+        "cells": [c.name for c in first.cells],
+        "trials": TRIALS,
+        "max_slots": MAX_SLOTS,
+        "base_seed": BASE_SEED,
+        "league": rows,
+        "per_cell": {
+            name: [s.as_row() for s in standings]
+            for name, standings in first.standings.items()
+        },
+        "deterministic": first.render() == second.render(),
+        "all_complete": all(s.completed_fraction == 1.0 for s in overall),
+    }
+    emit_bench_record(BENCH_PATH, record)
+    emit_table(
+        "e20_tournament",
+        rows,
+        title=(
+            f"E20 — protocol league ({len(first.cells)} cells x "
+            f"{TRIALS} trials, base_seed {BASE_SEED}, "
+            f"horizon {MAX_SLOTS} slots)"
+        ),
+    )
+    return record
+
+
+@pytest.mark.benchmark(group="e20-tournament")
+def test_e20_tournament(benchmark):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # The league table must be a pure function of its seeds.
+    assert record["deterministic"]
+    # Every registered protocol finishes every fixture within horizon.
+    assert record["all_complete"]
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_experiment(), indent=2, sort_keys=True))

@@ -15,6 +15,7 @@ from . import (
     tables,
     theory,
     timeline,
+    tournament,
 )
 
 __all__ = [
@@ -30,4 +31,5 @@ __all__ = [
     "tables",
     "theory",
     "timeline",
+    "tournament",
 ]

@@ -22,6 +22,7 @@ __all__ = [
     "mean_confidence_interval",
     "wilson_interval",
     "geometric_mean",
+    "welch_ci_margin",
 ]
 
 # Two-sided z for 95% — experiments report 95% CIs throughout.
@@ -95,6 +96,25 @@ def wilson_interval(
         / denom
     )
     return (max(0.0, center - half), min(1.0, center + half))
+
+
+def welch_ci_margin(
+    std1: float, n1: int, std2: float, n2: int, z: float = 3.0
+) -> float:
+    """Half-width of a ``z``-sigma Welch interval for a mean difference.
+
+    Two samples' means are distinguishable when
+    ``abs(mean1 - mean2) > welch_ci_margin(std1, n1, std2, n2)`` —
+    the criterion both the differential engine tests and the tournament
+    league use (default ``z = 3``: conservative, so "wins" are earned).
+    The ``1e-9`` slack keeps zero-variance degenerate samples (e.g. the
+    deterministic scan baseline) from flagging on float noise.
+    """
+    if n1 <= 0 or n2 <= 0:
+        raise ConfigurationError(
+            f"sample sizes must be positive, got {n1} and {n2}"
+        )
+    return z * math.sqrt(std1 * std1 / n1 + std2 * std2 / n2) + 1e-9
 
 
 def geometric_mean(values: Sequence[float]) -> float:

@@ -1,0 +1,368 @@
+"""Protocol tournament: race every registered protocol through a league.
+
+A tournament is a grid of *cells* — (workload, fault preset) pairs —
+times the registered synchronous protocols. Every protocol runs the
+same seeded trials on the same realized network per cell, so cells
+compare protocols under identical randomness; the only thing that
+varies inside a cell is the protocol.
+
+The tournament rides on :func:`~repro.sim.batch.run_batch` (one
+:class:`~repro.sim.batch.ExperimentSpec` per cell × protocol, named
+``<cell>__<protocol>``), so it inherits the whole campaign contract for
+free: checksummed archives, worker-count byte-invariance, vectorized
+batching where the registry allows it, and per-trial replay seeds.
+
+Ranking is deliberately conservative: within a cell, protocol A *beats*
+protocol B only when their censored mean completion times differ by
+more than a 3-sigma Welch margin (:func:`~repro.analysis.stats.
+welch_ci_margin`) — the same criterion the differential engine tests
+use. Incomplete trials are censored at the slot horizon, so a protocol
+that never finishes is penalized, not dropped. Standings sort by
+(wins desc, losses asc, mean asc, name) — fully deterministic, so the
+league table is byte-reproducible from ``(cells, protocols, trials,
+base_seed, max_slots)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ConfigurationError
+from ..faults.presets import FAULT_PRESETS, fault_preset
+from ..sim.batch import BatchOutcome, ExperimentSpec, run_batch
+from ..sim.results import DiscoveryResult
+from ..sim.runner import SYNC_PROTOCOLS, experiment_runner_params
+from ..workloads.generator import WorkloadConfig, generate_network
+from .stats import SampleSummary, summarize, welch_ci_margin
+from .tables import format_table
+
+__all__ = [
+    "DEFAULT_MAX_SLOTS",
+    "DEFAULT_TRIALS",
+    "ProtocolStanding",
+    "TournamentCell",
+    "TournamentResult",
+    "default_league",
+    "run_tournament",
+]
+
+#: Trials per cell × protocol when the caller does not choose.
+DEFAULT_TRIALS = 15
+
+#: Slot budget per trial; incomplete runs are censored at this horizon.
+DEFAULT_MAX_SLOTS = 30_000
+
+
+@dataclass(frozen=True)
+class TournamentCell:
+    """One league fixture: a workload, a degree bound, optional faults.
+
+    Attributes:
+        name: Unique cell label; experiment names derive from it.
+        workload: The network recipe every protocol in the cell runs on.
+        delta_est: Degree bound handed to protocols that need one.
+        fault_preset: Optional name from
+            :data:`~repro.faults.presets.FAULT_PRESETS`; ``None`` races
+            on a clean channel.
+        network_seed: Seed realizing the workload (one instance per
+            cell, shared by every protocol).
+    """
+
+    name: str
+    workload: WorkloadConfig
+    delta_est: int
+    fault_preset: Optional[str] = None
+    network_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name or "__" in self.name:
+            raise ConfigurationError(
+                "cell name must be a non-empty label without '/' or '__', "
+                f"got {self.name!r}"
+            )
+        if self.fault_preset is not None and self.fault_preset not in FAULT_PRESETS:
+            raise ConfigurationError(
+                f"unknown fault preset {self.fault_preset!r}; choose from "
+                f"{sorted(FAULT_PRESETS)}"
+            )
+
+
+@dataclass(frozen=True)
+class ProtocolStanding:
+    """One protocol's record within a cell (or the overall league).
+
+    ``wins`` / ``losses`` count pairwise 3-sigma-significant
+    comparisons; ties (insignificant differences) count for neither.
+    """
+
+    protocol: str
+    summary: SampleSummary
+    completed_fraction: float
+    wins: int
+    losses: int
+
+    def as_row(self) -> Dict[str, Any]:
+        """Row form for table rendering."""
+        return {
+            "protocol": self.protocol,
+            "wins": self.wins,
+            "losses": self.losses,
+            "mean_slots": self.summary.mean,
+            "ci95_low": self.summary.ci_low,
+            "ci95_high": self.summary.ci_high,
+            "completed": round(self.completed_fraction, 3),
+            "trials": self.summary.count,
+        }
+
+
+def default_league() -> Tuple[TournamentCell, ...]:
+    """The small standing league (EXPERIMENTS.md E20; CI smoke).
+
+    Three fixtures covering the regimes the rivals were built for: a
+    clean dense cell, a sparse heterogeneous cell under bursty loss,
+    and a multi-hop cell under light jamming.
+    """
+    return (
+        TournamentCell(
+            name="clique_clean",
+            workload=WorkloadConfig(
+                topology="clique",
+                topology_params={"num_nodes": 6},
+                channel_model="homogeneous",
+                channel_params={"num_channels": 3},
+            ),
+            delta_est=8,
+        ),
+        TournamentCell(
+            name="ring_bursty",
+            workload=WorkloadConfig(
+                topology="ring",
+                topology_params={"num_nodes": 8},
+                channel_model="uniform_random_subsets",
+                channel_params={"universal_size": 4, "set_size": 2},
+                repair_overlap=True,
+            ),
+            delta_est=4,
+            fault_preset="bursty_loss",
+        ),
+        TournamentCell(
+            name="grid_jammed",
+            workload=WorkloadConfig(
+                topology="grid",
+                topology_params={"rows": 3, "cols": 3},
+                channel_model="common_channel_plus_random",
+                channel_params={"universal_size": 4, "set_size": 2},
+            ),
+            delta_est=6,
+            fault_preset="jamming_light",
+        ),
+    )
+
+
+def _censored_times(results: Sequence[DiscoveryResult]) -> List[float]:
+    """Completion times with incomplete trials censored at the horizon."""
+    return [
+        float(r.completion_time) if r.completion_time is not None else float(r.horizon)
+        for r in results
+    ]
+
+
+def _rank(standings: List[ProtocolStanding]) -> List[ProtocolStanding]:
+    return sorted(
+        standings,
+        key=lambda s: (-s.wins, s.losses, s.summary.mean, s.protocol),
+    )
+
+
+def _pairwise_records(
+    samples: Dict[str, Tuple[SampleSummary, float]],
+) -> List[ProtocolStanding]:
+    standings = []
+    for protocol, (summary, completed) in samples.items():
+        wins = losses = 0
+        for other, (other_summary, _) in samples.items():
+            if other == protocol:
+                continue
+            margin = welch_ci_margin(
+                summary.std, summary.count, other_summary.std, other_summary.count
+            )
+            if abs(summary.mean - other_summary.mean) <= margin:
+                continue
+            if summary.mean < other_summary.mean:
+                wins += 1
+            else:
+                losses += 1
+        standings.append(
+            ProtocolStanding(protocol, summary, completed, wins, losses)
+        )
+    return _rank(standings)
+
+
+@dataclass
+class TournamentResult:
+    """Everything one tournament produced, ready to render or archive."""
+
+    cells: Tuple[TournamentCell, ...]
+    protocols: Tuple[str, ...]
+    trials: int
+    base_seed: Optional[int]
+    max_slots: int
+    #: Cell name -> standings, best record first.
+    standings: Dict[str, List[ProtocolStanding]] = field(default_factory=dict)
+    outcomes: List[BatchOutcome] = field(default_factory=list)
+
+    def overall(self) -> List[ProtocolStanding]:
+        """League totals: per-protocol records summed across cells.
+
+        The summary aggregates every cell's censored completion times
+        into one pooled sample (cells share trial counts, so pooling
+        weighs them equally).
+        """
+        pooled: Dict[str, List[float]] = {p: [] for p in self.protocols}
+        completed: Dict[str, List[float]] = {p: [] for p in self.protocols}
+        wins: Dict[str, int] = {p: 0 for p in self.protocols}
+        losses: Dict[str, int] = {p: 0 for p in self.protocols}
+        for outcome in self.outcomes:
+            protocol = outcome.spec.protocol
+            pooled[protocol].extend(_censored_times(outcome.results))
+            completed[protocol].append(outcome.completed_fraction)
+        for cell_standings in self.standings.values():
+            for standing in cell_standings:
+                wins[standing.protocol] += standing.wins
+                losses[standing.protocol] += standing.losses
+        return _rank(
+            [
+                ProtocolStanding(
+                    protocol,
+                    summarize(pooled[protocol]),
+                    sum(completed[protocol]) / len(completed[protocol]),
+                    wins[protocol],
+                    losses[protocol],
+                )
+                for protocol in self.protocols
+            ]
+        )
+
+    def render(self) -> str:
+        """The full league report: one table per cell, then the totals."""
+        blocks = []
+        for cell in self.cells:
+            preset = cell.fault_preset or "clean"
+            blocks.append(
+                format_table(
+                    [s.as_row() for s in self.standings[cell.name]],
+                    title=(
+                        f"cell {cell.name} (faults: {preset}, "
+                        f"delta_est: {cell.delta_est})"
+                    ),
+                )
+            )
+        blocks.append(
+            format_table(
+                [s.as_row() for s in self.overall()],
+                title=(
+                    f"league totals ({len(self.cells)} cells x "
+                    f"{self.trials} trials, base_seed {self.base_seed}, "
+                    f"horizon {self.max_slots} slots)"
+                ),
+            )
+        )
+        return "\n\n".join(blocks)
+
+
+def run_tournament(
+    cells: Optional[Sequence[TournamentCell]] = None,
+    protocols: Optional[Sequence[str]] = None,
+    *,
+    trials: int = DEFAULT_TRIALS,
+    base_seed: Optional[int] = 0,
+    max_slots: int = DEFAULT_MAX_SLOTS,
+    output_dir: Optional[Union[str, Path]] = None,
+    max_workers: int = 1,
+    backend: str = "auto",
+) -> TournamentResult:
+    """Race ``protocols`` across ``cells`` and compute the league.
+
+    Args:
+        cells: League fixtures; defaults to :func:`default_league`.
+        protocols: Synchronous protocol names; defaults to every
+            registered name (:data:`~repro.sim.runner.SYNC_PROTOCOLS`).
+        trials: Seeded trials per cell × protocol.
+        base_seed: Campaign root seed — trial ``t`` of *every*
+            experiment uses ``derive_trial_seed(base_seed, t)``, so
+            protocols face identical randomness within a cell.
+        max_slots: Per-trial slot budget (censoring horizon).
+        output_dir: If given, archive raw trials + manifest through
+            :func:`~repro.sim.batch.run_batch` (byte-identical for any
+            worker count).
+        max_workers / backend: Trial fan-out, as in ``run_batch``.
+    """
+    league = tuple(cells) if cells is not None else default_league()
+    names = [c.name for c in league]
+    if not league:
+        raise ConfigurationError("tournament needs at least one cell")
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate cell names: {sorted(names)}")
+    contenders = tuple(protocols) if protocols is not None else SYNC_PROTOCOLS
+    if len(contenders) < 2:
+        raise ConfigurationError("tournament needs at least two protocols")
+    for protocol in contenders:
+        if protocol not in SYNC_PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown synchronous protocol {protocol!r}; choose from "
+                f"{SYNC_PROTOCOLS}"
+            )
+
+    specs = []
+    for cell in league:
+        network = generate_network(cell.workload, seed=cell.network_seed)
+        for protocol in contenders:
+            params = experiment_runner_params(
+                protocol,
+                network,
+                delta_est=cell.delta_est,
+                max_slots=max_slots,
+                faults=(
+                    fault_preset(cell.fault_preset) if cell.fault_preset else None
+                ),
+            )
+            specs.append(
+                ExperimentSpec(
+                    name=f"{cell.name}__{protocol}",
+                    workload=cell.workload,
+                    protocol=protocol,
+                    trials=trials,
+                    network_seed=cell.network_seed,
+                    runner_params=params,
+                )
+            )
+
+    outcomes = run_batch(
+        specs,
+        base_seed,
+        output_dir,
+        max_workers=max_workers,
+        backend=backend,
+    )
+    by_name = {o.spec.name: o for o in outcomes}
+
+    result = TournamentResult(
+        cells=league,
+        protocols=contenders,
+        trials=trials,
+        base_seed=base_seed,
+        max_slots=max_slots,
+        outcomes=outcomes,
+    )
+    for cell in league:
+        samples = {}
+        for protocol in contenders:
+            outcome = by_name[f"{cell.name}__{protocol}"]
+            samples[protocol] = (
+                summarize(_censored_times(outcome.results)),
+                outcome.completed_fraction,
+            )
+        result.standings[cell.name] = _pairwise_records(samples)
+    return result

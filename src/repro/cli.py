@@ -13,6 +13,9 @@ Subcommands:
   ``--retries``/``--checkpoint``/``--resume`` run it supervised
   (retry + quarantine + checkpoint/resume, see
   :mod:`repro.resilience`);
+* ``tournament`` — race every registered protocol across the standing
+  league of (workload × fault preset) cells and print Welch-ranked
+  standings (see :mod:`repro.analysis.tournament`);
 * ``verify-archive`` — check a campaign archive against its manifest
   (checksums, schema stamps, truncation, orphan files);
 * ``timeline`` — render an asynchronous frame timeline (paper Fig. 2);
@@ -35,7 +38,9 @@ from typing import Any, Dict, List, Optional
 from .analysis.energy import EnergyModel, energy_report
 from .analysis.network_stats import profile_network
 from .analysis.tables import format_table
+from .analysis.tournament import DEFAULT_MAX_SLOTS, DEFAULT_TRIALS
 from .core import bounds
+from .core.registry import ASYNCHRONOUS_PROTOCOLS
 from .core.termination import TerminationPolicy, recommended_quiet_threshold
 from .faults.plan import FaultPlan
 from .faults.presets import fault_preset, fault_preset_names
@@ -44,6 +49,7 @@ from .sim.rng import RngFactory
 from .sim.runner import (
     CLOCK_MODELS,
     SYNC_PROTOCOLS,
+    experiment_runner_params,
     random_start_offsets,
     run_asynchronous,
     run_synchronous,
@@ -189,7 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--protocols",
         nargs="+",
         default=list(SYNC_PROTOCOLS),
-        choices=SYNC_PROTOCOLS + ("algorithm4",),
+        choices=SYNC_PROTOCOLS + ASYNCHRONOUS_PROTOCOLS,
     )
     batch.add_argument("--trials", type=int, default=5)
     batch.add_argument("--seed", type=int, default=0, help="campaign base seed")
@@ -279,6 +285,36 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_faults_argument(batch)
+
+    tour = sub.add_parser(
+        "tournament",
+        help=(
+            "race registered protocols across the standing league of "
+            "(workload x fault preset) cells; print Welch-ranked standings"
+        ),
+    )
+    tour.add_argument(
+        "--protocols",
+        nargs="+",
+        default=list(SYNC_PROTOCOLS),
+        choices=SYNC_PROTOCOLS,
+    )
+    tour.add_argument("--trials", type=int, default=DEFAULT_TRIALS)
+    tour.add_argument("--max-slots", type=int, default=DEFAULT_MAX_SLOTS)
+    tour.add_argument("--seed", type=int, default=0, help="campaign base seed")
+    tour.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="trial fan-out processes (1 = serial; output is identical)",
+    )
+    tour.add_argument("--backend", choices=BACKENDS, default="auto")
+    tour.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="archive directory (one JSON per cell x protocol + manifest.json)",
+    )
 
     varch = sub.add_parser(
         "verify-archive",
@@ -471,10 +507,11 @@ def _cmd_run_sync(args: argparse.Namespace) -> int:
         network,
         args.protocol,
         seed=args.seed,
-        max_slots=args.max_slots,
-        delta_est=None if args.protocol == "algorithm2" else delta_est,
         start_offsets=offsets,
         faults=_resolve_faults(args, s),
+        **experiment_runner_params(
+            args.protocol, network, delta_est=delta_est, max_slots=args.max_slots
+        ),
     )
     print(format_table([dict(result.summary())], title=f"{s.name} / {args.protocol}"))
     if not result.completed:
@@ -552,13 +589,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     failures = 0
     for protocol in args.protocols:
+        params = experiment_runner_params(
+            protocol, network, delta_est=delta_est, max_slots=args.max_slots
+        )
         results = run_trials(
-            lambda seed, p=protocol: run_synchronous(
-                network,
-                p,
-                seed=seed,
-                max_slots=args.max_slots,
-                delta_est=None if p == "algorithm2" else delta_est,
+            lambda seed, p=protocol, kw=params: run_synchronous(
+                network, p, seed=seed, **kw
             ),
             num_trials=args.trials,
             base_seed=args.seed,
@@ -622,20 +658,24 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from .sim.batch import ExperimentSpec, run_batch
 
     s = scenario(args.scenario)
+    network = s.build(args.network_seed)
     delta_est = args.delta_est if args.delta_est is not None else s.delta_est
     fault_plan = _resolve_faults(args, s)
     specs = []
     for protocol in args.protocols:
         runner_params: Dict[str, Any]
-        if protocol == "algorithm4":
+        if protocol in ASYNCHRONOUS_PROTOCOLS:
             runner_params = {"delta_est": delta_est}
+            if fault_plan is not None:
+                runner_params["faults"] = fault_plan
         else:
-            runner_params = {
-                "max_slots": args.max_slots,
-                "delta_est": None if protocol == "algorithm2" else delta_est,
-            }
-        if fault_plan is not None:
-            runner_params["faults"] = fault_plan
+            runner_params = experiment_runner_params(
+                protocol,
+                network,
+                delta_est=delta_est,
+                max_slots=args.max_slots,
+                faults=fault_plan,
+            )
         specs.append(
             ExperimentSpec(
                 name=f"{args.scenario}_{protocol}",
@@ -693,6 +733,24 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.output:
         print(f"archived to {args.output}/manifest.json", file=sys.stderr)
     return 0 if all(o.completed_fraction == 1.0 for o in outcomes) else 1
+
+
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    from .analysis.tournament import run_tournament
+
+    result = run_tournament(
+        protocols=args.protocols,
+        trials=args.trials,
+        base_seed=args.seed,
+        max_slots=args.max_slots,
+        output_dir=args.output,
+        max_workers=args.workers,
+        backend=args.backend,
+    )
+    print(result.render())
+    if args.output:
+        print(f"archived to {args.output}/manifest.json", file=sys.stderr)
+    return 0
 
 
 def _cmd_verify_archive(args: argparse.Namespace) -> int:
@@ -811,6 +869,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "tournament":
+        return _cmd_tournament(args)
     if args.command == "verify-archive":
         return _cmd_verify_archive(args)
     if args.command == "bounds":

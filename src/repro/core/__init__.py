@@ -9,8 +9,17 @@
 * :class:`AsyncFrameDiscovery` — Algorithm 4 (asynchronous, drifting
   clocks, frame/slot structure).
 
+Rival protocols the tournament races these against live here too:
+
+* :class:`McDisDiscovery` — Mc-Dis channel-hopping rendezvous
+  (arXiv:1307.3630 adaptation).
+* :class:`RobustStagedDiscovery` / :class:`RobustFlatDiscovery` —
+  robust variants for unreliable channels (arXiv:1505.00267).
+
 :mod:`repro.core.bounds` carries the closed-form budgets from the
-paper's theorems and lemmas.
+paper's theorems and lemmas; :mod:`repro.core.registry` is the
+declarative table every protocol — paper, rival or baseline — is
+enrolled through.
 """
 
 from __future__ import annotations
@@ -28,36 +37,51 @@ from .base import (
     SlotDecision,
     SynchronousProtocol,
 )
+from .mcdis import McDisDiscovery
 from .messages import HelloMessage
 from .neighbor_table import NeighborRecord, NeighborTable
 from .params import MAX_DRIFT_RATE, stage_length
 from .registry import (
     ASYNCHRONOUS_PROTOCOLS,
+    BATCHED_PROTOCOLS,
+    PROTOCOL_SPECS,
     SYNCHRONOUS_PROTOCOLS,
+    VECTORIZED_PROTOCOLS,
+    ProtocolSpec,
     make_async_factory,
     make_sync_factory,
+    protocol_spec,
 )
+from .robust import RobustFlatDiscovery, RobustStagedDiscovery
 
 __all__ = [
     "ASYNCHRONOUS_PROTOCOLS",
     "AsyncFrameDiscovery",
     "AsynchronousProtocol",
+    "BATCHED_PROTOCOLS",
     "DiscoveryProtocol",
     "FlatSyncDiscovery",
     "FrameDecision",
     "GrowingEstimateSyncDiscovery",
     "HelloMessage",
     "MAX_DRIFT_RATE",
+    "McDisDiscovery",
     "Mode",
     "NeighborRecord",
     "NeighborTable",
+    "PROTOCOL_SPECS",
+    "ProtocolSpec",
+    "RobustFlatDiscovery",
+    "RobustStagedDiscovery",
     "SLOTS_PER_FRAME",
     "SYNCHRONOUS_PROTOCOLS",
     "SlotDecision",
     "StagedSyncDiscovery",
     "SynchronousProtocol",
+    "VECTORIZED_PROTOCOLS",
     "bounds",
     "make_async_factory",
     "make_sync_factory",
+    "protocol_spec",
     "stage_length",
 ]

@@ -1,0 +1,112 @@
+"""Mc-Dis — channel-hopping rendezvous discovery (Chen & Bian, arXiv:1307.3630).
+
+The rival family the tournament races against: instead of the paper's
+*uniform random channel + Bernoulli transmit* template, Mc-Dis nodes
+follow a deterministic **modular-clock channel-hopping sequence** and
+rendezvous when two neighbors' sequences land on a shared channel in the
+same slot. Our slotted adaptation:
+
+* each node hops with period ``P(u)`` — the smallest prime
+  ``>= max(2, |A(u)|)`` — visiting channel
+  ``A(u)[((r·t + φ) mod P) mod |A(u)|]`` in local slot ``t``, where the
+  *rate* ``r ∈ [1, P)`` and *phase* ``φ ∈ [0, P)`` are drawn from the
+  node's private stream;
+* because a fixed (rate, phase) pair can in principle never align two
+  adversarial sequences, both are **redrawn every epoch** of
+  ``EPOCH_FACTOR · P`` slots (the jump-stay-style randomization of the
+  original), which makes eventual rendezvous almost sure;
+* on its current hop channel the node transmits its hello with
+  probability 1/2 and listens otherwise — the symmetry-breaking coin
+  standing in for Mc-Dis's slot-edge beacons, which our single-action
+  slot model cannot express (see ``docs/algorithms.md`` for the full
+  list of deviations).
+
+Channel selection is *not* uniform over ``A(u)`` in any single slot, so
+the protocol does not fit the vectorized engines' template
+(:meth:`~repro.core.base.SynchronousProtocol.transmit_probability`
+stays ``None``): Mc-Dis runs on the reference engine only, which the
+registry records via its capability flags.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .base import SlotDecision, SynchronousProtocol
+
+__all__ = ["EPOCH_FACTOR", "McDisDiscovery", "smallest_prime_at_least"]
+
+#: Epochs last this many hop periods before the (rate, phase) pair is
+#: redrawn; long enough for a full rendezvous sweep at the current pair,
+#: short enough that an unlucky pair is abandoned quickly.
+EPOCH_FACTOR = 4
+
+
+def smallest_prime_at_least(n: int) -> int:
+    """The smallest prime ``>= max(2, n)`` (hop periods are prime so
+    that distinct rates generate distinct full-cycle sequences)."""
+    candidate = max(2, n)
+    while True:
+        if all(candidate % d for d in range(2, int(candidate**0.5) + 1)):
+            return candidate
+        candidate += 1
+
+
+class McDisDiscovery(SynchronousProtocol):
+    """Modular-clock channel-hopping rendezvous discovery.
+
+    Args:
+        node_id: Identity of this node.
+        channels: ``A(u)``.
+        rng: The node's private random stream (drives the per-epoch
+            rate/phase redraws and the transmit coin).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        channels: Iterable[int],
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(node_id, channels, rng)
+        self._period = smallest_prime_at_least(len(self._channel_list))
+        self._epoch_len = EPOCH_FACTOR * self._period
+        self._epoch = -1
+        self._rate = 1
+        self._phase = 0
+        # Coin weight for the transmit/listen split on the hop channel;
+        # 1/2 maximizes the per-rendezvous discovery probability for a
+        # neighbor pair (one must talk while the other listens).
+        self._tx_probability = 0.5
+
+    @property
+    def hop_period(self) -> int:
+        """``P(u)`` — the prime modular-clock period."""
+        return self._period
+
+    @property
+    def epoch_length(self) -> int:
+        """Slots between rate/phase redraws."""
+        return self._epoch_len
+
+    def _refresh_epoch(self, local_slot: int) -> None:
+        epoch = local_slot // self._epoch_len
+        if epoch == self._epoch:
+            return
+        self._epoch = epoch
+        self._rate = int(self._rng.integers(1, self._period))
+        self._phase = int(self._rng.integers(0, self._period))
+
+    def hop_channel(self, local_slot: int) -> int:
+        """The channel the current epoch's sequence visits this slot."""
+        position = (self._rate * local_slot + self._phase) % self._period
+        return self._channel_list[position % len(self._channel_list)]
+
+    def decide_slot(self, local_slot: int) -> SlotDecision:
+        self._refresh_epoch(local_slot)
+        channel = self.hop_channel(local_slot)
+        if self._rng.random() < self._tx_probability:
+            return SlotDecision.transmit(channel)
+        return SlotDecision.listen(channel)

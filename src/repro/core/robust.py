@@ -1,0 +1,159 @@
+"""Robust neighbor discovery variants (Zeng et al., arXiv:1505.00267).
+
+The same group's follow-up targets exactly the regime our
+:mod:`repro.faults` subsystem models: channels that lose even
+collision-free hellos (Bernoulli/Gilbert–Elliott erasures, jamming
+bursts). Both variants keep the paper's *uniform random channel +
+Bernoulli transmit* slot template — so they run on all three
+synchronous engines — and harden the probability schedule against loss:
+
+* :class:`RobustStagedDiscovery` — the staged geometric sweep of
+  Algorithm 1, but every probability level is **held for**
+  ``R = ceil(1 / (1 − q_est))`` **consecutive slots**, where ``q_est``
+  is the assumed per-delivery loss rate. A hello lost at the
+  contention-optimal level gets ``R − 1`` immediate retries at the same
+  level instead of waiting a whole stage for it to come around again.
+
+* :class:`RobustFlatDiscovery` — the flat schedule of Algorithm 3 run
+  at **half** the nominal per-channel contention,
+  ``p = min(1/2, |A(u)| / (CONTENTION_MARGIN · Δ_est))``. Under loss,
+  a collision costs a retransmission opportunity twice over (the slot
+  *and* the recovery slot), so the robust variant trades peak rate for
+  a collision probability quadratically smaller.
+
+Neither tuning changes the coverage guarantee — only the constants in
+the Theorem 1/3 budgets — which is what the fault-degradation
+conformance tests pin: robust variants must degrade monotonically like
+everything else, just more slowly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import SlotDecision, SynchronousProtocol, UniformChannelMixin
+from .params import stage_length, validate_delta_est
+
+__all__ = [
+    "CONTENTION_MARGIN",
+    "DEFAULT_LOSS_EST",
+    "RobustFlatDiscovery",
+    "RobustStagedDiscovery",
+    "repeat_for_loss",
+    "validate_loss_est",
+]
+
+#: Contention back-off factor of the robust flat schedule: the flat
+#: probability is derated by this factor relative to Algorithm 3.
+CONTENTION_MARGIN = 2
+
+#: Loss-rate assumption the registry builds robust protocols with when
+#: the caller does not supply one: a hello survives with probability
+#: 1/2, so every probability level is held for 2 consecutive slots.
+DEFAULT_LOSS_EST = 0.5
+
+
+def validate_loss_est(loss_est: float) -> float:
+    """Check an assumed per-delivery loss rate ``q_est ∈ [0, 1)``."""
+    if not 0.0 <= loss_est < 1.0:
+        raise ConfigurationError(
+            f"loss_est must be in [0, 1), got {loss_est}"
+        )
+    return float(loss_est)
+
+
+def repeat_for_loss(loss_est: float) -> int:
+    """``R = ceil(1 / (1 − q_est))`` — slots each probability level is
+    held so that one of them survives the channel in expectation."""
+    return max(1, math.ceil(1.0 / (1.0 - validate_loss_est(loss_est))))
+
+
+class RobustStagedDiscovery(UniformChannelMixin, SynchronousProtocol):
+    """Loss-compensated staged sweep (1505.00267 regime, Alg. 1 skeleton).
+
+    Args:
+        node_id: Identity of this node.
+        channels: ``A(u)``.
+        rng: The node's private random stream.
+        delta_est: Common upper bound on the maximum node degree.
+        loss_est: Assumed per-delivery loss rate ``q_est``; sets the
+            per-level repetition ``R = ceil(1 / (1 − q_est))``.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        channels: Iterable[int],
+        rng: np.random.Generator,
+        delta_est: int,
+        loss_est: float = DEFAULT_LOSS_EST,
+    ) -> None:
+        super().__init__(node_id, channels, rng)
+        self._delta_est = validate_delta_est(delta_est)
+        self._stage_len = stage_length(self._delta_est)
+        self._repeat = repeat_for_loss(loss_est)
+
+    @property
+    def delta_est(self) -> int:
+        """The degree upper bound this node was configured with."""
+        return self._delta_est
+
+    @property
+    def repeat(self) -> int:
+        """``R`` — consecutive slots each probability level is held."""
+        return self._repeat
+
+    @property
+    def slots_per_stage(self) -> int:
+        """``R · ceil(log2 Δ_est)`` — one loss-compensated stage."""
+        return self._repeat * self._stage_len
+
+    def transmit_probability(self, local_slot: int) -> float:
+        """``min(1/2, |A(u)| / 2^i)`` with level ``i`` held ``R`` slots."""
+        i = (local_slot // self._repeat) % self._stage_len + 1
+        return min(0.5, self.channel_count / float(2**i))
+
+    def decide_slot(self, local_slot: int) -> SlotDecision:
+        return self._uniform_slot_decision(self.transmit_probability(local_slot))
+
+
+class RobustFlatDiscovery(UniformChannelMixin, SynchronousProtocol):
+    """Contention-derated flat schedule (1505.00267 regime, Alg. 3 skeleton).
+
+    Args:
+        node_id: Identity of this node.
+        channels: ``A(u)``.
+        rng: The node's private random stream.
+        delta_est: Common upper bound on the maximum node degree; the
+            flat probability is
+            ``min(1/2, |A(u)| / (CONTENTION_MARGIN · Δ_est))``.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        channels: Iterable[int],
+        rng: np.random.Generator,
+        delta_est: int,
+    ) -> None:
+        super().__init__(node_id, channels, rng)
+        self._delta_est = validate_delta_est(delta_est)
+        self._p = min(
+            0.5, self.channel_count / float(CONTENTION_MARGIN * self._delta_est)
+        )
+
+    @property
+    def delta_est(self) -> int:
+        """The degree upper bound this node was configured with."""
+        return self._delta_est
+
+    def transmit_probability(self, local_slot: int) -> float:
+        """The constant derated probability (independent of the slot)."""
+        return self._p
+
+    def decide_slot(self, local_slot: int) -> SlotDecision:
+        return self._uniform_slot_decision(self._p)

@@ -37,6 +37,7 @@ from ..resilience.checkpoint import TrialJournal, campaign_fingerprint
 from ..resilience.policy import RetryPolicy
 from ..resilience.verify import ARCHIVE_SCHEMA_VERSION
 from ..workloads.generator import WorkloadConfig, generate_network
+from ..core.registry import ASYNCHRONOUS_PROTOCOLS
 from .parallel import run_spec_trials
 from .results import DiscoveryResult
 from .runner import SYNC_PROTOCOLS
@@ -60,8 +61,9 @@ class ExperimentSpec:
     Attributes:
         name: Unique label (also the archive file stem).
         workload: Network recipe.
-        protocol: ``algorithm1|algorithm2|algorithm3`` (synchronous) or
-            ``algorithm4`` (asynchronous).
+        protocol: Any registered name — :data:`SYNC_PROTOCOLS`
+            (synchronous, incl. rivals and baselines) or ``algorithm4``
+            (asynchronous).
         trials: Seeded trials to run.
         network_seed: Seed for realizing the workload (one instance per
             experiment; per-trial randomness varies only the protocol).
@@ -83,7 +85,7 @@ class ExperimentSpec:
             raise ConfigurationError(
                 f"experiment name must be a non-empty file stem, got {self.name!r}"
             )
-        if self.protocol not in SYNC_PROTOCOLS + ("algorithm4",):
+        if self.protocol not in SYNC_PROTOCOLS + ASYNCHRONOUS_PROTOCOLS:
             raise ConfigurationError(
                 f"unknown protocol {self.protocol!r} for batch experiments"
             )

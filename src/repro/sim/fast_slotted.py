@@ -58,6 +58,7 @@ __all__ = [
     "SparseReception",
     "VectorSchedule",
     "StagedSchedule",
+    "RepeatedStagedSchedule",
     "GrowingEstimateSchedule",
     "FlatSchedule",
     "FastSlottedSimulator",
@@ -211,6 +212,29 @@ class StagedSchedule(VectorSchedule):
 
     def probabilities(self, local_slots: np.ndarray) -> np.ndarray:
         i = np.mod(np.maximum(local_slots, 0), self._stage_len) + 1
+        return np.minimum(0.5, self._sizes / np.exp2(i))
+
+
+class RepeatedStagedSchedule(VectorSchedule):
+    """Robust staged sweep: each probability level held ``repeat`` slots.
+
+    The vectorized twin of
+    :class:`~repro.core.robust.RobustStagedDiscovery` — identical to
+    :class:`StagedSchedule` except that level ``i`` of the geometric
+    sweep occupies ``repeat`` consecutive slots, compensating assumed
+    channel loss with immediate retries at the same level.
+    """
+
+    def __init__(self, sizes: np.ndarray, delta_est: int, repeat: int) -> None:
+        super().__init__(sizes)
+        if repeat < 1:
+            raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
+        self._stage_len = stage_length(validate_delta_est(delta_est))
+        self._repeat = int(repeat)
+
+    def probabilities(self, local_slots: np.ndarray) -> np.ndarray:
+        level = np.maximum(local_slots, 0) // self._repeat
+        i = np.mod(level, self._stage_len) + 1
         return np.minimum(0.5, self._sizes / np.exp2(i))
 
 

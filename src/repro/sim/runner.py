@@ -22,7 +22,16 @@ from typing import (
 
 import numpy as np
 
-from ..core.registry import make_async_factory, make_sync_factory
+from ..core.registry import (
+    ASYNCHRONOUS_PROTOCOLS,
+    BATCHED_PROTOCOLS,
+    SYNCHRONOUS_PROTOCOLS,
+    VECTORIZED_PROTOCOLS,
+    make_async_factory,
+    make_sync_factory,
+    protocol_spec,
+)
+from ..core.robust import CONTENTION_MARGIN, DEFAULT_LOSS_EST, repeat_for_loss
 from ..exceptions import ConfigurationError
 from ..net.network import M2HeWNetwork
 from .async_engine import AsyncSimulator
@@ -37,6 +46,7 @@ from .fast_slotted import (
     FastSlottedSimulator,
     FlatSchedule,
     GrowingEstimateSchedule,
+    RepeatedStagedSchedule,
     StagedSchedule,
     VectorSchedule,
 )
@@ -57,6 +67,8 @@ __all__ = [
     "CLOCK_MODELS",
     "FaultsLike",
     "SYNC_PROTOCOLS",
+    "VECTORIZED_SYNC_PROTOCOLS",
+    "experiment_runner_params",
     "run_synchronous",
     "run_asynchronous",
     "run_experiment_trial",
@@ -69,9 +81,14 @@ __all__ = [
 
 CLOCK_MODELS = ("perfect", "constant", "random_walk", "sinusoidal")
 
-#: The paper protocols with a vectorized synchronous schedule — the set
-#: batch campaigns accept (plus ``algorithm4`` for asynchronous runs).
-SYNC_PROTOCOLS = ("algorithm1", "algorithm2", "algorithm3")
+#: Every registered synchronous protocol — the set batch campaigns and
+#: the tournament accept (plus ``algorithm4`` for asynchronous runs).
+#: Derived from the registry's :data:`~repro.core.registry.PROTOCOL_SPECS`.
+SYNC_PROTOCOLS = SYNCHRONOUS_PROTOCOLS
+
+#: The subset with a vectorized schedule — what ``engine="fast"`` (and
+#: ``engine="auto"``'s fast path) can take.
+VECTORIZED_SYNC_PROTOCOLS = VECTORIZED_PROTOCOLS
 
 
 def _vector_schedule(
@@ -90,6 +107,18 @@ def _vector_schedule(
         if delta_est is None:
             raise ConfigurationError("algorithm3 requires delta_est")
         return FlatSchedule(sizes, delta_est)
+    if name == "robust_staged":
+        if delta_est is None:
+            raise ConfigurationError("robust_staged requires delta_est")
+        return RepeatedStagedSchedule(
+            sizes, delta_est, repeat_for_loss(DEFAULT_LOSS_EST)
+        )
+    if name == "robust_flat":
+        if delta_est is None:
+            raise ConfigurationError("robust_flat requires delta_est")
+        # Same derated probability the protocol class computes:
+        # min(1/2, |A(u)| / (CONTENTION_MARGIN · Δ_est)).
+        return FlatSchedule(sizes, CONTENTION_MARGIN * delta_est)
     raise ConfigurationError(
         f"protocol {name!r} has no vectorized schedule; use engine='reference'"
     )
@@ -111,7 +140,7 @@ def run_synchronous(
     max_slots: int,
     delta_est: Optional[int] = None,
     start_offsets: Optional[Mapping[int, int]] = None,
-    engine: str = "fast",
+    engine: str = "auto",
     erasure_prob: float = 0.0,
     stop_on_full_coverage: bool = True,
     universal_channels: Optional[Sequence[int]] = None,
@@ -123,14 +152,15 @@ def run_synchronous(
 
     Args:
         network: The network instance.
-        protocol: ``algorithm1|algorithm2|algorithm3|universal_sweep|
-            deterministic_scan``.
+        protocol: Any name in :data:`SYNC_PROTOCOLS`.
         seed: Trial seed (int or SeedSequence).
         max_slots: Hard slot budget.
         delta_est: Degree bound for the protocols that need one.
         start_offsets: Per-node start slots (variable start times).
-        engine: ``"fast"`` (numpy; paper algorithms only) or
-            ``"reference"`` (object-per-node; any protocol).
+        engine: ``"fast"`` (numpy; vectorized protocols only),
+            ``"reference"`` (object-per-node; any protocol), or
+            ``"auto"`` — fast when the registry says the protocol is
+            vectorized and no trace is requested, reference otherwise.
         erasure_prob: Unreliable-channel loss probability.
         stop_on_full_coverage: Oracle early stop.
         universal_channels / id_space_size: Baseline parameters.
@@ -143,6 +173,12 @@ def run_synchronous(
     stopping = StoppingCondition(
         max_slots=max_slots, stop_on_full_coverage=stop_on_full_coverage
     )
+    if engine == "auto":
+        engine = (
+            "fast"
+            if protocol in VECTORIZED_PROTOCOLS and trace is None
+            else "reference"
+        )
     if engine == "fast":
         if trace is not None:
             raise ConfigurationError("the fast engine does not record traces")
@@ -174,10 +210,47 @@ def run_synchronous(
         )
         result = sim.run(stopping)
     else:
-        raise ConfigurationError(f"unknown engine {engine!r}; use 'fast' or 'reference'")
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; use 'auto', 'fast' or 'reference'"
+        )
     result.metadata["protocol"] = protocol
     result.metadata["delta_est"] = delta_est
     return result
+
+
+def experiment_runner_params(
+    protocol: str,
+    network: M2HeWNetwork,
+    *,
+    delta_est: Optional[int],
+    max_slots: int,
+    faults: FaultsLike = None,
+) -> Dict[str, Any]:
+    """Uniform ``runner_params`` for one synchronous campaign cell.
+
+    Fills exactly the parameters the registry says ``protocol`` needs —
+    the degree bound, the agreed universal channel set, the id-space
+    size — reading the latter two off the network at hand. Campaign and
+    tournament code can therefore loop over any mix of registered
+    synchronous protocols with one call site per cell.
+    """
+    spec = protocol_spec(protocol)
+    if spec.kind != "sync":
+        raise ConfigurationError(
+            "experiment_runner_params covers synchronous protocols, got "
+            f"{protocol!r}"
+        )
+    params: Dict[str, Any] = {
+        "max_slots": max_slots,
+        "delta_est": delta_est if spec.needs_delta_est else None,
+    }
+    if spec.needs_universal:
+        params["universal_channels"] = sorted(network.universal_channel_set)
+    if spec.needs_id_space:
+        params["id_space_size"] = max(network.node_ids) + 1
+    if faults is not None:
+        params["faults"] = faults
+    return params
 
 
 def make_clocks(
@@ -312,7 +385,7 @@ def run_experiment_trial(
     if protocol in SYNC_PROTOCOLS:
         params.setdefault("max_slots", 200_000)
         return run_synchronous(network, protocol, seed=seed, **params)
-    if protocol == "algorithm4":
+    if protocol in ASYNCHRONOUS_PROTOCOLS:
         if "max_frames_per_node" not in params and "max_real_time" not in params:
             params["max_frames_per_node"] = 200_000
         return run_asynchronous(network, seed=seed, **params)
@@ -371,22 +444,24 @@ def run_experiment_trials_batched(
 ) -> List[DiscoveryResult]:
     """Run a group of batch-experiment trials, vectorized when possible.
 
-    Eligible campaigns — a paper sync protocol on the fast engine with
-    only :data:`_BATCHABLE_PARAMS` parameters — execute as one
+    Eligible campaigns — a protocol the registry marks ``batched``, on
+    the fast/auto engine, with only :data:`_BATCHABLE_PARAMS`
+    parameters — execute as one
     :class:`~repro.sim.batched.BatchedSlottedSimulator` batch; anything
-    else (``algorithm4``, ``engine="reference"``, traces, baseline
-    parameters) falls back to the serial :func:`run_experiment_trial`
-    loop. Either way trial ``i``'s result is byte-identical to the
-    serial path, so callers may group seeds freely — the grouping
-    invariance ``run_batch(backend="vectorized")`` pins with tests.
+    else (``algorithm4``, non-vectorized rivals like ``mcdis``,
+    ``engine="reference"``, traces, baseline parameters) falls back to
+    the serial :func:`run_experiment_trial` loop. Either way trial
+    ``i``'s result is byte-identical to the serial path, so callers may
+    group seeds freely — the grouping invariance
+    ``run_batch(backend="vectorized")`` pins with tests.
     """
     from .batched import BatchedSlottedSimulator
 
     seed_list = list(seeds)
     params: Dict[str, Any] = dict(runner_params or {})
     if (
-        protocol not in SYNC_PROTOCOLS
-        or params.get("engine", "fast") != "fast"
+        protocol not in BATCHED_PROTOCOLS
+        or params.get("engine", "auto") not in ("auto", "fast")
         or not set(params) <= _BATCHABLE_PARAMS
         or not seed_list
     ):

@@ -411,6 +411,110 @@ class TestBatchResilience:
             main(self.BASE + ["--chaos", "explode@banana"])
 
 
+class TestProtocolChoiceDrift:
+    """CLI protocol choices must come from the registry, not hand lists."""
+
+    def _subparser(self, name):
+        for action in build_parser()._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                return action.choices[name]
+        raise AssertionError("no subparsers registered")
+
+    def _choices(self, command, dest):
+        for action in self._subparser(command)._actions:
+            if action.dest == dest:
+                return tuple(action.choices)
+        raise AssertionError(f"{command} has no option with dest {dest!r}")
+
+    def test_run_sync_offers_every_sync_protocol(self):
+        from repro.sim.runner import SYNC_PROTOCOLS
+
+        assert self._choices("run-sync", "protocol") == SYNC_PROTOCOLS
+
+    def test_compare_offers_every_sync_protocol(self):
+        from repro.sim.runner import SYNC_PROTOCOLS
+
+        assert self._choices("compare", "protocols") == SYNC_PROTOCOLS
+
+    def test_tournament_offers_every_sync_protocol(self):
+        from repro.sim.runner import SYNC_PROTOCOLS
+
+        assert self._choices("tournament", "protocols") == SYNC_PROTOCOLS
+
+    def test_batch_offers_sync_plus_async(self):
+        from repro.core.registry import ASYNCHRONOUS_PROTOCOLS
+        from repro.sim.runner import SYNC_PROTOCOLS
+
+        assert (
+            self._choices("batch", "protocols")
+            == SYNC_PROTOCOLS + ASYNCHRONOUS_PROTOCOLS
+        )
+
+    def test_registry_rivals_are_reachable(self):
+        # The tournament rivals must be selectable everywhere a sync
+        # protocol can be chosen.
+        for command, dest in (
+            ("run-sync", "protocol"),
+            ("compare", "protocols"),
+            ("tournament", "protocols"),
+            ("batch", "protocols"),
+        ):
+            choices = self._choices(command, dest)
+            for rival in ("mcdis", "robust_staged", "robust_flat"):
+                assert rival in choices, (command, rival)
+
+
+class TestTournamentCommand:
+    TINY = [
+        "tournament",
+        "--trials", "2",
+        "--max-slots", "10000",
+        "--protocols", "algorithm3", "mcdis",
+    ]
+
+    def test_arg_parsing_defaults(self):
+        from repro.analysis.tournament import DEFAULT_MAX_SLOTS, DEFAULT_TRIALS
+        from repro.sim.runner import SYNC_PROTOCOLS
+
+        args = build_parser().parse_args(["tournament"])
+        assert tuple(args.protocols) == SYNC_PROTOCOLS
+        assert args.trials == DEFAULT_TRIALS
+        assert args.max_slots == DEFAULT_MAX_SLOTS
+        assert args.seed == 0
+        assert args.workers == 1
+        assert args.backend == "auto"
+        assert args.output is None
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["tournament", "--protocols", "algorithm3", "warp_drive"]
+            )
+
+    def test_small_league_prints_tables(self, capsys):
+        assert main(self.TINY) == 0
+        out = capsys.readouterr().out
+        assert "league totals" in out
+        assert "algorithm3" in out
+        assert "mcdis" in out
+        assert "clique_clean" in out
+
+    def test_output_archives_league(self, tmp_path, capsys):
+        out = tmp_path / "league"
+        assert main(self.TINY + ["--output", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert str(out) in captured.err
+        names = sorted(p.name for p in out.iterdir())
+        assert "manifest.json" in names
+        assert "clique_clean__mcdis.json" in names
+
+    def test_deterministic_across_invocations(self, capsys):
+        assert main(self.TINY) == 0
+        first = capsys.readouterr().out
+        assert main(self.TINY) == 0
+        assert capsys.readouterr().out == first
+
+
 class TestVerifyArchiveCommand:
     def _archive(self, tmp_path):
         out = tmp_path / "archive"

@@ -12,7 +12,16 @@ Two cross-checks guard against silent divergence:
 * **batched vs reference** — the trial-batched vectorized engine must
   agree statistically with the object-per-node reference engine, the
   same Welch-CI check the fast engine passes (byte-level agreement with
-  the *fast* engine is pinned separately in ``test_batched_engine.py``).
+  the *fast* engine is pinned separately in ``test_batched_engine.py``);
+* **fallback vs serial** — protocols without a vectorized schedule
+  (``mcdis``, the baselines) must route through the batched entry point
+  to results byte-identical with the serial trial loop, and must refuse
+  ``engine="fast"`` loudly rather than run wrong.
+
+Engine-vs-engine comparisons cover :data:`VECTORIZED_SYNC_PROTOCOLS`
+(registry-derived — a protocol registered as vectorized is enrolled here
+automatically); the identity/fallback checks cover every registered
+synchronous protocol.
 """
 
 from __future__ import annotations
@@ -21,33 +30,52 @@ import math
 
 import pytest
 
+from repro.exceptions import ConfigurationError
 from repro.net import M2HeWNetwork, NodeSpec, build_network, channels, topology
 from repro.sim.batch import ExperimentSpec, run_batch
 from repro.sim.parallel import run_spec_trials
 from repro.sim.rng import derive_trial_seed
-from repro.sim.runner import SYNC_PROTOCOLS, run_synchronous
+from repro.sim.runner import (
+    SYNC_PROTOCOLS,
+    VECTORIZED_SYNC_PROTOCOLS,
+    experiment_runner_params,
+    run_experiment_trial,
+    run_experiment_trials_batched,
+    run_synchronous,
+)
 
 SEEDS = 30
 BASE_SEED = 1234
 
+NON_VECTORIZED = tuple(
+    p for p in SYNC_PROTOCOLS if p not in VECTORIZED_SYNC_PROTOCOLS
+)
+
 
 def diff_net() -> M2HeWNetwork:
-    """5-node clique, 2 homogeneous channels — completes fast under all
-    three paper algorithms on both engines."""
+    """5-node clique, 2 homogeneous channels — completes fast under
+    every registered protocol on both engines."""
     topo = topology.clique(5)
     return build_network(topo, channels.homogeneous(5, 2))
 
 
+def diff_params(net, protocol, delta_est=8, max_slots=100_000):
+    """Registry-driven runner params (degree bound, baseline extras)."""
+    return experiment_runner_params(
+        protocol, net, delta_est=delta_est, max_slots=max_slots
+    )
+
+
 def completion_times(net, protocol, engine, delta_est):
     times = []
+    params = diff_params(net, protocol, delta_est=delta_est)
     for t in range(SEEDS):
         result = run_synchronous(
             net,
             protocol,
             seed=derive_trial_seed(BASE_SEED, t),
-            max_slots=100_000,
-            delta_est=delta_est,
             engine=engine,
+            **params,
         )
         assert result.completed, (protocol, engine, t)
         times.append(float(result.completion_time))
@@ -55,14 +83,12 @@ def completion_times(net, protocol, engine, delta_est):
 
 
 def batched_completion_times(net, protocol, delta_est):
-    from repro.sim.runner import run_experiment_trials_batched
-
     seeds = [derive_trial_seed(BASE_SEED, t) for t in range(SEEDS)]
     results = run_experiment_trials_batched(
         net,
         protocol,
         seeds,
-        runner_params={"max_slots": 100_000, "delta_est": delta_est},
+        runner_params=diff_params(net, protocol, delta_est=delta_est),
     )
     for t, result in enumerate(results):
         assert result.completed, (protocol, "batched", t)
@@ -77,10 +103,10 @@ def mean_std(xs):
 
 @pytest.mark.slow
 class TestEnginesAgreeStatistically:
-    @pytest.mark.parametrize("protocol", SYNC_PROTOCOLS)
+    @pytest.mark.parametrize("protocol", VECTORIZED_SYNC_PROTOCOLS)
     def test_mean_completion_within_ci(self, protocol):
         net = diff_net()
-        delta_est = None if protocol == "algorithm2" else 8
+        delta_est = 8
         fast = completion_times(net, protocol, "fast", delta_est)
         ref = completion_times(net, protocol, "reference", delta_est)
         mf, sf = mean_std(fast)
@@ -95,10 +121,10 @@ class TestEnginesAgreeStatistically:
             f"(3*stderr = {3 * stderr:.2f})"
         )
 
-    @pytest.mark.parametrize("protocol", SYNC_PROTOCOLS)
+    @pytest.mark.parametrize("protocol", VECTORIZED_SYNC_PROTOCOLS)
     def test_batched_mean_completion_within_ci(self, protocol):
         net = diff_net()
-        delta_est = None if protocol == "algorithm2" else 8
+        delta_est = 8
         batched = batched_completion_times(net, protocol, delta_est)
         ref = completion_times(net, protocol, "reference", delta_est)
         mb, sb = mean_std(batched)
@@ -109,18 +135,16 @@ class TestEnginesAgreeStatistically:
             f"(3*stderr = {3 * stderr:.2f})"
         )
 
-    @pytest.mark.parametrize("protocol", SYNC_PROTOCOLS)
+    @pytest.mark.parametrize("protocol", VECTORIZED_SYNC_PROTOCOLS)
     def test_both_engines_full_coverage_tables(self, protocol):
         net = diff_net()
-        delta_est = None if protocol == "algorithm2" else 8
         for engine in ("fast", "reference"):
             result = run_synchronous(
                 net,
                 protocol,
                 seed=derive_trial_seed(BASE_SEED, 0),
-                max_slots=100_000,
-                delta_est=delta_est,
                 engine=engine,
+                **diff_params(net, protocol),
             )
             # Identical semantic surface: every directed link covered
             # and every neighbor table complete.
@@ -141,10 +165,7 @@ class TestParallelSerialIdentity:
             ],
             adjacency=[(0, 1)],
         )
-        params = {
-            "max_slots": 50_000,
-            "delta_est": None if protocol == "algorithm2" else 4,
-        }
+        params = diff_params(net, protocol, delta_est=4, max_slots=50_000)
         serial = run_spec_trials(
             net, protocol, trials=4, base_seed=77, runner_params=params
         )
@@ -182,3 +203,47 @@ class TestParallelSerialIdentity:
         assert serial.as_row() == pooled.as_row()
         assert serial.network_params == pooled.network_params
         assert serial.completion.mean == pooled.completion.mean
+
+
+class TestNonVectorizedFallback:
+    """Protocols without a vectorized schedule: explicit refusal on the
+    fast engine, byte-identical serial fallback through the batched
+    entry point — never a silently different code path."""
+
+    def test_registry_has_non_vectorized_protocols(self):
+        # The suite below is only meaningful while such protocols exist.
+        assert "mcdis" in NON_VECTORIZED
+
+    @pytest.mark.parametrize("protocol", NON_VECTORIZED)
+    def test_fast_engine_refuses(self, protocol):
+        net = diff_net()
+        with pytest.raises(ConfigurationError, match="no vectorized schedule"):
+            run_synchronous(
+                net,
+                protocol,
+                seed=0,
+                engine="fast",
+                **diff_params(net, protocol, max_slots=1_000),
+            )
+
+    @pytest.mark.parametrize("protocol", NON_VECTORIZED)
+    def test_auto_engine_selects_reference(self, protocol):
+        net = diff_net()
+        params = diff_params(net, protocol, max_slots=50_000)
+        auto = run_synchronous(net, protocol, seed=3, engine="auto", **params)
+        ref = run_synchronous(net, protocol, seed=3, engine="reference", **params)
+        assert auto.to_dict() == ref.to_dict()
+
+    @pytest.mark.parametrize("protocol", NON_VECTORIZED)
+    def test_batched_entry_point_falls_back_bitwise(self, protocol):
+        net = diff_net()
+        params = diff_params(net, protocol, max_slots=50_000)
+        seeds = [derive_trial_seed(BASE_SEED, t) for t in range(4)]
+        batched = run_experiment_trials_batched(
+            net, protocol, seeds, runner_params=params
+        )
+        serial = [
+            run_experiment_trial(net, protocol, seed=s, runner_params=params)
+            for s in seeds
+        ]
+        assert [r.to_dict() for r in batched] == [r.to_dict() for r in serial]

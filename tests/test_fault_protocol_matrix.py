@@ -1,0 +1,119 @@
+"""Fault-preset × protocol regression matrix.
+
+Every named fault preset crossed with every registered synchronous
+protocol, at pinned seeds: faults must *degrade* (never improve) each
+protocol relative to its clean run, and faulted campaigns must keep the
+archive worker-invariance the batch layer guarantees. This is the
+tournament's safety net — a rival protocol that secretly benefits from
+a fault model, or a preset that stops biting, fails here before it can
+skew a league table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.robustness import aggregate_point, is_monotone_non_improving
+from repro.faults.presets import fault_preset, fault_preset_names
+from repro.sim.batch import ExperimentSpec, run_batch
+from repro.sim.rng import derive_trial_seed
+from repro.sim.runner import (
+    SYNC_PROTOCOLS,
+    experiment_runner_params,
+    run_experiment_trial,
+)
+from repro.workloads.generator import WorkloadConfig, generate_network
+
+BASE_SEED = 20_260_807
+TRIALS = 20
+MAX_SLOTS = 6_000
+
+MATRIX_WORKLOAD = WorkloadConfig(
+    topology="clique",
+    topology_params={"num_nodes": 5},
+    channel_model="homogeneous",
+    channel_params={"num_channels": 2},
+)
+
+
+def matrix_network():
+    return generate_network(MATRIX_WORKLOAD, seed=1)
+
+
+def faulted_results(network, protocol, preset_name):
+    params = experiment_runner_params(
+        protocol,
+        network,
+        delta_est=8,
+        max_slots=MAX_SLOTS,
+        faults=fault_preset(preset_name) if preset_name else None,
+    )
+    return [
+        run_experiment_trial(
+            network,
+            protocol,
+            seed=derive_trial_seed(BASE_SEED, t),
+            runner_params=params,
+        )
+        for t in range(TRIALS)
+    ]
+
+
+class TestPresetProtocolMatrix:
+    @pytest.mark.parametrize("protocol", SYNC_PROTOCOLS)
+    @pytest.mark.parametrize("preset", fault_preset_names())
+    def test_preset_never_improves_protocol(self, preset, protocol):
+        network = matrix_network()
+        clean = aggregate_point(0.0, faulted_results(network, protocol, None))
+        faulted = aggregate_point(
+            1.0, faulted_results(network, protocol, preset)
+        )
+        assert is_monotone_non_improving([clean, faulted]), (
+            f"{protocol} under {preset}: clean "
+            f"(cov {clean.mean_coverage:.3f}, t {clean.mean_censored_time:.1f})"
+            f" vs faulted (cov {faulted.mean_coverage:.3f}, "
+            f"t {faulted.mean_censored_time:.1f})"
+        )
+
+    @pytest.mark.parametrize("protocol", SYNC_PROTOCOLS)
+    def test_every_preset_is_deterministic_per_protocol(self, protocol):
+        # Same pinned seeds twice — the whole matrix row must reproduce
+        # bit for bit (fault plans are part of the seeded state).
+        network = matrix_network()
+        preset = "bursty_loss"
+        first = faulted_results(network, protocol, preset)
+        second = faulted_results(network, protocol, preset)
+        assert [r.to_dict() for r in first] == [r.to_dict() for r in second]
+
+
+class TestFaultedArchiveWorkerInvariance:
+    """Faulted campaigns keep the byte-identical-archive contract."""
+
+    @pytest.mark.parametrize("protocol", ("robust_staged", "mcdis"))
+    def test_archive_bytes_identical_across_worker_counts(
+        self, tmp_path, protocol
+    ):
+        network = matrix_network()
+        spec = ExperimentSpec(
+            name=f"faulted_{protocol}",
+            workload=MATRIX_WORKLOAD,
+            protocol=protocol,
+            trials=4,
+            network_seed=1,
+            runner_params=experiment_runner_params(
+                protocol,
+                network,
+                delta_est=8,
+                max_slots=MAX_SLOTS,
+                faults=fault_preset("flat_loss"),
+            ),
+        )
+        dirs = {}
+        for workers in (1, 2):
+            out = tmp_path / f"w{workers}"
+            run_batch(
+                [spec], base_seed=BASE_SEED, output_dir=out, max_workers=workers
+            )
+            dirs[workers] = out
+        for name in sorted(p.name for p in dirs[1].iterdir()):
+            assert (dirs[1] / name).read_bytes() == (dirs[2] / name).read_bytes(), name

@@ -14,6 +14,17 @@ from repro.core import (
     make_async_factory,
     make_sync_factory,
 )
+from repro.core.mcdis import McDisDiscovery
+from repro.core.registry import (
+    ASYNCHRONOUS_PROTOCOLS,
+    BATCHED_PROTOCOLS,
+    PROTOCOL_SPECS,
+    SYNCHRONOUS_PROTOCOLS,
+    VECTORIZED_PROTOCOLS,
+    ProtocolSpec,
+    protocol_spec,
+)
+from repro.core.robust import RobustFlatDiscovery, RobustStagedDiscovery
 from repro.exceptions import ConfigurationError
 
 
@@ -64,6 +75,71 @@ class TestSyncFactory:
     def test_unknown_name(self):
         with pytest.raises(ConfigurationError, match="unknown synchronous"):
             make_sync_factory("nope")
+
+    def test_robust_staged(self):
+        proto = build(make_sync_factory("robust_staged", delta_est=8))
+        assert isinstance(proto, RobustStagedDiscovery)
+
+    def test_robust_flat(self):
+        proto = build(make_sync_factory("robust_flat", delta_est=8))
+        assert isinstance(proto, RobustFlatDiscovery)
+
+    def test_mcdis(self):
+        proto = build(make_sync_factory("mcdis"))
+        assert isinstance(proto, McDisDiscovery)
+
+    def test_rivals_missing_delta_est(self):
+        with pytest.raises(ConfigurationError, match="delta_est"):
+            make_sync_factory("robust_staged")
+        with pytest.raises(ConfigurationError, match="delta_est"):
+            make_sync_factory("robust_flat")
+
+    def test_async_name_rejected_by_sync_factory(self):
+        with pytest.raises(ConfigurationError, match="unknown synchronous"):
+            make_sync_factory("algorithm4", delta_est=4)
+
+
+class TestSpecTable:
+    def test_names_unique_and_constants_consistent(self):
+        names = [spec.name for spec in PROTOCOL_SPECS]
+        assert len(set(names)) == len(names)
+        assert SYNCHRONOUS_PROTOCOLS == tuple(
+            s.name for s in PROTOCOL_SPECS if s.kind == "sync"
+        )
+        assert ASYNCHRONOUS_PROTOCOLS == tuple(
+            s.name for s in PROTOCOL_SPECS if s.kind == "async"
+        )
+        assert set(BATCHED_PROTOCOLS) <= set(VECTORIZED_PROTOCOLS)
+        assert set(VECTORIZED_PROTOCOLS) <= set(SYNCHRONOUS_PROTOCOLS)
+
+    def test_every_sync_spec_builds(self):
+        # Registering a spec without a builder branch must be impossible
+        # to miss: build every sync name with the uniform parameter set.
+        for name in SYNCHRONOUS_PROTOCOLS:
+            factory = make_sync_factory(
+                name,
+                delta_est=4,
+                universal_channels=[0, 1],
+                id_space_size=4,
+            )
+            assert build(factory) is not None, name
+
+    def test_rivals_registered(self):
+        assert {"mcdis", "robust_staged", "robust_flat"} <= set(
+            SYNCHRONOUS_PROTOCOLS
+        )
+        assert protocol_spec("mcdis").vectorized is False
+        assert protocol_spec("robust_flat").batched is True
+
+    def test_protocol_spec_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown protocol"):
+            protocol_spec("warp_drive")
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            ProtocolSpec("x", "quantum", "bad kind")
+        with pytest.raises(ConfigurationError, match="vectorized"):
+            ProtocolSpec("x", "sync", "batched needs vectorized", batched=True)
 
 
 class TestAsyncFactory:

@@ -49,7 +49,18 @@ class TestRunSynchronous:
         assert r.completed
         assert r.metadata["engine"] == "slotted-reference"
 
-    def test_baselines_need_reference_engine(self, clique_net):
+    def test_baselines_auto_route_to_reference_engine(self, clique_net):
+        r = run_synchronous(
+            clique_net,
+            "universal_sweep",
+            seed=0,
+            max_slots=20_000,
+            delta_est=4,
+            universal_channels=[0, 1],
+        )
+        assert r.metadata["engine"] == "slotted-reference"
+
+    def test_baselines_refuse_explicit_fast_engine(self, clique_net):
         with pytest.raises(ConfigurationError, match="vectorized"):
             run_synchronous(
                 clique_net,
@@ -58,6 +69,7 @@ class TestRunSynchronous:
                 max_slots=100,
                 delta_est=4,
                 universal_channels=[0, 1],
+                engine="fast",
             )
 
     def test_baseline_on_reference_engine(self, clique_net):
@@ -90,8 +102,24 @@ class TestRunSynchronous:
                 seed=0,
                 max_slots=10,
                 delta_est=4,
+                engine="fast",
                 trace=ExecutionTrace(),
             )
+
+    def test_trace_routes_auto_to_reference_engine(self, clique_net):
+        from repro.sim.trace import ExecutionTrace
+
+        trace = ExecutionTrace()
+        r = run_synchronous(
+            clique_net,
+            "algorithm3",
+            seed=0,
+            max_slots=10_000,
+            delta_est=4,
+            trace=trace,
+        )
+        assert r.metadata["engine"] == "slotted-reference"
+        assert trace.node_ids
 
 
 class TestRunAsynchronous:

@@ -1,0 +1,156 @@
+"""Unit tests for repro.analysis.tournament."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tournament import (
+    DEFAULT_MAX_SLOTS,
+    DEFAULT_TRIALS,
+    TournamentCell,
+    default_league,
+    run_tournament,
+)
+from repro.exceptions import ConfigurationError
+from repro.workloads.generator import WorkloadConfig
+
+TINY_WORKLOAD = WorkloadConfig(
+    topology="clique",
+    topology_params={"num_nodes": 4},
+    channel_model="homogeneous",
+    channel_params={"num_channels": 2},
+)
+
+TINY_CELLS = (
+    TournamentCell(name="clean", workload=TINY_WORKLOAD, delta_est=4),
+    TournamentCell(
+        name="lossy",
+        workload=TINY_WORKLOAD,
+        delta_est=4,
+        fault_preset="flat_loss",
+    ),
+)
+
+TINY_PROTOCOLS = ("algorithm3", "robust_flat", "mcdis")
+
+
+def tiny_tournament(**kwargs):
+    kwargs.setdefault("cells", TINY_CELLS)
+    kwargs.setdefault("protocols", TINY_PROTOCOLS)
+    kwargs.setdefault("trials", 3)
+    kwargs.setdefault("max_slots", 10_000)
+    return run_tournament(**kwargs)
+
+
+class TestCellValidation:
+    def test_rejects_double_underscore_names(self):
+        with pytest.raises(ConfigurationError, match="cell name"):
+            TournamentCell(name="a__b", workload=TINY_WORKLOAD, delta_est=4)
+
+    def test_rejects_unknown_preset(self):
+        with pytest.raises(ConfigurationError, match="fault preset"):
+            TournamentCell(
+                name="x",
+                workload=TINY_WORKLOAD,
+                delta_est=4,
+                fault_preset="earthquake",
+            )
+
+
+class TestDefaultLeague:
+    def test_cells_are_valid_and_unique(self):
+        league = default_league()
+        names = [c.name for c in league]
+        assert len(set(names)) == len(names)
+        assert len(league) >= 3
+        assert any(c.fault_preset for c in league)
+        assert any(c.fault_preset is None for c in league)
+
+    def test_defaults_are_sane(self):
+        assert DEFAULT_TRIALS >= 2
+        assert DEFAULT_MAX_SLOTS >= 10_000
+
+
+class TestRunTournament:
+    def test_validates_inputs(self):
+        with pytest.raises(ConfigurationError, match="at least two"):
+            tiny_tournament(protocols=("algorithm3",))
+        with pytest.raises(ConfigurationError, match="unknown synchronous"):
+            tiny_tournament(protocols=("algorithm3", "algorithm9"))
+        with pytest.raises(ConfigurationError, match="duplicate cell"):
+            tiny_tournament(cells=(TINY_CELLS[0], TINY_CELLS[0]))
+        with pytest.raises(ConfigurationError, match="at least one cell"):
+            tiny_tournament(cells=())
+
+    def test_standings_cover_every_cell_and_protocol(self):
+        result = tiny_tournament()
+        assert set(result.standings) == {c.name for c in TINY_CELLS}
+        for standings in result.standings.values():
+            assert sorted(s.protocol for s in standings) == sorted(TINY_PROTOCOLS)
+            for s in standings:
+                assert 0.0 <= s.completed_fraction <= 1.0
+                assert s.summary.count == 3
+                assert 0 <= s.wins + s.losses <= len(TINY_PROTOCOLS) - 1
+
+    def test_standings_sorted_deterministically(self):
+        result = tiny_tournament()
+        for standings in result.standings.values():
+            keys = [
+                (-s.wins, s.losses, s.summary.mean, s.protocol)
+                for s in standings
+            ]
+            assert keys == sorted(keys)
+
+    def test_overall_totals_sum_cell_records(self):
+        result = tiny_tournament()
+        overall = result.overall()
+        assert sorted(s.protocol for s in overall) == sorted(TINY_PROTOCOLS)
+        for standing in overall:
+            cell_wins = sum(
+                s.wins
+                for standings in result.standings.values()
+                for s in standings
+                if s.protocol == standing.protocol
+            )
+            assert standing.wins == cell_wins
+            assert standing.summary.count == 3 * len(TINY_CELLS)
+
+    def test_reproducible_render(self):
+        first = tiny_tournament().render()
+        second = tiny_tournament().render()
+        assert first == second
+        assert "league totals" in first
+
+    def test_outcomes_named_cell_protocol_with_full_trials(self):
+        result = tiny_tournament()
+        by_name = {o.spec.name: o for o in result.outcomes}
+        assert set(by_name) == {
+            f"{cell.name}__{protocol}"
+            for cell in TINY_CELLS
+            for protocol in TINY_PROTOCOLS
+        }
+        for outcome in result.outcomes:
+            assert [r.metadata["trial"] for r in outcome.results] == [0, 1, 2]
+            assert outcome.spec.network_seed == 0
+
+
+class TestTournamentArchives:
+    def test_archive_bytes_invariant_under_workers(self, tmp_path):
+        dirs = {}
+        for workers in (1, 2):
+            out = tmp_path / f"w{workers}"
+            tiny_tournament(output_dir=out, max_workers=workers)
+            dirs[workers] = out
+        names = sorted(p.name for p in dirs[1].iterdir())
+        assert "manifest.json" in names
+        assert len(names) == len(TINY_CELLS) * len(TINY_PROTOCOLS) + 1
+        for name in names:
+            assert (dirs[1] / name).read_bytes() == (
+                dirs[2] / name
+            ).read_bytes(), name
+
+    def test_archive_verifies(self, tmp_path):
+        from repro.resilience import verify_archive
+
+        tiny_tournament(output_dir=tmp_path)
+        assert verify_archive(tmp_path).ok
