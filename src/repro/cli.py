@@ -16,8 +16,15 @@ Subcommands:
 * ``tournament`` — race every registered protocol across the standing
   league of (workload × fault preset) cells and print Welch-ranked
   standings (see :mod:`repro.analysis.tournament`);
+* ``serve`` — run the async HTTP campaign service: submissions queue
+  under quota control, execute supervised with checkpoint journals,
+  dedup by campaign fingerprint against a store of verified archives,
+  and stream per-job progress (see :mod:`repro.service`);
+* ``fingerprint`` — compute a campaign's content fingerprint from its
+  parameters without running it (the dedup/store key);
 * ``verify-archive`` — check a campaign archive against its manifest
-  (checksums, schema stamps, truncation, orphan files);
+  (checksums, schema stamps, truncation, orphan files); ``--json``
+  emits the machine-readable report;
 * ``timeline`` — render an asynchronous frame timeline (paper Fig. 2);
 * ``terminate`` — run with node-local termination and report energy;
 * ``bounds`` — print every theorem budget for given parameters;
@@ -43,7 +50,7 @@ from .core import bounds
 from .core.registry import ASYNCHRONOUS_PROTOCOLS
 from .core.termination import TerminationPolicy, recommended_quiet_threshold
 from .faults.plan import FaultPlan
-from .faults.presets import fault_preset, fault_preset_names
+from .faults.presets import fault_preset_names
 from .sim.parallel import BACKENDS
 from .sim.rng import RngFactory
 from .sim.runner import (
@@ -73,11 +80,49 @@ def _add_faults_argument(cmd: argparse.ArgumentParser) -> None:
 
 
 def _resolve_faults(args: argparse.Namespace, s: Scenario) -> Optional[FaultPlan]:
-    if args.faults == "scenario":
-        return s.fault_plan
-    if args.faults == "none":
-        return None
-    return fault_preset(args.faults)
+    from .service.campaigns import resolve_fault_plan
+
+    return resolve_fault_plan(args.faults, s)
+
+
+def _campaign_arguments(cmd: argparse.ArgumentParser) -> None:
+    """Campaign-identity flags shared by ``batch`` and ``fingerprint``.
+
+    One helper so the two commands cannot drift: a fingerprint computed
+    from these flags is the fingerprint the equivalent ``batch`` run
+    (and the service) will use.
+    """
+    cmd.add_argument("scenario", choices=scenario_names())
+    cmd.add_argument(
+        "--protocols",
+        nargs="+",
+        default=list(SYNC_PROTOCOLS),
+        choices=SYNC_PROTOCOLS + ASYNCHRONOUS_PROTOCOLS,
+    )
+    cmd.add_argument("--trials", type=int, default=5)
+    cmd.add_argument("--seed", type=int, default=0, help="campaign base seed")
+    cmd.add_argument(
+        "--network-seed", type=int, default=0, help="workload realization seed"
+    )
+    cmd.add_argument("--max-slots", type=int, default=200_000)
+    cmd.add_argument("--delta-est", type=int, default=None)
+    _add_faults_argument(cmd)
+
+
+def _campaign_request(args: argparse.Namespace) -> "Any":
+    """Build the validated campaign request the flags describe."""
+    from .service.campaigns import CampaignRequest
+
+    return CampaignRequest(
+        scenario=args.scenario,
+        protocols=tuple(args.protocols),
+        trials=args.trials,
+        base_seed=args.seed,
+        network_seed=args.network_seed,
+        max_slots=args.max_slots,
+        delta_est=args.delta_est,
+        faults=args.faults,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,20 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
             "over worker processes, archiving JSON results"
         ),
     )
-    batch.add_argument("scenario", choices=scenario_names())
-    batch.add_argument(
-        "--protocols",
-        nargs="+",
-        default=list(SYNC_PROTOCOLS),
-        choices=SYNC_PROTOCOLS + ASYNCHRONOUS_PROTOCOLS,
-    )
-    batch.add_argument("--trials", type=int, default=5)
-    batch.add_argument("--seed", type=int, default=0, help="campaign base seed")
-    batch.add_argument(
-        "--network-seed", type=int, default=0, help="workload realization seed"
-    )
-    batch.add_argument("--max-slots", type=int, default=200_000)
-    batch.add_argument("--delta-est", type=int, default=None)
+    _campaign_arguments(batch)
     batch.add_argument(
         "--workers",
         type=int,
@@ -284,7 +316,82 @@ def build_parser() -> argparse.ArgumentParser:
             "raise|exit|timeout, e.g. 'raise@3,exit@0x2'"
         ),
     )
-    _add_faults_argument(batch)
+
+    fingerprint = sub.add_parser(
+        "fingerprint",
+        help=(
+            "compute a campaign's content fingerprint from its parameters "
+            "without running it (the dedup key used by the service store "
+            "and checkpoint journals)"
+        ),
+    )
+    _campaign_arguments(fingerprint)
+    fingerprint.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit {fingerprint, request} as JSON",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the async HTTP campaign service (submit/status/result/"
+            "cancel/list + health; fingerprint dedup, checkpoint resume, "
+            "progress streaming)"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--data-dir",
+        default="m2hew-service",
+        metavar="DIR",
+        help="service state root (job records, result store, checkpoints)",
+    )
+    serve.add_argument(
+        "--max-active",
+        type=int,
+        default=1,
+        help="campaigns executing concurrently",
+    )
+    serve.add_argument(
+        "--max-queued", type=int, default=16, help="submissions allowed to wait"
+    )
+    serve.add_argument(
+        "--max-per-client",
+        type=int,
+        default=8,
+        help="open (queued+running) jobs per client",
+    )
+    serve.add_argument(
+        "--min-interval",
+        type=float,
+        default=0.0,
+        help="minimum seconds between one client's submissions",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="trial fan-out processes per campaign (output is identical)",
+    )
+    serve.add_argument("--backend", choices=BACKENDS, default="auto")
+    serve.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1,
+        help=(
+            "trials per dispatch unit (default 1: per-trial journaling "
+            "and progress; archives are chunking-invariant)"
+        ),
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="supervised retry budget per failing trial chunk",
+    )
 
     tour = sub.add_parser(
         "tournament",
@@ -321,6 +428,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="check a campaign archive against its manifest checksums",
     )
     varch.add_argument("directory", help="archive directory to verify")
+    varch.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the machine-readable verification report as JSON",
+    )
 
     bnd = sub.add_parser("bounds", help="print the paper's theorem budgets")
     bnd.add_argument("--s", type=int, required=True, help="S (max channel set size)")
@@ -655,38 +768,19 @@ def _resolve_resilience(
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .exceptions import TrialExecutionError
-    from .sim.batch import ExperimentSpec, run_batch
+    from .service.campaigns import campaign_specs
+    from .sim.batch import batch_fingerprint, run_batch
 
     s = scenario(args.scenario)
-    network = s.build(args.network_seed)
-    delta_est = args.delta_est if args.delta_est is not None else s.delta_est
-    fault_plan = _resolve_faults(args, s)
-    specs = []
-    for protocol in args.protocols:
-        runner_params: Dict[str, Any]
-        if protocol in ASYNCHRONOUS_PROTOCOLS:
-            runner_params = {"delta_est": delta_est}
-            if fault_plan is not None:
-                runner_params["faults"] = fault_plan
-        else:
-            runner_params = experiment_runner_params(
-                protocol,
-                network,
-                delta_est=delta_est,
-                max_slots=args.max_slots,
-                faults=fault_plan,
-            )
-        specs.append(
-            ExperimentSpec(
-                name=f"{args.scenario}_{protocol}",
-                workload=s.config,
-                protocol=protocol,
-                trials=args.trials,
-                network_seed=args.network_seed,
-                runner_params=runner_params,
-            )
-        )
+    # The expansion is shared with the campaign service (m2hew serve) so
+    # both surfaces hand run_batch identical specs — hence identical
+    # archived bytes and identical fingerprints — for equal parameters.
+    specs = campaign_specs(_campaign_request(args))
     retry, checkpoint_dir, chaos = _resolve_resilience(args)
+    print(
+        f"campaign fingerprint: {batch_fingerprint(specs, args.seed)}",
+        file=sys.stderr,
+    )
     try:
         outcomes = run_batch(
             specs,
@@ -753,10 +847,61 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    from .service.campaigns import request_fingerprint
+
+    request = _campaign_request(args)
+    fingerprint = request_fingerprint(request)
+    if args.as_json:
+        print(
+            json.dumps(
+                {"fingerprint": fingerprint, "request": request.as_dict()},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(fingerprint)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .resilience import RetryPolicy
+    from .service import CampaignService, QuotaPolicy
+
+    service = CampaignService(
+        args.data_dir,
+        quota=QuotaPolicy(
+            max_active=args.max_active,
+            max_queued=args.max_queued,
+            max_per_client=args.max_per_client,
+            min_interval=args.min_interval,
+        ),
+        retry=RetryPolicy(max_retries=args.retries),
+        max_workers=args.workers,
+        backend=args.backend,
+        chunk_size=args.chunk_size,
+    )
+    try:
+        asyncio.run(service.run_forever(args.host, args.port))
+    except KeyboardInterrupt:
+        print(
+            "service interrupted; job records and checkpoints preserved — "
+            "restart with the same --data-dir to resume",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_verify_archive(args: argparse.Namespace) -> int:
     from .resilience import verify_archive
 
     report = verify_archive(args.directory)
+    if args.as_json:
+        print(report.to_json())
+        return 0 if report.ok else 1
     if report.ok:
         print(
             f"{args.directory}: OK ({report.files_checked} file(s) verified)"
@@ -871,6 +1016,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_batch(args)
     if args.command == "tournament":
         return _cmd_tournament(args)
+    if args.command == "fingerprint":
+        return _cmd_fingerprint(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "verify-archive":
         return _cmd_verify_archive(args)
     if args.command == "bounds":

@@ -114,6 +114,8 @@ CONTRACT_FUNCTIONS: Dict[str, str] = {
     "run_supervised_trials": "resilience.supervisor",
     "compile_plan": "faults.runtime",
     "derive_trial_seed": "sim.rng",
+    "campaign_specs": "service.campaigns",
+    "execute_job": "service.worker",
 }
 
 #: Typed trial errors whose construction sites must carry replay

@@ -10,9 +10,10 @@ rules flag the syntactic forms that ordering leaks take.
 
 Scope: the packages that compute or assemble results —
 :data:`ORDER_SCOPE_PACKAGES` (``sim``, ``resilience``, ``faults``,
-``analysis``, plus ``devtools`` itself so the audit's own filesystem
-walks stay honest). P505 applies to the whole ``repro`` package except
-``devtools``.
+``analysis``, ``service`` — whose result store and job records are
+rebuilt from directory listings — plus ``devtools`` itself so the
+audit's own filesystem walks stay honest). P505 applies to the whole
+``repro`` package except ``devtools``.
 
 * **P501** — iterating a set (set literal, ``set()``/``frozenset()``
   call, set comprehension, or a local name bound to one). Set order is
@@ -60,7 +61,7 @@ __all__ = [
 
 #: Packages the ordering rules (P501–P504) apply to.
 ORDER_SCOPE_PACKAGES = frozenset(
-    {"sim", "resilience", "faults", "analysis", "devtools"}
+    {"sim", "resilience", "faults", "analysis", "devtools", "service"}
 )
 
 #: Builtins whose result is independent of their argument's iteration

@@ -20,6 +20,8 @@ __all__ = [
     "TrialTimeoutError",
     "TrialQuarantinedError",
     "ArchiveCorruptionError",
+    "QuotaExceededError",
+    "JobCancelledError",
 ]
 
 
@@ -92,4 +94,24 @@ class ArchiveCorruptionError(ReproError):
     Raised when a results directory shows truncation, a content-hash
     mismatch, or structurally invalid payloads — i.e. the archived bytes
     can no longer be trusted to reproduce the campaign they describe.
+    """
+
+
+class QuotaExceededError(ReproError):
+    """A campaign submission was rejected by the service's quota policy.
+
+    Raised by the campaign scheduler when accepting the submission would
+    exceed the queue depth, a client's share of it, or a client's
+    minimum spacing between submissions. The service maps it to HTTP
+    429; nothing about the rejected campaign is recorded.
+    """
+
+
+class JobCancelledError(ReproError):
+    """A queued or running campaign job was cancelled.
+
+    Cancellation is cooperative: the worker observes the cancel flag at
+    its next progress point and unwinds by raising this. Trials the
+    journal already recorded stay recorded, so a re-submission of the
+    same campaign resumes rather than recomputes.
     """

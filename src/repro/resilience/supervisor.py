@@ -158,6 +158,7 @@ class _Supervision:
         sleep: Callable[[float], None],
         make_payload: Callable[[_ChunkState], _ChunkPayload],
         isolate_payload: Callable[[int], _ChunkPayload],
+        on_progress: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         self.outcome = outcome
         self.policy = policy
@@ -166,6 +167,7 @@ class _Supervision:
         self.sleep = sleep
         self.make_payload = make_payload
         self.isolate_payload = isolate_payload
+        self.on_progress = on_progress
         self.total_retries = 0
         self.pool_breakages = 0
         self.jitter_rng = RngFactory(outcome.base_seed).stream(
@@ -192,6 +194,17 @@ class _Supervision:
             if self.journal is not None:
                 self.journal.record(trial, result.to_dict())
         state.done = True
+        self.notify_progress()
+
+    def notify_progress(self) -> None:
+        """Report ``(completed, trials)`` to the observer, if any.
+
+        Fires only after the journal already holds the trials being
+        reported, so an observer that checkpoints or streams on every
+        call never sees state the journal has not committed.
+        """
+        if self.on_progress is not None:
+            self.on_progress(len(self.outcome.completed), self.outcome.trials)
 
     # -- failure handling -----------------------------------------------
 
@@ -261,6 +274,7 @@ class _Supervision:
                 self.outcome.completed[trial] = results[0]
                 if self.journal is not None:
                     self.journal.record(trial, results[0].to_dict())
+                self.notify_progress()
 
     def quarantine_chunk(
         self, state: _ChunkState, exc: BaseException, *, reason: str
@@ -313,6 +327,7 @@ def run_supervised_trials(
     journal: Optional[TrialJournal] = None,
     chaos: Optional[ChaosPlan] = None,
     sleep: Optional[Callable[[float], None]] = None,
+    on_progress: Optional[Callable[[int, int], None]] = None,
 ) -> SupervisedTrials:
     """Run ``trials`` seeded trials under supervision.
 
@@ -326,6 +341,12 @@ def run_supervised_trials(
             skipped and every fresh trial is appended on completion.
         chaos: Deterministic execution-layer fault plan (tests, drills).
         sleep: Replacement for :func:`time.sleep` (tests).
+        on_progress: Optional observer called with ``(completed,
+            trials)`` — once for the journal-restored trials (if any),
+            then after every chunk recorded and every trial recovered
+            in isolation. Never called before the journal holds the
+            reported trials; an exception it raises aborts the campaign
+            (cooperative cancellation).
 
     Raises:
         TrialQuarantinedError: A trial exhausted its retries and the
@@ -348,6 +369,8 @@ def run_supervised_trials(
             if 0 <= trial < trials:
                 outcome.completed[trial] = result_from_dict(payload)
         outcome.restored = len(outcome.completed)
+    if outcome.restored and on_progress is not None:
+        on_progress(len(outcome.completed), trials)
 
     remaining = [t for t in range(trials) if t not in outcome.completed]
     if not remaining:
@@ -394,6 +417,7 @@ def run_supervised_trials(
         sleep=sleep if sleep is not None else time.sleep,
         make_payload=make_payload,
         isolate_payload=isolate_payload,
+        on_progress=on_progress,
     )
     states = [
         _ChunkState(indices=chunk, vectorized=plan.vectorized)

@@ -60,6 +60,10 @@ class VerificationIssue:
     def __str__(self) -> str:
         return f"{self.kind}: {self.file}: {self.detail}"
 
+    def as_dict(self) -> Dict[str, str]:
+        """JSON form for machine consumers (``m2hew verify-archive --json``)."""
+        return {"kind": self.kind, "file": self.file, "detail": self.detail}
+
 
 @dataclass
 class VerificationReport:
@@ -82,6 +86,25 @@ class VerificationReport:
                 f"archive {self.directory} failed verification "
                 f"({len(self.issues)} issue(s)): {listing}"
             )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form of the full report.
+
+        The shape is a stable contract consumed by ``m2hew
+        verify-archive --json``, the campaign service's result endpoint
+        and CI: ``{"directory", "ok", "files_checked", "issues": [
+        {"kind", "file", "detail"}, ...]}``.
+        """
+        return {
+            "directory": str(self.directory),
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "issues": [issue.as_dict() for issue in self.issues],
+        }
+
+    def to_json(self) -> str:
+        """:meth:`as_dict` rendered as deterministic (sorted-key) JSON."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
 
 
 def verify_archive(directory: Union[str, Path]) -> VerificationReport:

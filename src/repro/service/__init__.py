@@ -1,0 +1,48 @@
+"""Campaign service: the long-running, queue-driven face of ``m2hew``.
+
+Where ``m2hew batch`` is one-shot, ``m2hew serve`` keeps a process
+alive that accepts campaign submissions over HTTP, schedules them under
+quota control, executes them through the resilience supervisor with
+checkpoint journals as job state, deduplicates identical campaigns by
+content fingerprint against a store of self-verifying archives, and
+streams per-job progress. See ``docs/service.md`` for the API and the
+dedup/resume contracts.
+
+The invariant everything here leans on: archived campaign bytes are a
+pure function of campaign *inputs* (scenario, protocols, seeds, trial
+count, fault plan) — never of how execution happened (workers, backend,
+chunking, retries, resume). That is what makes fingerprint-keyed dedup
+sound and served archives byte-identical to direct CLI runs.
+"""
+
+from __future__ import annotations
+
+from .app import CampaignService
+from .campaigns import (
+    CampaignRequest,
+    campaign_specs,
+    request_fingerprint,
+    resolve_fault_plan,
+)
+from .jobs import CampaignJob, JobStore
+from .progress import ProgressEvent, ProgressTracker
+from .scheduler import CampaignScheduler, QuotaPolicy
+from .store import ResultStore
+from .worker import ExecutionResult, execute_job
+
+__all__ = [
+    "CampaignJob",
+    "CampaignRequest",
+    "CampaignScheduler",
+    "CampaignService",
+    "ExecutionResult",
+    "JobStore",
+    "ProgressEvent",
+    "ProgressTracker",
+    "QuotaPolicy",
+    "ResultStore",
+    "campaign_specs",
+    "execute_job",
+    "request_fingerprint",
+    "resolve_fault_plan",
+]

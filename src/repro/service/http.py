@@ -1,0 +1,245 @@
+"""Minimal asyncio HTTP/1.1 layer for the campaign service.
+
+Exactly what the REST surface needs and nothing more: request parsing
+with hard size limits, JSON responses with ``Content-Length``, and
+chunked transfer encoding for event streams. Every connection is
+``Connection: close`` — the service trades keep-alive throughput for
+not carrying connection-reuse state, which is the right trade for a
+handful of long-poll clients. No third-party framework, per the repo's
+dependency policy.
+
+Security posture: the server binds loopback by default (the CLI's
+``--host``), enforces a 1 MiB body cap and a 100-header cap, and maps
+parse failures to 400 without echoing raw bytes back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "Handler",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "json_response",
+]
+
+_logger = logging.getLogger("repro.service")
+
+#: Request body cap: campaign submissions are a few hundred bytes.
+MAX_BODY_BYTES = 1 << 20
+__all__.append("MAX_BODY_BYTES")
+
+_MAX_HEADERS = 100
+_MAX_LINE_BYTES = 8192
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A request the server refuses; carries the status to answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """The body parsed as JSON, or :class:`HttpError` 400."""
+        if not self.body:
+            raise HttpError(400, "request body must be JSON, got none")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+
+
+@dataclass
+class HttpResponse:
+    """One response: either a complete body or a chunked stream."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+    #: When set, the body is ignored and the stream's chunks are sent
+    #: with ``Transfer-Encoding: chunked`` as they become available.
+    stream: Optional[AsyncIterator[bytes]] = None
+
+
+def json_response(payload: Any, status: int = 200) -> HttpResponse:
+    """A JSON response with deterministic (sorted-key) encoding."""
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    return HttpResponse(status=status, body=text.encode("utf-8"))
+
+
+Handler = Callable[[HttpRequest], Awaitable[HttpResponse]]
+
+
+class HttpServer:
+    """An :func:`asyncio.start_server` wrapper around one handler."""
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1", port: int = 0):
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``.
+
+        Port 0 binds an ephemeral port (tests); the bound port is
+        reflected into :attr:`port`.
+        """
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.port = int(sockname[1])
+        return str(sockname[0]), self.port
+
+    async def close(self) -> None:
+        """Stop accepting and close the listening sockets."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+            except HttpError as exc:
+                await _write_response(
+                    writer, json_response({"error": exc.message}, exc.status)
+                )
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+                return  # client went away or sent garbage mid-line
+            try:
+                response = await self.handler(request)
+            except HttpError as exc:
+                response = json_response({"error": exc.message}, exc.status)
+            except Exception:
+                _logger.exception(
+                    "handler failed for %s %s", request.method, request.path
+                )
+                response = json_response({"error": "internal server error"}, 500)
+            await _write_response(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client disconnects mid-write are routine
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def _read_request(reader: asyncio.StreamReader) -> HttpRequest:
+    request_line = await reader.readline()
+    if not request_line:
+        raise asyncio.IncompleteReadError(partial=b"", expected=1)
+    if len(request_line) > _MAX_LINE_BYTES:
+        raise HttpError(400, "request line too long")
+    parts = request_line.decode("latin-1").strip().split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpError(400, "malformed request line")
+    method, target = parts[0].upper(), parts[1]
+
+    headers: Dict[str, str] = {}
+    for _ in range(_MAX_HEADERS + 1):
+        line = await reader.readline()
+        if len(line) > _MAX_LINE_BYTES:
+            raise HttpError(400, "header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= _MAX_HEADERS:
+            raise HttpError(400, "too many headers")
+        text = line.decode("latin-1").rstrip("\r\n")
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise HttpError(400, "malformed Content-Length") from exc
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    split = urlsplit(target)
+    query = {key: value for key, value in parse_qsl(split.query)}
+    return HttpRequest(
+        method=method,
+        path=unquote(split.path),
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter, response: HttpResponse
+) -> None:
+    reason = _REASONS.get(response.status, "Unknown")
+    lines = [f"HTTP/1.1 {response.status} {reason}"]
+    lines.append(f"Content-Type: {response.content_type}")
+    for name, value in sorted(response.headers.items()):
+        lines.append(f"{name}: {value}")
+    lines.append("Connection: close")
+    if response.stream is None:
+        lines.append(f"Content-Length: {len(response.body)}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + response.body)
+        await writer.drain()
+        return
+    lines.append("Transfer-Encoding: chunked")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+    await writer.drain()
+    async for chunk in response.stream:
+        if not chunk:
+            continue
+        writer.write(f"{len(chunk):x}\r\n".encode("latin-1") + chunk + b"\r\n")
+        await writer.drain()
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()

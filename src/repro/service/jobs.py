@@ -1,0 +1,157 @@
+"""Campaign jobs and their crash-safe persistence.
+
+A :class:`CampaignJob` is one submission's lifecycle record: the
+validated request, its campaign fingerprint and a state machine
+``queued → running → done | failed | cancelled``. The
+:class:`JobStore` persists every transition as one atomically-written
+JSON file per job, so the scheduler's queue can be rebuilt after a
+server kill: jobs found in ``running`` state are demoted back to
+``queued`` on load — their journals (not the job file) are the source
+of truth for how much work remains, so re-running them resumes rather
+than recomputes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..exceptions import ArchiveCorruptionError, ConfigurationError
+from ..resilience.atomic import atomic_write_text
+from .campaigns import CampaignRequest
+
+__all__ = ["JOB_STATES", "TERMINAL_STATES", "CampaignJob", "JobStore"]
+
+#: Every state a job can be in, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+@dataclass
+class CampaignJob:
+    """Lifecycle record of one submitted campaign.
+
+    Attributes:
+        job_id: Stable identifier (``job-<seq>``), assigned at submit.
+        seq: Monotonic submission sequence number.
+        request: The validated campaign request.
+        fingerprint: Campaign content fingerprint (dedup/store key).
+        state: One of :data:`JOB_STATES`.
+        error: Failure detail (``failed`` state only).
+        cached: Whether the result was served from the store without
+            recomputation.
+        restored: Trials restored from checkpoint journals instead of
+            executed (resumed jobs).
+    """
+
+    job_id: str
+    seq: int
+    request: CampaignRequest
+    fingerprint: str
+    state: str = "queued"
+    error: Optional[str] = None
+    cached: bool = False
+    restored: int = 0
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise ConfigurationError(
+                f"unknown job state {self.state!r}; choose from {JOB_STATES}"
+            )
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job has reached a final state."""
+        return self.state in TERMINAL_STATES
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON form (both the persisted record and the API shape)."""
+        return {
+            "job_id": self.job_id,
+            "seq": self.seq,
+            "request": self.request.as_dict(),
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "error": self.error,
+            "cached": self.cached,
+            "restored": self.restored,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CampaignJob":
+        """Rebuild a job from its persisted JSON record."""
+        return cls(
+            job_id=payload["job_id"],
+            seq=int(payload["seq"]),
+            request=CampaignRequest.from_dict(payload["request"]),
+            fingerprint=payload["fingerprint"],
+            state=payload["state"],
+            error=payload.get("error"),
+            cached=bool(payload.get("cached", False)),
+            restored=int(payload.get("restored", 0)),
+        )
+
+
+class JobStore:
+    """One-file-per-job persistence under ``<directory>/job-*.json``.
+
+    Writes are atomic (tmp + fsync + rename), so a reader — including a
+    restarted server — only ever observes complete records.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self._jobs: Dict[str, CampaignJob] = {}
+
+    def save(self, job: CampaignJob) -> None:
+        """Persist (and index) a job's current state."""
+        self._jobs[job.job_id] = job
+        atomic_write_text(
+            self.directory / f"{job.job_id}.json",
+            json.dumps(job.as_dict(), indent=2, sort_keys=True),
+        )
+
+    def get(self, job_id: str) -> Optional[CampaignJob]:
+        """The job by id, or ``None``."""
+        return self._jobs.get(job_id)
+
+    def jobs_in_order(self) -> List[CampaignJob]:
+        """Every known job, by submission sequence."""
+        return sorted(self._jobs.values(), key=lambda job: job.seq)
+
+    def next_seq(self) -> int:
+        """Sequence number for the next submission."""
+        if not self._jobs:
+            return 1
+        return max(job.seq for job in self._jobs.values()) + 1
+
+    def load_all(self) -> List[CampaignJob]:
+        """Rebuild the index from disk (server restart).
+
+        Jobs persisted as ``running`` are demoted to ``queued``: the
+        previous process died mid-campaign, and the checkpoint journals
+        — not the job record — say which trials already ran.
+        """
+        self._jobs = {}
+        if not self.directory.is_dir():
+            return []
+        requeued: List[CampaignJob] = []
+        for path in sorted(self.directory.glob("job-*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                job = CampaignJob.from_dict(payload)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise ArchiveCorruptionError(
+                    f"job record {path} is corrupt: {exc}"
+                ) from exc
+            if job.state == "running":
+                job.state = "queued"
+                requeued.append(job)
+            self._jobs[job.job_id] = job
+        for job in requeued:
+            self.save(job)
+        return self.jobs_in_order()

@@ -1,0 +1,112 @@
+"""Per-job progress events, bridged from worker threads to HTTP readers.
+
+The worker executes campaigns in a thread (the supervised trial loop is
+synchronous and fsyncs journals); HTTP handlers run on the asyncio
+loop. The bridge is deliberately primitive: an append-only, per-job
+event list guarded by a :class:`threading.Lock`, with integer cursors.
+Writers append; readers poll ``events_since(job_id, cursor)``. No
+cross-thread ``asyncio`` signalling — the streaming endpoint sleeps
+briefly between polls, which is robust against every
+thread/loop-lifetime race the fancier designs invite.
+
+Events fire *after* the journal holds what they report (see
+:meth:`repro.resilience.supervisor._Supervision.notify_progress`), so a
+consumer acting on an event never runs ahead of what a restart would
+restore. The log is in-memory only and O(completed trials) per job; a
+restarted server starts a fresh log, with the journals carrying the
+durable state.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ProgressEvent", "ProgressTracker"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One observation of a job's execution.
+
+    ``kind="state"`` marks a lifecycle transition (``state`` carries the
+    new job state); ``kind="progress"`` reports trial completion within
+    one experiment (``experiment``, ``completed``, ``total`` set).
+    ``seq`` is the event's per-job cursor position.
+    """
+
+    seq: int
+    job_id: str
+    kind: str
+    state: str
+    experiment: Optional[str] = None
+    completed: Optional[int] = None
+    total: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON form served by the status and event-stream endpoints."""
+        payload: Dict[str, Any] = {
+            "seq": self.seq,
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "state": self.state,
+        }
+        if self.experiment is not None:
+            payload["experiment"] = self.experiment
+        if self.completed is not None:
+            payload["completed"] = self.completed
+        if self.total is not None:
+            payload["total"] = self.total
+        return payload
+
+
+class ProgressTracker:
+    """Thread-safe append-only event logs, one per job."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: Dict[str, List[ProgressEvent]] = {}
+
+    def emit(
+        self,
+        job_id: str,
+        kind: str,
+        state: str,
+        experiment: Optional[str] = None,
+        completed: Optional[int] = None,
+        total: Optional[int] = None,
+    ) -> ProgressEvent:
+        """Append one event; safe from any thread."""
+        with self._lock:
+            log = self._events.setdefault(job_id, [])
+            event = ProgressEvent(
+                seq=len(log),
+                job_id=job_id,
+                kind=kind,
+                state=state,
+                experiment=experiment,
+                completed=completed,
+                total=total,
+            )
+            log.append(event)
+            return event
+
+    def events_since(self, job_id: str, cursor: int = 0) -> List[ProgressEvent]:
+        """Events with ``seq >= cursor``, in order; empty if none yet.
+
+        The next cursor is ``events[-1].seq + 1`` (or the same cursor
+        when nothing new arrived) — poll loops and the chunked stream
+        both advance it that way.
+        """
+        if cursor < 0:
+            cursor = 0
+        with self._lock:
+            log = self._events.get(job_id, [])
+            return list(log[cursor:])
+
+    def latest(self, job_id: str) -> Optional[ProgressEvent]:
+        """The most recent event for a job, if any."""
+        with self._lock:
+            log = self._events.get(job_id, [])
+            return log[-1] if log else None

@@ -1,0 +1,158 @@
+"""Campaign scheduling: a FIFO queue under quota and rate control.
+
+The scheduler is deliberately dumb about *what* a job computes — dedup
+against the result store and in-flight fingerprints happens before a
+job reaches it (:mod:`repro.service.app`). It enforces the service's
+capacity promises:
+
+* at most ``max_active`` campaigns execute concurrently (each campaign
+  already fans its trials out over worker processes, so campaign-level
+  concurrency multiplies process counts);
+* at most ``max_queued`` submissions wait;
+* one client may hold at most ``max_per_client`` open (queued or
+  running) jobs and must space submissions ``min_interval`` seconds
+  apart.
+
+Rejections raise :class:`~repro.exceptions.QuotaExceededError` (HTTP
+429) and leave no trace. The clock is injectable for tests; wall time
+here is rate limiting, not simulation input — nothing scheduled ever
+influences archived bytes, which depend only on campaign parameters.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..exceptions import ConfigurationError, QuotaExceededError
+from .jobs import CampaignJob
+
+__all__ = ["CampaignScheduler", "QuotaPolicy"]
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Capacity and per-client fairness limits.
+
+    Attributes:
+        max_active: Campaigns executing concurrently.
+        max_queued: Submissions waiting behind them.
+        max_per_client: Open (queued + running) jobs one client may hold.
+        min_interval: Minimum seconds between one client's submissions.
+    """
+
+    max_active: int = 1
+    max_queued: int = 16
+    max_per_client: int = 8
+    min_interval: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_active < 1:
+            raise ConfigurationError(
+                f"max_active must be >= 1, got {self.max_active}"
+            )
+        if self.max_queued < 1:
+            raise ConfigurationError(
+                f"max_queued must be >= 1, got {self.max_queued}"
+            )
+        if self.max_per_client < 1:
+            raise ConfigurationError(
+                f"max_per_client must be >= 1, got {self.max_per_client}"
+            )
+        if self.min_interval < 0:
+            raise ConfigurationError(
+                f"min_interval must be >= 0, got {self.min_interval}"
+            )
+
+
+class CampaignScheduler:
+    """FIFO job queue enforcing a :class:`QuotaPolicy`."""
+
+    def __init__(
+        self,
+        policy: Optional[QuotaPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.policy = policy or QuotaPolicy()
+        self._clock = clock if clock is not None else time.monotonic
+        self._queue: Deque[CampaignJob] = deque()
+        self._running: Dict[str, CampaignJob] = {}
+        self._last_submit: Dict[str, float] = {}
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, job: CampaignJob) -> None:
+        """Enqueue a job, or raise :class:`QuotaExceededError`."""
+        client = job.request.client
+        if len(self._queue) >= self.policy.max_queued:
+            raise QuotaExceededError(
+                f"queue is full ({self.policy.max_queued} campaign(s) "
+                "waiting); retry later"
+            )
+        open_jobs = sum(
+            1
+            for other in list(self._queue) + list(self._running.values())
+            if other.request.client == client
+        )
+        if open_jobs >= self.policy.max_per_client:
+            raise QuotaExceededError(
+                f"client {client!r} already holds {open_jobs} open "
+                f"campaign(s) (limit {self.policy.max_per_client})"
+            )
+        now = self._clock()
+        last = self._last_submit.get(client)
+        if (
+            self.policy.min_interval > 0
+            and last is not None
+            and now - last < self.policy.min_interval
+        ):
+            raise QuotaExceededError(
+                f"client {client!r} must wait "
+                f"{self.policy.min_interval - (now - last):.2f}s before "
+                "submitting again"
+            )
+        self._last_submit[client] = now
+        self._queue.append(job)
+
+    def requeue(self, job: CampaignJob) -> None:
+        """Re-enqueue a restored job (restart path); bypasses quotas."""
+        self._queue.append(job)
+
+    # -- dispatch --------------------------------------------------------
+
+    def start_next(self) -> Optional[CampaignJob]:
+        """Pop the next job if a concurrency slot is free, else ``None``."""
+        if not self._queue or len(self._running) >= self.policy.max_active:
+            return None
+        job = self._queue.popleft()
+        self._running[job.job_id] = job
+        return job
+
+    def finish(self, job_id: str) -> None:
+        """Release a running job's concurrency slot."""
+        self._running.pop(job_id, None)
+
+    def cancel_queued(self, job_id: str) -> bool:
+        """Remove a job still waiting in the queue; True if it was there."""
+        for job in list(self._queue):
+            if job.job_id == job_id:
+                self._queue.remove(job)
+                return True
+        return False
+
+    # -- introspection ---------------------------------------------------
+
+    def queued_jobs(self) -> List[CampaignJob]:
+        """Waiting jobs, in dispatch order."""
+        return list(self._queue)
+
+    def running_jobs(self) -> List[CampaignJob]:
+        """Executing jobs, by submission sequence."""
+        return sorted(self._running.values(), key=lambda job: job.seq)
+
+    @property
+    def has_work(self) -> bool:
+        """Whether a dispatch attempt could start something."""
+        return bool(self._queue) and len(self._running) < self.policy.max_active

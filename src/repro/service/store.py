@@ -1,0 +1,90 @@
+"""Fingerprint-indexed result store with verify-before-serve.
+
+One completed campaign archive lives at ``<directory>/<fingerprint>/``
+— exactly the directory :func:`~repro.sim.batch.run_batch` wrote, so
+serving it *is* serving ``m2hew batch`` output. The store trusts
+nothing it did not just write: every :meth:`lookup` re-verifies the
+archive against its manifest checksums
+(:func:`~repro.resilience.verify.verify_archive`) and treats a corrupt
+archive as a miss, discarding it so the campaign recomputes instead of
+serving damaged bytes. File reads are restricted to names the manifest
+lists, so the HTTP layer cannot be walked out of an archive directory.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..exceptions import ConfigurationError
+from ..resilience.verify import VerificationReport, verify_archive
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Campaign archives keyed by content fingerprint."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Directory a campaign with this fingerprint archives into."""
+        if not fingerprint or "/" in fingerprint or fingerprint.startswith("."):
+            raise ConfigurationError(
+                f"malformed campaign fingerprint {fingerprint!r}"
+            )
+        return self.directory / fingerprint
+
+    def verify(self, fingerprint: str) -> VerificationReport:
+        """Verification report for a stored archive (missing dir included)."""
+        return verify_archive(self.path_for(fingerprint))
+
+    def lookup(self, fingerprint: str) -> Optional[Path]:
+        """The archive directory if present *and* verified, else ``None``.
+
+        A present-but-corrupt archive (torn by a kill during the final
+        archive write, bit rot, tampering) is discarded so the next
+        submission recomputes it — serving unverifiable bytes is never
+        an option.
+        """
+        path = self.path_for(fingerprint)
+        if not path.is_dir():
+            return None
+        if not verify_archive(path).ok:
+            self.discard(fingerprint)
+            return None
+        return path
+
+    def discard(self, fingerprint: str) -> None:
+        """Remove a stored archive (corruption recovery path)."""
+        path = self.path_for(fingerprint)
+        if path.is_dir():
+            shutil.rmtree(path)
+
+    def archive_files(self, fingerprint: str) -> List[str]:
+        """The archive's servable file names, manifest first.
+
+        Read from the manifest rather than the filesystem so the
+        listing matches what verification covered.
+        """
+        path = self.path_for(fingerprint)
+        manifest = json.loads(
+            (path / "manifest.json").read_text(encoding="utf-8")
+        )
+        names = ["manifest.json"]
+        for entry in manifest.get("experiments", []):
+            name = entry.get("file")
+            if isinstance(name, str) and name:
+                names.append(name)
+        return names
+
+    def read_file(self, fingerprint: str, name: str) -> bytes:
+        """Raw bytes of one archive file; only manifest-listed names."""
+        if name not in self.archive_files(fingerprint):
+            raise ConfigurationError(
+                f"{name!r} is not a file of archive {fingerprint}"
+            )
+        return (self.path_for(fingerprint) / name).read_bytes()

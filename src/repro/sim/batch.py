@@ -26,8 +26,18 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from ..analysis.stats import SampleSummary, summarize
 from ..exceptions import ConfigurationError
@@ -50,7 +60,9 @@ __all__ = [
     "ExperimentSpec",
     "BatchOutcome",
     "SYNC_PROTOCOLS",
+    "batch_fingerprint",
     "run_batch",
+    "spec_fingerprint",
 ]
 
 
@@ -127,8 +139,18 @@ class BatchOutcome:
         return row
 
 
-def _spec_fingerprint(spec: ExperimentSpec, base_seed: Optional[int]) -> str:
-    """Campaign fingerprint a checkpoint journal must match to resume."""
+def spec_fingerprint(spec: ExperimentSpec, base_seed: Optional[int]) -> str:
+    """Content fingerprint of one experiment's *inputs*.
+
+    Hashes everything that determines the experiment's archived bytes —
+    the workload recipe, network seed, protocol, trial count, base seed
+    and the archived form of the runner params — and nothing about *how*
+    it executes (workers, backend, chunking, supervision), which by the
+    byte-identity contract cannot influence the output. A checkpoint
+    journal must match this fingerprint to resume, and the campaign
+    service keys its dedup store on :func:`batch_fingerprint`, which is
+    built from these.
+    """
     return campaign_fingerprint(
         {
             "base_seed": base_seed,
@@ -138,6 +160,29 @@ def _spec_fingerprint(spec: ExperimentSpec, base_seed: Optional[int]) -> str:
             "runner_params": _archived_runner_params(spec.runner_params),
             "trials": spec.trials,
             "workload": spec.workload.describe(),
+        }
+    )
+
+
+def batch_fingerprint(
+    specs: Sequence[ExperimentSpec], base_seed: Optional[int]
+) -> str:
+    """Content fingerprint of a whole campaign (``run_batch`` inputs).
+
+    Per-experiment fingerprints are combined *in spec order* because the
+    manifest lists experiments in that order — reordering the same specs
+    produces a different archive, so it must produce a different
+    fingerprint. Two campaigns with equal fingerprints archive
+    byte-identical directories; any change to a parameter, seed, trial
+    count, fault plan or experiment order changes the fingerprint.
+    """
+    return campaign_fingerprint(
+        {
+            "base_seed": base_seed,
+            "experiments": [
+                {"name": spec.name, "fingerprint": spec_fingerprint(spec, base_seed)}
+                for spec in specs
+            ],
         }
     )
 
@@ -154,6 +199,7 @@ def _run_spec(
     retry: Optional[RetryPolicy] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     chaos: Optional[ChaosPlan] = None,
+    on_progress: Optional[Callable[[int, int], None]] = None,
 ) -> BatchOutcome:
     network = generate_network(spec.workload, seed=spec.network_seed)
     supervised = retry is not None or checkpoint_dir is not None or chaos is not None
@@ -169,7 +215,7 @@ def _run_spec(
         journal: Optional[TrialJournal] = None
         if checkpoint_dir is not None:
             journal = TrialJournal.open(
-                checkpoint_dir, spec.name, _spec_fingerprint(spec, base_seed)
+                checkpoint_dir, spec.name, spec_fingerprint(spec, base_seed)
             )
         try:
             outcome = run_supervised_trials(
@@ -187,6 +233,7 @@ def _run_spec(
                 policy=retry,
                 journal=journal,
                 chaos=chaos,
+                on_progress=on_progress,
             )
         finally:
             if journal is not None:
@@ -208,6 +255,7 @@ def _run_spec(
             batch_size=batch_size,
             trial_timeout=trial_timeout,
             experiment=spec.name,
+            on_progress=on_progress,
         )
         indexed = list(enumerate(trial_results))
 
@@ -248,6 +296,7 @@ def run_batch(
     retry: Optional[RetryPolicy] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     chaos: Optional[ChaosPlan] = None,
+    on_progress: Optional[Callable[[str, int, int], None]] = None,
 ) -> List[BatchOutcome]:
     """Run every experiment; optionally archive raw trials + manifest.
 
@@ -280,6 +329,13 @@ def run_batch(
             byte-identical to an uninterrupted run's.
         chaos: Deterministic execution-layer fault plan (implies
             supervision); for tests and recovery drills.
+        on_progress: Optional observer called with ``(experiment name,
+            trials completed, trials total)`` as each experiment
+            advances (per trial, batch or collected chunk depending on
+            the backend — always in dispatch order). Purely
+            observational and never recorded, so passing it cannot
+            change archived bytes; an exception it raises aborts the
+            campaign (cooperative cancellation).
 
     Campaigns that quarantined trials or degraded their backend record
     a ``"resilience"`` section in the manifest (with replay seeds per
@@ -304,6 +360,9 @@ def run_batch(
             retry=retry,
             checkpoint_dir=checkpoint_dir,
             chaos=chaos,
+            on_progress=(
+                None if on_progress is None else partial(on_progress, spec.name)
+            ),
         )
         for spec in specs
     ]

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     List,
     Mapping,
@@ -283,14 +284,19 @@ def _collect_in_order(
     trial_timeout: Optional[float],
     experiment: Optional[str],
     base_seed: Optional[int],
+    on_progress: Optional[Callable[[int, int], None]] = None,
+    total: int = 0,
 ) -> List[DiscoveryResult]:
     """Await ``(indices, future)`` pairs in dispatch order.
 
     Each chunk's wall-clock budget is ``trial_timeout × len(chunk)``,
     counted from when we start waiting on it; chunks complete out of
     order inside the pool but results are reassembled by index here.
-    Factored out of :func:`run_spec_trials` so the timeout and crash
-    paths are unit-testable with stub futures on any platform.
+    ``on_progress`` (if given) fires after each chunk is *collected* —
+    i.e. in dispatch order, never in completion order — with
+    ``(trials collected so far, total)``. Factored out of
+    :func:`run_spec_trials` so the timeout and crash paths are
+    unit-testable with stub futures on any platform.
     """
     results: List[DiscoveryResult] = []
     for indices, future in pending:
@@ -316,6 +322,8 @@ def _collect_in_order(
                 indices=indices,
                 base_seed=base_seed,
             ) from exc
+        if on_progress is not None:
+            on_progress(len(results), total)
     return results
 
 
@@ -352,6 +360,7 @@ def run_spec_trials(
     batch_size: Optional[int] = None,
     trial_timeout: Optional[float] = None,
     experiment: Optional[str] = None,
+    on_progress: Optional[Callable[[int, int], None]] = None,
 ) -> List[DiscoveryResult]:
     """Run ``trials`` seeded trials, optionally fanned out over processes.
 
@@ -379,6 +388,14 @@ def run_spec_trials(
             gets ``trial_timeout × len(chunk)``. Exceeding it aborts
             the campaign with :class:`TrialTimeoutError`.
         experiment: Label used in error messages.
+        on_progress: Optional observer called with ``(completed,
+            trials)`` as execution advances — per trial on the serial
+            path, per batch on the vectorized path, per collected chunk
+            on the pooled path (always in dispatch order). Purely
+            observational: it sees results only after they exist, so it
+            cannot perturb archived bytes. An exception it raises aborts
+            the campaign (callers use this for cooperative
+            cancellation).
 
     Raises:
         TrialExecutionError: A trial raised in a worker (or the worker
@@ -417,6 +434,8 @@ def run_spec_trials(
                         indices=indices,
                         base_seed=base_seed,
                     ) from exc
+                if on_progress is not None:
+                    on_progress(len(results_v), trials)
             return results_v
         results: List[DiscoveryResult] = []
         for t in range(trials):
@@ -436,6 +455,8 @@ def run_spec_trials(
                     indices=(t,),
                     base_seed=base_seed,
                 ) from exc
+            if on_progress is not None:
+                on_progress(t + 1, trials)
         return results
 
     network_json = network_to_json(network)
@@ -467,6 +488,8 @@ def run_spec_trials(
             trial_timeout=trial_timeout,
             experiment=experiment,
             base_seed=base_seed,
+            on_progress=on_progress,
+            total=trials,
         )
     finally:
         # A timed-out worker cannot be interrupted cooperatively; drop

@@ -1,0 +1,204 @@
+"""Fingerprint semantics: campaign identity is inputs, only inputs.
+
+The dedup store, the checkpoint journals and the ``m2hew fingerprint``
+command all key on the same digest, so these tests pin its contract:
+
+* identical campaign inputs produce the identical digest — however the
+  request is phrased (CLI, service request, raw specs) and whoever
+  submits it (``client`` is quota accounting, not identity);
+* changing any single input — one trial more, a different seed, a
+  fault plan, protocol order — produces a distinct digest;
+* execution knobs (workers, backend, chunking) are *not* inputs: the
+  digest has no parameters for them, and archives for one digest are
+  byte-identical regardless of them (``test_parallel.py`` and the CI
+  smoke jobs pin the byte side);
+* the journal header pins the digest, so a checkpoint can never resume
+  a campaign it does not belong to.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.resilience.checkpoint import campaign_fingerprint
+from repro.service.campaigns import CampaignRequest, campaign_specs, request_fingerprint
+from repro.sim.batch import batch_fingerprint, run_batch, spec_fingerprint
+
+BASE = dict(
+    scenario="single_common_channel",
+    protocols=("algorithm3",),
+    trials=2,
+    max_slots=50_000,
+)
+
+
+def fingerprint_of(**overrides):
+    kwargs = dict(BASE)
+    kwargs.update(overrides)
+    return request_fingerprint(CampaignRequest(**kwargs))
+
+
+class TestIdentity:
+    def test_identical_inputs_identical_digest(self):
+        assert fingerprint_of() == fingerprint_of()
+
+    def test_client_is_not_identity(self):
+        # Quota accounting only — identical campaigns dedup across clients.
+        assert fingerprint_of(client="alice") == fingerprint_of(client="bob")
+
+    def test_request_and_specs_agree(self):
+        request = CampaignRequest(**BASE)
+        specs = campaign_specs(request)
+        assert request_fingerprint(request) == batch_fingerprint(
+            specs, request.base_seed
+        )
+
+    def test_digest_is_hex_sha256(self):
+        digest = fingerprint_of()
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+    def test_canonical_json_payload(self):
+        # campaign_fingerprint canonicalizes: key insertion order is
+        # irrelevant, so equal payloads hash equal however built.
+        forward = campaign_fingerprint({"a": 1, "b": [2, 3]})
+        backward = campaign_fingerprint(
+            json.loads('{"b": [2, 3], "a": 1}')
+        )
+        assert forward == backward
+
+
+class TestDistinctness:
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"trials": 3},
+            {"base_seed": 1},
+            {"network_seed": 1},
+            {"max_slots": 60_000},
+            {"delta_est": 4},
+            {"faults": "jamming_light"},
+            {"protocols": ("algorithm1",)},
+            {"protocols": ("algorithm3", "algorithm1")},
+            {"scenario": "rural_sparse"},
+        ],
+    )
+    def test_any_single_input_change_changes_digest(self, change):
+        assert fingerprint_of(**change) != fingerprint_of()
+
+    def test_fault_selector_hashes_by_resolved_plan(self):
+        # The digest covers the *resolved* fault plan, not the selector
+        # string: on a scenario without a plan, "scenario" and "none"
+        # describe the same campaign; on one with a plan they differ.
+        assert fingerprint_of(faults="none") == fingerprint_of(faults="scenario")
+        jammed = dict(BASE, scenario="jammed_urban")
+        with_plan = fingerprint_of(**dict(jammed, faults="scenario"))
+        without = fingerprint_of(**dict(jammed, faults="none"))
+        assert with_plan != without
+
+    def test_protocol_order_is_identity(self):
+        # Spec order fixes manifest order, hence archived bytes.
+        forward = fingerprint_of(protocols=("algorithm1", "algorithm3"))
+        backward = fingerprint_of(protocols=("algorithm3", "algorithm1"))
+        assert forward != backward
+
+    def test_spec_fingerprint_varies_per_experiment(self):
+        request = CampaignRequest(
+            **{**BASE, "protocols": ("algorithm1", "algorithm3")}
+        )
+        specs = campaign_specs(request)
+        digests = {spec_fingerprint(s, request.base_seed) for s in specs}
+        assert len(digests) == len(specs)
+
+    def test_base_seed_reaches_spec_fingerprint(self):
+        request = CampaignRequest(**BASE)
+        (spec,) = campaign_specs(request)
+        assert spec_fingerprint(spec, 0) != spec_fingerprint(spec, 1)
+
+
+class TestExecutionKnobsAreNotIdentity:
+    def test_digest_has_no_execution_parameters(self):
+        # The fingerprint functions take campaign inputs only — there is
+        # nothing to pass for workers/backend/chunking, by construction.
+        request = CampaignRequest(**BASE)
+        specs = campaign_specs(request)
+        before = batch_fingerprint(specs, request.base_seed)
+        run_batch(specs, base_seed=request.base_seed, max_workers=2, chunk_size=1)
+        # Executing (with any knobs) cannot perturb the digest.
+        assert batch_fingerprint(specs, request.base_seed) == before
+
+
+class TestJournalPinning:
+    def test_checkpoint_refuses_foreign_campaign(self, tmp_path):
+        request = CampaignRequest(**BASE)
+        specs = campaign_specs(request)
+        ckpt = tmp_path / "ckpt"
+        run_batch(
+            specs,
+            base_seed=request.base_seed,
+            output_dir=tmp_path / "out",
+            checkpoint_dir=ckpt,
+        )
+        # Rerunning the same campaign against its journal is fine...
+        run_batch(
+            specs,
+            base_seed=request.base_seed,
+            output_dir=tmp_path / "out2",
+            checkpoint_dir=ckpt,
+        )
+        # ...but a different base seed is a different campaign: the
+        # journal's pinned fingerprint refuses it.
+        with pytest.raises(ConfigurationError, match="fingerprint"):
+            run_batch(
+                specs,
+                base_seed=request.base_seed + 1,
+                output_dir=tmp_path / "out3",
+                checkpoint_dir=ckpt,
+            )
+
+
+class TestCliFingerprintCommand:
+    def test_plain_and_json_agree_with_library(self, capsys):
+        from repro.cli import main
+
+        args = [
+            "fingerprint",
+            "single_common_channel",
+            "--protocols",
+            "algorithm3",
+            "--trials",
+            "2",
+            "--max-slots",
+            "50000",
+        ]
+        assert main(args) == 0
+        plain = capsys.readouterr().out.strip()
+        assert plain == fingerprint_of()
+        assert main(args + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fingerprint"] == plain
+        assert payload["request"]["scenario"] == "single_common_channel"
+
+    def test_batch_announces_same_fingerprint(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "batch",
+                "single_common_channel",
+                "--protocols",
+                "algorithm3",
+                "--trials",
+                "2",
+                "--max-slots",
+                "50000",
+                "--output",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert f"campaign fingerprint: {fingerprint_of()}" in err

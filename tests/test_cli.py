@@ -550,3 +550,24 @@ class TestVerifyArchiveCommand:
     def test_missing_directory_flagged(self, tmp_path, capsys):
         assert main(["verify-archive", str(tmp_path / "nope")]) == 1
         assert "CORRUPT" in capsys.readouterr().err
+
+    def test_json_report_intact(self, tmp_path, capsys):
+        out = self._archive(tmp_path)
+        capsys.readouterr()
+        assert main(["verify-archive", str(out), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["issues"] == []
+        assert report["files_checked"] >= 2
+        assert report["directory"] == str(out)
+
+    def test_json_report_corrupt(self, tmp_path, capsys):
+        out = self._archive(tmp_path)
+        target = out / "rural_sparse_algorithm3.json"
+        target.write_bytes(target.read_bytes()[:-20])
+        capsys.readouterr()
+        assert main(["verify-archive", str(out), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        kinds = {issue["kind"] for issue in report["issues"]}
+        assert "checksum_mismatch" in kinds
