@@ -53,6 +53,7 @@ _AUDIT_RULE_CLASSES = (
     contracts.EngineSurfaceParity,
     contracts.CallKeywordValidity,
     contracts.BatchableParamsSubset,
+    contracts.GridCellCoverage,
     contracts.ReplayCoordinateContract,
     contracts.CliFlagPlumbing,
 )

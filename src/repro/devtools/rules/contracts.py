@@ -33,6 +33,12 @@ package with a contract module missing is itself reported via C601.
 * **C605** — CLI flag plumbing: every ``add_argument`` destination in
   ``repro.cli`` must be read as ``args.<dest>`` somewhere, catching
   flags that parse but no longer reach the runner stack.
+* **C606** — grid-cell coverage: every ``_BATCHABLE_PARAMS`` entry must
+  be either a ``GridCell`` field or a declared dispatch-level parameter
+  (schedule/stopping/engine selection). A batchable parameter the grid
+  path cannot carry would be silently dropped when spec points fuse,
+  while the per-spec path honors it — a byte-identity break the
+  differential tests only catch for parameters they happen to vary.
 """
 
 from __future__ import annotations
@@ -50,6 +56,7 @@ __all__ = [
     "EngineSurfaceParity",
     "CallKeywordValidity",
     "BatchableParamsSubset",
+    "GridCellCoverage",
     "ReplayCoordinateContract",
     "CliFlagPlumbing",
 ]
@@ -109,7 +116,10 @@ CONTRACT_FUNCTIONS: Dict[str, str] = {
     "run_trials": "sim.runner",
     "make_clocks": "sim.runner",
     "random_start_offsets": "sim.runner",
+    "run_experiment_grid_batched": "sim.runner",
+    "grid_batchable": "sim.runner",
     "run_spec_trials": "sim.parallel",
+    "run_grid_spec_trials": "sim.parallel",
     "run_batch": "sim.batch",
     "run_supervised_trials": "resilience.supervisor",
     "compile_plan": "faults.runtime",
@@ -306,6 +316,24 @@ class CallKeywordValidity(AuditRule):
                         )
 
 
+def _batchable_params(
+    ctx: ModuleContext,
+) -> Optional[Tuple[List[str], ast.AST]]:
+    """``_BATCHABLE_PARAMS`` string entries + the assignment node."""
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "_BATCHABLE_PARAMS" in targets:
+                keys = [
+                    sub.value
+                    for sub in ast.walk(node.value)
+                    if isinstance(sub, ast.Constant)
+                    and isinstance(sub.value, str)
+                ]
+                return keys, node
+    return None
+
+
 class BatchableParamsSubset(AuditRule):
     rule_id = "C603"
     title = "_BATCHABLE_PARAMS must be a subset of run_synchronous keywords"
@@ -321,17 +349,8 @@ class BatchableParamsSubset(AuditRule):
         ctx = project.get("sim.runner")
         if ctx is None:
             return
-        batchable: Optional[ast.expr] = None
-        batchable_node: Optional[ast.AST] = None
-        for node in ctx.tree.body:
-            if isinstance(node, ast.Assign):
-                targets = [
-                    t.id for t in node.targets if isinstance(t, ast.Name)
-                ]
-                if "_BATCHABLE_PARAMS" in targets:
-                    batchable = node.value
-                    batchable_node = node
-        if batchable is None or batchable_node is None:
+        found = _batchable_params(ctx)
+        if found is None:
             yield self.finding(
                 ctx,
                 ctx.tree,
@@ -339,11 +358,7 @@ class BatchableParamsSubset(AuditRule):
                 "batched-engine eligibility contract)",
             )
             return
-        keys: List[str] = [
-            sub.value
-            for sub in ast.walk(batchable)
-            if isinstance(sub, ast.Constant) and isinstance(sub.value, str)
-        ]
+        keys, batchable_node = found
         run_sync = _find_def(ctx, "run_synchronous")
         sig = _signature_of(run_sync) if run_sync is not None else None
         if sig is None:
@@ -359,6 +374,64 @@ class BatchableParamsSubset(AuditRule):
                     f"_BATCHABLE_PARAMS entry {key!r} is not a keyword of "
                     "run_synchronous; the serial fallback would raise "
                     "where the batched path succeeds",
+                )
+
+
+#: Batchable runner-params the grid dispatcher resolves *above* the
+#: cell level: schedule construction (``delta_est``), the shared
+#: stopping condition (``max_slots``, ``stop_on_full_coverage``) and
+#: engine selection (``engine``). Everything else must travel inside a
+#: :class:`~repro.sim.batched.GridCell`.
+_GRID_DISPATCH_PARAMS = frozenset(
+    {"delta_est", "engine", "max_slots", "stop_on_full_coverage"}
+)
+
+
+class GridCellCoverage(AuditRule):
+    rule_id = "C606"
+    title = "_BATCHABLE_PARAMS must map onto GridCell fields or dispatch params"
+    rationale = (
+        "run_experiment_grid_batched fuses spec points by translating "
+        "each entry's runner_params into a GridCell; a batchable "
+        "parameter with no GridCell field and no dispatch-level "
+        "handling is silently dropped when spec points fuse while the "
+        "per-spec path honors it — a byte-identity break the "
+        "differential tests only catch for parameters they vary."
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        runner = project.get("sim.runner")
+        batched = project.get("sim.batched")
+        if runner is None or batched is None:
+            return
+        found = _batchable_params(runner)
+        if found is None:
+            return  # C603 already reports the missing contract
+        keys, _ = found
+        cell = _find_def(batched, "GridCell")
+        if not isinstance(cell, ast.ClassDef):
+            yield self.finding(
+                batched,
+                batched.tree,
+                "GridCell is missing from sim.batched (the grid batch "
+                "cell contract)",
+            )
+            return
+        fields = {
+            stmt.target.id
+            for stmt in cell.body
+            if isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+        }
+        for key in sorted(set(keys) - _GRID_DISPATCH_PARAMS):
+            if key not in fields:
+                yield self.finding(
+                    batched,
+                    cell,
+                    f"_BATCHABLE_PARAMS entry {key!r} is neither a "
+                    "GridCell field nor a declared dispatch-level "
+                    "parameter (_GRID_DISPATCH_PARAMS); the grid path "
+                    "would silently drop it",
                 )
 
 

@@ -511,25 +511,39 @@ class FaultRuntime:
 
     @staticmethod
     def batched_alive_mask(
-        runtimes: Sequence["FaultRuntime"], t: int
+        runtimes: Sequence[Optional["FaultRuntime"]], t: int, num_nodes: int
     ) -> np.ndarray:
         """Stacked :meth:`alive_mask` rows, shape ``(B, num_nodes)``.
 
         ``runtimes[b]`` is trial ``b``'s runtime (all bound via
-        :meth:`bind_dense`); used by the trial-batched engine.
+        :meth:`bind_dense`) or ``None`` for a fault-free row, whose
+        nodes are all alive; used by the trial- and grid-batched engine.
         """
-        return np.stack([runtime.alive_mask(t) for runtime in runtimes])
+        mask = np.ones((len(runtimes), num_nodes), dtype=bool)
+        for b, runtime in enumerate(runtimes):
+            if runtime is not None:
+                mask[b] = runtime.alive_mask(t)
+        return mask
 
     @staticmethod
     def batched_blocked_mask(
-        runtimes: Sequence["FaultRuntime"],
+        runtimes: Sequence[Optional["FaultRuntime"]],
+        num_nodes: int,
+        num_dense: int,
     ) -> np.ndarray:
-        """Stacked :meth:`blocked_mask`, shape ``(B, num_nodes, num_dense)``."""
-        return np.stack([runtime.blocked_mask() for runtime in runtimes])
+        """Stacked :meth:`blocked_mask`, shape ``(B, num_nodes, num_dense)``.
+
+        ``None`` rows (fault-free trials in a grid batch) block nothing.
+        """
+        mask = np.zeros((len(runtimes), num_nodes, num_dense), dtype=bool)
+        for b, runtime in enumerate(runtimes):
+            if runtime is not None:
+                mask[b] = runtime.blocked_mask()
+        return mask
 
     @staticmethod
     def batched_keep_mask(
-        runtimes: Sequence["FaultRuntime"],
+        runtimes: Sequence[Optional["FaultRuntime"]],
         trial_indices: np.ndarray,
         sender_indices: np.ndarray,
         receiver_indices: np.ndarray,
@@ -543,9 +557,13 @@ class FaultRuntime:
         exact order a serial run of that trial would issue them. Trials
         with no deliveries get no slice and therefore draw nothing —
         matching the serial engine's early return on an empty slot.
+        ``None`` rows keep every delivery and draw nothing, exactly like
+        a serial fault-free trial.
         """
         keep = np.ones(int(trial_indices.size), dtype=bool)
         for b, runtime in enumerate(runtimes):
+            if runtime is None:
+                continue
             lo = int(np.searchsorted(trial_indices, b, side="left"))
             hi = int(np.searchsorted(trial_indices, b, side="right"))
             if lo == hi:

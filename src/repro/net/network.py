@@ -128,6 +128,12 @@ class M2HeWNetwork:
         self._per_channel_neighbors: Dict[int, Dict[int, FrozenSet[int]]] = {}
         self._links: Dict[Tuple[int, int], DirectedLink] = {}
         self._build_derived()
+        # The network is immutable after _build_derived, so the sorted
+        # link list and the paper parameters are computed at most once;
+        # engines call links() / parameter_summary() per trial and the
+        # O(E) Python recomputation dominated large-N result building.
+        self._sorted_links: Optional[List[DirectedLink]] = None
+        self._summary: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -265,7 +271,9 @@ class M2HeWNetwork:
 
     def links(self) -> List[DirectedLink]:
         """All directed links, sorted by ``(transmitter, receiver)``."""
-        return [self._links[k] for k in sorted(self._links)]
+        if self._sorted_links is None:
+            self._sorted_links = [self._links[k] for k in sorted(self._links)]
+        return list(self._sorted_links)
 
     def link(self, transmitter: int, receiver: int) -> DirectedLink:
         """The link from ``transmitter`` to ``receiver``.
@@ -325,13 +333,15 @@ class M2HeWNetwork:
 
     def parameter_summary(self) -> Dict[str, float]:
         """The paper's parameters ``N, S, Δ, ρ`` plus link count, as a dict."""
-        return {
-            "N": self.num_nodes,
-            "S": self.max_channel_set_size,
-            "Delta": self.max_degree,
-            "rho": self.min_span_ratio if self._links else float("nan"),
-            "links": self.num_links,
-        }
+        if self._summary is None:
+            self._summary = {
+                "N": self.num_nodes,
+                "S": self.max_channel_set_size,
+                "Delta": self.max_degree,
+                "rho": self.min_span_ratio if self._links else float("nan"),
+                "links": self.num_links,
+            }
+        return dict(self._summary)
 
     # ------------------------------------------------------------------
     # model checks / utilities

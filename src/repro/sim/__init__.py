@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from .async_engine import AsyncSimulator
 from .batch import BatchOutcome, ExperimentSpec, run_batch
-from .batched import BatchedSlottedSimulator
+from .batched import BatchedSlottedSimulator, GridBatchedSimulator, GridCell
 from .clock import (
     Clock,
     ConstantDriftClock,
@@ -25,13 +25,20 @@ from .fast_slotted import (
     VectorSchedule,
 )
 from .medium import Medium, Transmission
-from .parallel import ParallelPlan, resolve_plan, run_spec_trials
+from .parallel import (
+    ParallelPlan,
+    resolve_plan,
+    run_grid_spec_trials,
+    run_spec_trials,
+)
+from .profile import SlotProfiler
 from .results import DiscoveryResult, load_result, result_from_dict
 from .rng import RngFactory, derive_trial_seed, make_generator, spawn_generators
 from .runner import (
     make_clocks,
     random_start_offsets,
     run_asynchronous,
+    run_experiment_grid_batched,
     run_experiment_trial,
     run_experiment_trials_batched,
     run_synchronous,
@@ -67,6 +74,8 @@ __all__ = [
     "FastSlottedSimulator",
     "FlatSchedule",
     "FrameRecord",
+    "GridBatchedSimulator",
+    "GridCell",
     "GrowingEstimateSchedule",
     "Medium",
     "ParallelPlan",
@@ -75,6 +84,7 @@ __all__ = [
     "RandomWalkDriftClock",
     "RngFactory",
     "SinusoidalDriftClock",
+    "SlotProfiler",
     "SlotRecord",
     "SlottedSimulator",
     "SparseReception",
@@ -89,8 +99,10 @@ __all__ = [
     "random_start_offsets",
     "resolve_plan",
     "run_asynchronous",
+    "run_experiment_grid_batched",
     "run_experiment_trial",
     "run_experiment_trials_batched",
+    "run_grid_spec_trials",
     "run_spec_trials",
     "run_synchronous",
     "run_trials",

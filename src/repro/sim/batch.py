@@ -48,9 +48,9 @@ from ..resilience.policy import RetryPolicy
 from ..resilience.verify import ARCHIVE_SCHEMA_VERSION
 from ..workloads.generator import WorkloadConfig, generate_network
 from ..core.registry import ASYNCHRONOUS_PROTOCOLS
-from .parallel import run_spec_trials
+from .parallel import run_grid_spec_trials, run_spec_trials
 from .results import DiscoveryResult
-from .runner import SYNC_PROTOCOLS
+from .runner import SYNC_PROTOCOLS, grid_batchable
 
 if TYPE_CHECKING:  # import cycle: resilience.supervisor dispatches via sim
     from ..resilience.supervisor import QuarantinedTrial, SupervisorEvent
@@ -283,6 +283,90 @@ def _run_spec(
     )
 
 
+def _grid_groups(specs: Sequence[ExperimentSpec], backend: str) -> List[List[int]]:
+    """Spec-index groups fusable into one grid pass, in first-seen order.
+
+    Two experiments fuse when they realize the *same network* (identical
+    workload recipe and network seed) and both are grid-eligible
+    (:func:`~repro.sim.runner.grid_batchable`). Groups of one gain
+    nothing over the per-spec batched path and keep its exact error
+    labels, so only groups of two or more are returned.
+    """
+    if backend != "vectorized":
+        return []
+    groups: Dict[str, List[int]] = {}
+    for i, spec in enumerate(specs):
+        if not grid_batchable(spec.protocol, spec.runner_params):
+            continue
+        key = json.dumps(
+            {"workload": spec.workload.describe(), "seed": spec.network_seed},
+            sort_keys=True,
+        )
+        groups.setdefault(key, []).append(i)
+    return [indices for indices in groups.values() if len(indices) >= 2]
+
+
+def _run_grid_group(
+    specs: Sequence[ExperimentSpec],
+    indices: Sequence[int],
+    base_seed: Optional[int],
+    *,
+    max_workers: int,
+    chunk_size: Optional[int],
+    batch_size: Optional[int],
+    trial_timeout: Optional[float],
+    on_progress: Optional[Callable[[str, int, int], None]],
+) -> List[BatchOutcome]:
+    """Run a fusable spec group as one grid campaign; outcomes per index.
+
+    The shared network is realized once; every spec point advances in
+    the same kernel passes (see
+    :func:`~repro.sim.parallel.run_grid_spec_trials`). Metadata is
+    stamped exactly as :func:`_run_spec` stamps it — experiment, trial,
+    workload, in that insertion order — so archives are byte-identical
+    to per-spec execution.
+    """
+    group = [specs[i] for i in indices]
+    network = generate_network(group[0].workload, seed=group[0].network_seed)
+    entries = [(s.protocol, s.trials, s.runner_params) for s in group]
+    per_entry = run_grid_spec_trials(
+        network,
+        entries,
+        base_seed=base_seed,
+        max_workers=max_workers,
+        chunk_size=chunk_size,
+        batch_size=batch_size,
+        trial_timeout=trial_timeout,
+        experiment=" + ".join(s.name for s in group),
+        on_progress=(
+            None
+            if on_progress is None
+            else lambda j, done, total: on_progress(group[j].name, done, total)
+        ),
+    )
+    outcomes = []
+    for spec, results in zip(group, per_entry):
+        for t, result in enumerate(results):
+            result.metadata["experiment"] = spec.name
+            result.metadata["trial"] = t
+            result.metadata["workload"] = spec.workload.describe()
+        times = [
+            float(r.completion_time)
+            for r in results
+            if r.completion_time is not None
+        ]
+        outcomes.append(
+            BatchOutcome(
+                spec=spec,
+                results=results,
+                network_params=dict(network.parameter_summary()),
+                completion=summarize(times) if times else None,
+                completed_fraction=sum(r.completed for r in results) / spec.trials,
+            )
+        )
+    return outcomes
+
+
 def run_batch(
     specs: Sequence[ExperimentSpec],
     base_seed: Optional[int] = 0,
@@ -315,7 +399,13 @@ def run_batch(
             recorded in the manifest.
         backend: ``auto`` (default), ``serial``, ``process`` or
             ``vectorized`` (trial-batched engine; byte-identical
-            output, see :mod:`repro.sim.batched`).
+            output, see :mod:`repro.sim.batched`). Unsupervised
+            vectorized campaigns additionally fuse grid-eligible
+            experiments that share a workload recipe and network seed
+            into parameter-grid batches
+            (:class:`~repro.sim.batched.GridBatchedSimulator`) — one
+            kernel pass advances every spec point, still byte-identical
+            to per-spec execution.
         chunk_size: Trials per worker dispatch (default: auto).
         batch_size: Trials per vectorized batch (``vectorized`` only;
             default: one batch per dispatch unit).
@@ -348,8 +438,33 @@ def run_batch(
     if len(set(names)) != len(names):
         raise ConfigurationError(f"duplicate experiment names: {sorted(names)}")
 
+    # Unsupervised vectorized campaigns fuse same-network spec groups
+    # into grid batches — one kernel pass advances every spec point.
+    # Byte-identical to per-spec execution, so the archive (written in
+    # spec order below) cannot tell the difference.
+    supervised = retry is not None or checkpoint_dir is not None or chaos is not None
+    fused: Dict[int, BatchOutcome] = {}
+    if not supervised:
+        for indices in _grid_groups(specs, backend):
+            for i, outcome in zip(
+                indices,
+                _run_grid_group(
+                    specs,
+                    indices,
+                    base_seed,
+                    max_workers=max_workers,
+                    chunk_size=chunk_size,
+                    batch_size=batch_size,
+                    trial_timeout=trial_timeout,
+                    on_progress=on_progress,
+                ),
+            ):
+                fused[i] = outcome
+
     outcomes = [
-        _run_spec(
+        fused[i]
+        if i in fused
+        else _run_spec(
             spec,
             base_seed,
             max_workers=max_workers,
@@ -364,7 +479,7 @@ def run_batch(
                 None if on_progress is None else partial(on_progress, spec.name)
             ),
         )
-        for spec in specs
+        for i, spec in enumerate(specs)
     ]
 
     if output_dir is not None:

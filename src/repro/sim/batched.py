@@ -1,45 +1,75 @@
-"""Trial-batched synchronous engine: B seeded trials per numpy kernel.
+"""Trial- and grid-batched synchronous engine: one kernel, many trials.
 
-Monte-Carlo campaigns (E1–E3 theorem checks, robustness sweeps) run
-dozens-to-hundreds of independent trials of the same experiment. The
-process pool (:mod:`repro.sim.parallel`) buys little on small hosts, so
-this engine applies the other classic lever — a **batch axis**: one
-:class:`BatchedSlottedSimulator` advances ``B`` trials per slot with
-``(B, N)``-shaped arrays, and resolves reception for the whole batch
-with one :class:`~repro.sim.fast_slotted.SparseReception` scatter call
-whose keys carry a per-trial offset. Per-slot cost scales with the
-batch's actual transmitters and audibility edges, never O(B·C·N²), and
-memory stays O(B·(N + links)).
+Monte-Carlo campaigns (E1–E3 theorem checks, robustness sweeps, the
+tournament league) run *many spec points × many trials* of the same
+slot kernel. The process pool (:mod:`repro.sim.parallel`) buys little
+on small hosts, so this engine applies the other classic lever — a
+**batch axis**: one simulator advances ``R`` independent trial rows per
+slot with ``(R, N)``-shaped arrays, and resolves reception for the
+whole batch with one :class:`~repro.sim.fast_slotted.SparseReception`
+scatter call whose keys carry a per-row offset. Per-slot cost scales
+with the batch's actual transmitters and audibility edges, never
+O(R·C·N²), and memory stays O(R·(N + links)).
 
-Determinism contract (pinned by ``tests/test_batched_engine.py``):
+Two batching shapes share the kernel:
 
-* trial ``i`` owns the ``"fast-engine"`` stream of its *own*
+* :class:`BatchedSlottedSimulator` — the (B, N) *trial batch*: B seeded
+  trials of one experiment (shared schedule, erasure, fault plan);
+* :class:`GridBatchedSimulator` — the (G, B, N) *grid batch*: G
+  experiment cells (each a :class:`GridCell` with its own schedule,
+  start offsets, erasure probability and fault plan, sharing only the
+  network and stopping condition) advance together, each contributing a
+  contiguous block of rows. A whole Δ_est/ρ/erasure/fault-preset sweep
+  thus pays kernel setup and per-slot Python dispatch once instead of
+  once per spec point.
+
+Determinism contract (pinned by ``tests/test_batched_engine.py`` and
+``tests/test_grid_engine.py``):
+
+* row ``r`` owns the ``"fast-engine"`` stream of its *own*
   :class:`~repro.sim.rng.RngFactory` — the exact generator the serial
   :class:`~repro.sim.fast_slotted.FastSlottedSimulator` would use — and
   the engine replays the serial engine's per-trial draw sequence
   call-for-call (decision uniforms, channel picks, erasure coins, loss
   coins, including every data-dependent early exit);
-* therefore every trial's :class:`~repro.sim.results.DiscoveryResult`
-  is **byte-identical to the serial fast engine's**, which makes the
-  output independent of the batch size ``B`` by construction — batching
+* therefore every row's :class:`~repro.sim.results.DiscoveryResult` is
+  **byte-identical to the serial fast engine's**, which makes the
+  output independent of both ``B`` and ``G`` by construction — batching
   is a dispatch optimization exactly like worker fan-out, so results
   report the same ``engine: slotted-fast`` metadata and archives never
   encode how trials were grouped.
 
-Fault plans compile per trial (each against its trial's factory, so
-fault trajectories match serial runs) and are consulted through the
-batched entry points of :class:`~repro.faults.runtime.FaultRuntime`.
+Fault plans compile per row (each against its row's factory, so fault
+trajectories match serial runs) and are consulted through the batched
+entry points of :class:`~repro.faults.runtime.FaultRuntime`, which
+treat fault-free rows (``None`` runtimes) as identity.
+
+Pass ``profile=True`` to either simulator to collect per-phase timings
+(:class:`~repro.sim.profile.SlotProfiler`) via :meth:`profile`; the
+default is a ``None`` profiler that costs the hot loop nothing.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..net.network import M2HeWNetwork
 from .fast_slotted import SparseReception, VectorSchedule
+from .profile import SlotProfiler
 from .results import DiscoveryResult
 from .rng import RngFactory
 from .stopping import StoppingCondition
@@ -48,88 +78,169 @@ if TYPE_CHECKING:  # imported lazily at runtime to keep sim/faults decoupled
     from ..faults.plan import FaultPlan
     from ..faults.runtime import FaultRuntime
 
-__all__ = ["BatchedSlottedSimulator"]
+__all__ = ["BatchedSlottedSimulator", "GridBatchedSimulator", "GridCell"]
 
 
-class BatchedSlottedSimulator:
-    """Vectorized synchronous simulator for a batch of seeded trials.
+@dataclass(frozen=True)
+class GridCell:
+    """One experiment cell of a grid batch.
 
-    Semantics per trial are identical to
+    A cell is everything that may differ between the spec points of a
+    sweep while still sharing one kernel pass: the probability schedule,
+    the per-trial seed factories, start offsets, the erasure probability
+    and the fault plan. The network and the stopping condition are
+    shared by the whole grid (callers group spec points accordingly).
+    """
+
+    schedule: VectorSchedule
+    rng_factories: Sequence[RngFactory]
+    start_offsets: Optional[Mapping[int, int]] = None
+    erasure_prob: float = 0.0
+    faults: Optional["FaultPlan"] = field(default=None)
+
+
+def _raw_pick_verified(rng: np.random.Generator, size: int, n: int) -> bool:
+    """Prove ``random_raw``-based picks replicate ``integers`` draws.
+
+    Runs both draw disciplines on independent copies of ``rng``'s bit
+    generator state (the live stream is never advanced) and accepts the
+    fast path only if the values match *and* both copies end in the
+    same state (checked behaviorally with a follow-up draw). Callers
+    guarantee ``size`` is a power of two ≥ 2 and ``n`` is even.
+    """
+    bg = rng.bit_generator
+    try:
+        ref_bg = type(bg)(0)
+        ref_bg.state = bg.state
+        raw_bg = type(bg)(0)
+        raw_bg.state = bg.state
+    except (TypeError, ValueError):
+        return False
+    ref = np.random.Generator(ref_bg).integers(0, size, n)
+    raw = raw_bg.random_raw(n // 2)
+    shift = 32 - (size.bit_length() - 1)
+    emulated = np.empty(n, dtype=np.int64)
+    emulated[0::2] = (raw & 0xFFFFFFFF) >> shift
+    emulated[1::2] = raw >> (32 + shift)
+    if not bool((ref == emulated).all()):
+        return False
+    # Same end state ⇒ the next real draw stays aligned too.
+    probe = np.random.Generator(ref_bg).random(4)
+    return bool((probe == np.random.Generator(raw_bg).random(4)).all())
+
+
+class GridBatchedSimulator:
+    """Vectorized synchronous simulator for a grid of seeded trial rows.
+
+    Semantics per row are identical to
     :class:`~repro.sim.fast_slotted.FastSlottedSimulator` (bit-for-bit;
-    see the module docstring); ``rng_factories[i]`` seeds trial ``i``.
-    All trials share the network, schedule, start offsets, erasure
-    probability, fault *plan* (realized independently per trial) and
-    the stopping condition — i.e. one experiment's trial campaign.
+    see the module docstring). ``cells[g]`` contributes
+    ``len(cells[g].rng_factories)`` consecutive rows; :meth:`run`
+    returns results in row order and :attr:`cell_slices` maps them back
+    to cells.
     """
 
     def __init__(
         self,
         network: M2HeWNetwork,
-        schedule: VectorSchedule,
-        rng_factories: Sequence[RngFactory],
-        start_offsets: Optional[Mapping[int, int]] = None,
-        erasure_prob: float = 0.0,
-        faults: Optional["FaultPlan"] = None,
+        cells: Sequence[GridCell],
+        *,
+        profile: bool = False,
     ) -> None:
-        if not rng_factories:
-            raise ConfigurationError("batch needs at least one RngFactory")
-        if not 0.0 <= erasure_prob < 1.0:
-            raise ConfigurationError(
-                f"erasure_prob must be in [0, 1), got {erasure_prob}"
-            )
+        if not cells:
+            raise ConfigurationError("grid needs at least one cell")
         self._network = network
         self._ids = network.node_ids
         self._index = {nid: i for i, nid in enumerate(self._ids)}
         n = len(self._ids)
-        batch = len(rng_factories)
-        if schedule.num_nodes != n:
-            raise ConfigurationError(
-                f"schedule covers {schedule.num_nodes} nodes, network has {n}"
-            )
-        self._schedule = schedule
-        self._erasure_prob = erasure_prob
-        self._batch = batch
         self._num_nodes = n
-        self._streams = [f.stream("fast-engine") for f in rng_factories]
+        self._cells = list(cells)
+        self._profiler: Optional[SlotProfiler] = (
+            SlotProfiler() if profile else None
+        )
 
-        # Fault plans realize independently per trial, exactly as the
-        # serial engine would with each trial's own factory.
-        self._runtimes: Optional[List["FaultRuntime"]] = None
-        if faults is not None:
-            from ..faults.runtime import compile_plan
-
-            runtimes = [
-                compile_plan(faults, network, factory, time_unit="slots")
-                for factory in rng_factories
-            ]
-            if any(rt is not None for rt in runtimes):
-                # compile_plan is deterministic in plan triviality, so
-                # it returns None for every trial or for none.
-                self._runtimes = [rt for rt in runtimes if rt is not None]
-        runtimes_list = self._runtimes
-        self._has_spectrum = bool(runtimes_list) and runtimes_list[0].has_spectrum
-        self._has_churn = bool(runtimes_list) and runtimes_list[0].has_churn
-        self._has_loss = bool(runtimes_list) and runtimes_list[0].has_loss
-
-        # Per-trial start offsets (joins fold in per trial, mirroring
-        # the serial constructor).
-        offsets = dict(start_offsets or {})
-        base = np.zeros(n, dtype=np.int64)
-        for nid, off in offsets.items():
-            if off < 0:
+        # Row layout: cell g owns rows cell_slices[g] (contiguous).
+        row = 0
+        slices: List[slice] = []
+        for cell in self._cells:
+            if not cell.rng_factories:
+                raise ConfigurationError("batch needs at least one RngFactory")
+            if not 0.0 <= cell.erasure_prob < 1.0:
                 raise ConfigurationError(
-                    f"start offset of node {nid} must be >= 0, got {off}"
+                    f"erasure_prob must be in [0, 1), got {cell.erasure_prob}"
                 )
-            base[self._index[nid]] = int(off)
-        self._offsets = np.tile(base, (batch, 1))
-        if runtimes_list is not None:
-            for b, runtime in enumerate(runtimes_list):
+            if cell.schedule.num_nodes != n:
+                raise ConfigurationError(
+                    f"schedule covers {cell.schedule.num_nodes} nodes, "
+                    f"network has {n}"
+                )
+            slices.append(slice(row, row + len(cell.rng_factories)))
+            row += len(cell.rng_factories)
+        self.cell_slices: List[slice] = slices
+        batch = row
+        self._batch = batch
+        self._schedules = [cell.schedule for cell in self._cells]
+        self._streams = [
+            f.stream("fast-engine")
+            for cell in self._cells
+            for f in cell.rng_factories
+        ]
+        # Per-row erasure probability, kept as the caller's Python float
+        # so result metadata reproduces the serial engine's bytes.
+        self._erasure_list: List[float] = [
+            cell.erasure_prob
+            for cell, sl in zip(self._cells, slices)
+            for _ in range(sl.stop - sl.start)
+        ]
+        self._any_erasure = any(p > 0.0 for p in self._erasure_list)
+
+        # Fault plans realize independently per row, exactly as the
+        # serial engine would with each trial's own factory. Rows whose
+        # plan is trivial (or absent) keep a None runtime and follow the
+        # fault-free code path through the batched mask helpers.
+        runtimes: List[Optional["FaultRuntime"]] = []
+        for cell in self._cells:
+            if cell.faults is None:
+                runtimes.extend([None] * len(cell.rng_factories))
+            else:
+                from ..faults.runtime import compile_plan
+
+                runtimes.extend(
+                    compile_plan(
+                        cell.faults, network, factory, time_unit="slots"
+                    )
+                    for factory in cell.rng_factories
+                )
+        self._runtimes: Optional[List[Optional["FaultRuntime"]]] = (
+            runtimes if any(rt is not None for rt in runtimes) else None
+        )
+        live_runtimes = [rt for rt in runtimes if rt is not None]
+        self._has_spectrum = any(rt.has_spectrum for rt in live_runtimes)
+        self._has_churn = any(rt.has_churn for rt in live_runtimes)
+        self._has_loss = any(rt.has_loss for rt in live_runtimes)
+
+        # Per-row start offsets (joins fold in per row, mirroring the
+        # serial constructor).
+        self._offsets = np.zeros((batch, n), dtype=np.int64)
+        for cell, sl in zip(self._cells, slices):
+            base = np.zeros(n, dtype=np.int64)
+            for nid, off in dict(cell.start_offsets or {}).items():
+                if off < 0:
+                    raise ConfigurationError(
+                        f"start offset of node {nid} must be >= 0, got {off}"
+                    )
+                base[self._index[nid]] = int(off)
+            self._offsets[sl] = base
+        if self._runtimes is not None:
+            for b, runtime in enumerate(self._runtimes):
+                if runtime is None:
+                    continue
                 for i, nid in enumerate(self._ids):
                     join = runtime.join_offset(nid)
                     if join > self._offsets[b, i]:
                         self._offsets[b, i] = join
 
-        # Dense channel indexing shared by every trial (identical to the
+        # Dense channel indexing shared by every row (identical to the
         # serial fast engine's).
         universal = sorted(network.universal_channel_set)
         dense_of_channel = {c: k for k, c in enumerate(universal)}
@@ -145,27 +256,53 @@ class BatchedSlottedSimulator:
             self._chan_flat[self._chan_starts[i] : self._chan_starts[i + 1]] = [
                 dense_of_channel[c] for c in chans
             ]
-        if runtimes_list is not None:
-            for runtime in runtimes_list:
-                runtime.bind_dense(self._ids, dense_of_channel, self._num_dense)
+        if self._runtimes is not None:
+            for runtime in self._runtimes:
+                if runtime is not None:
+                    runtime.bind_dense(self._ids, dense_of_channel, self._num_dense)
 
-        # The sparse reception kernel, shared across trials; per-trial
-        # key offsets keep the batch's scatter spaces disjoint.
+        # The sparse reception kernel, shared across rows; per-row key
+        # offsets keep the batch's scatter spaces disjoint.
         self._kernel = SparseReception(network, self._index, universal)
 
-        # Links in network.links() order; coverage is stored per trial
-        # as a (B, num_links) row — O(E) per trial, never O(N²).
-        self._links = network.links()
+        # Links in network.links() order; coverage is stored per row as
+        # a (R, num_links) row — O(E) per row, never O(N²). The key /
+        # endpoint / span columns are hoisted here so result building
+        # never touches DirectedLink properties in a per-link loop (the
+        # N=500 scaling cliff: ~300k Python property calls per batch).
+        links = network.links()
+        self._links = links
+        self._link_keys: List[Tuple[int, int]] = [link.key for link in links]
+        self._link_tx: List[int] = [link.transmitter for link in links]
+        self._link_rx: List[int] = [link.receiver for link in links]
+        self._link_spans: List[FrozenSet[int]] = [link.span for link in links]
         lookup = np.full(n * n, -1, dtype=np.int64)
-        for e_i, link in enumerate(self._links):
+        for e_i, link in enumerate(links):
             tx = self._index[link.transmitter]
             rx = self._index[link.receiver]
             lookup[tx * n + rx] = e_i
         self._link_lookup = lookup
-        self._num_links = len(self._links)
+        self._num_links = len(links)
+        # Full-coverage neighbor-table template plus per-receiver link
+        # lists, both in links() order. Every completed trial reports
+        # the same tables, so B result builds share one template (a
+        # dict() copy per node keeps rows independent); an incomplete
+        # trial rebuilds only the receivers an uncovered link touches.
+        # This amortization is batch-only by design — for one trial the
+        # template would cost exactly what it saves.
+        self._rx_links: Dict[int, List[int]] = {nid: [] for nid in self._ids}
+        self._tables_full: Dict[int, Dict[int, FrozenSet[int]]] = {
+            nid: {} for nid in self._ids
+        }
+        for e_i, link in enumerate(links):
+            self._rx_links[link.receiver].append(e_i)
+            self._tables_full[link.receiver][link.transmitter] = link.span
+        self._coverage_none: Dict[Tuple[int, int], Optional[float]] = (
+            dict.fromkeys(self._link_keys)
+        )
 
-        # Per-trial, per-node counters (radio activity + contention);
-        # the flat aliases let the hot loop scatter by raveled index.
+        # Per-row, per-node counters (radio activity + contention); the
+        # flat aliases let the hot loop scatter by raveled index.
         self._tx_slots = np.zeros((batch, n), dtype=np.int64)
         self._rx_slots = np.zeros((batch, n), dtype=np.int64)
         self._collisions = np.zeros((batch, n), dtype=np.int64)
@@ -173,21 +310,32 @@ class BatchedSlottedSimulator:
         self._collisions_flat = self._collisions.reshape(-1)
         self._clear_flat = self._clear.reshape(-1)
 
-        # Per-slot scratch (allocated once; rows refill under per-trial
+        # Per-slot scratch (allocated once; rows refill under per-row
         # gating so stale rows are never read where it matters).
         self._uni = np.empty((batch, n), dtype=np.float64)
         self._pick = np.zeros((batch, n), dtype=np.int64)
+        self._tx_buf = np.empty((batch, n), dtype=bool)
+        self._listen_buf = np.empty((batch, n), dtype=bool)
+        self._chan_idx_buf = np.empty((batch, n), dtype=np.int64)
+        self._chan_buf = np.empty((batch, n), dtype=np.int64)
         self._row_idx = np.arange(n)
         self._trial_idx = np.arange(batch)
+        self._p_buf = np.empty((batch, n), dtype=np.float64)
 
         # Fast-path precomputation. Once every node has started (and no
         # churn), the per-slot activity mask is just the live vector;
-        # when offset rows coincide across trials (always, unless a
-        # future fault model draws per-trial joins) one shared schedule
-        # evaluation serves the whole batch.
+        # when offset rows coincide within a cell (always, unless a
+        # future fault model draws per-trial joins) one schedule
+        # evaluation per cell serves all its rows.
         self._max_offset = int(self._offsets.max())
         self._chan_base = self._chan_starts[:-1]
-        self._span = self._num_dense * n
+        self._cell_shared: List[Optional[np.ndarray]] = [
+            self._offsets[sl][0]
+            if bool((self._offsets[sl] == self._offsets[sl][0]).all())
+            else None
+            for sl in slices
+        ]
+        self._single = len(self._cells) == 1
         self._shared_offsets: Optional[np.ndarray] = (
             self._offsets[0]
             if bool((self._offsets == self._offsets[0]).all())
@@ -201,8 +349,34 @@ class BatchedSlottedSimulator:
             if bool((self._sizes == self._sizes[0]).all())
             else None
         )
+        # Power-of-two scalar bounds admit an even cheaper pick: numpy's
+        # Lemire draw maps each raw 64-bit word to two picks (top bits
+        # of each 32-bit half, low half first) with no rejection, so
+        # ``bit_generator.random_raw(N/2)`` replaces the ~4× costlier
+        # ``Generator.integers`` call. Enabled only after a behavioral
+        # proof on state copies — if a numpy upgrade ever changes the
+        # draw discipline the gate falls back to ``integers`` and the
+        # bitstream contract is preserved.
+        self._raw_shift: Optional[int] = None
+        if (
+            self._scalar_size is not None
+            and self._scalar_size >= 2
+            and self._scalar_size & (self._scalar_size - 1) == 0
+            and n % 2 == 0
+            and self._streams
+            and _raw_pick_verified(self._streams[0], self._scalar_size, n)
+        ):
+            self._raw_shift = 32 - (self._scalar_size.bit_length() - 1)
+        # Flat-index lookups: np.flatnonzero over an (R, N) mask yields
+        # raveled positions; these tables replace the per-slot integer
+        # divisions that recovered (row, node, key base) from them.
+        self._div_n = np.repeat(self._trial_idx, n)
+        self._mod_n = np.tile(self._row_idx, batch)
+        # Last-write-wins sender scratch for edge-centric reception,
+        # read back only at single-transmitter targets.
+        self._sender_flat = np.empty(batch * n, dtype=np.int64)
         if self._has_spectrum:
-            # Flat (trial, node) base into a raveled (B, N, C) blocked
+            # Flat (row, node) base into a raveled (R, N, C) blocked
             # tensor; adding the chosen channel yields gather indices.
             self._spectrum_base = (
                 self._trial_idx[:, None] * n + self._row_idx[None, :]
@@ -212,8 +386,14 @@ class BatchedSlottedSimulator:
     def batch_size(self) -> int:
         return self._batch
 
+    def profile(self) -> Optional[Dict[str, Dict[str, float]]]:
+        """Per-phase timing snapshot, or ``None`` when not profiling."""
+        if self._profiler is None:
+            return None
+        return self._profiler.snapshot()
+
     def run(self, stopping: StoppingCondition) -> List[DiscoveryResult]:
-        """Execute all trials; one result per trial, in factory order."""
+        """Execute all rows; one result per row, in row order."""
         budget = stopping.require_slot_budget()
         batch = self._batch
         cov = np.full((batch, self._num_links), -1.0)
@@ -221,7 +401,13 @@ class BatchedSlottedSimulator:
         slots_executed = np.zeros(batch, dtype=np.int64)
         oracle = stopping.stop_on_full_coverage
 
-        # Liveness bookkeeping happens only when a trial completes
+        # A linkless network is complete before the first slot; the
+        # serial loop's pre-slot coverage check never executes anything,
+        # so neither may we (zero draws, zero radio activity).
+        if oracle and self._num_links == 0:
+            return [self._build_result(b, cov[b], 0) for b in range(batch)]
+
+        # Liveness bookkeeping happens only when a row completes
         # (mirrors the serial loop: a completed trial executes no
         # further slots, everyone else runs to the budget).
         live = np.ones(batch, dtype=bool)
@@ -235,12 +421,28 @@ class BatchedSlottedSimulator:
                 live_list = np.flatnonzero(live).tolist()
                 if not live_list:
                     break
-        slots_executed[live] = min(t + 1, budget)
+        slots_executed[live] = min(t + 1, budget) if budget else 0
 
         return [
             self._build_result(b, cov[b], int(slots_executed[b]))
             for b in range(batch)
         ]
+
+    def _probabilities(self, t: int) -> np.ndarray:
+        """Transmit probabilities for slot ``t``, one evaluation per cell."""
+        if self._single:
+            shared = self._cell_shared[0]
+            if shared is not None:
+                return self._schedules[0].probabilities(t - shared)
+            return self._schedules[0].probabilities(t - self._offsets)
+        p = self._p_buf
+        for g, sl in enumerate(self.cell_slices):
+            shared = self._cell_shared[g]
+            if shared is not None:
+                p[sl] = self._schedules[g].probabilities(t - shared)
+            else:
+                p[sl] = self._schedules[g].probabilities(t - self._offsets[sl])
+        return p
 
     def _run_slot(
         self,
@@ -250,23 +452,27 @@ class BatchedSlottedSimulator:
         cov: np.ndarray,
         uncovered: np.ndarray,
     ) -> Optional[np.ndarray]:
-        """Advance every live trial one slot; return newly-completed trials."""
+        """Advance every live row one slot; return newly-completed rows."""
         n = self._num_nodes
         streams = self._streams
         runtimes = self._runtimes
+        prof = self._profiler
+        t0 = prof.start() if prof is not None else 0.0
         if runtimes is not None:
-            from ..faults.runtime import FaultRuntime
-
             for b in live_list:
-                runtimes[b].begin_slot(t)
+                runtime = runtimes[b]
+                if runtime is not None:
+                    runtime.begin_slot(t)
 
-        # Activity: skip the (B, N) offset comparison once every node
+        # Activity: skip the (R, N) offset comparison once every node
         # has started and churn cannot remove any (the common steady
         # state); ``active is None`` then stands for ``live[:, None]``.
         active: Optional[np.ndarray]
         if runtimes is not None and self._has_churn:
+            from ..faults.runtime import FaultRuntime
+
             active = self._offsets <= t
-            active &= FaultRuntime.batched_alive_mask(runtimes, t)
+            active &= FaultRuntime.batched_alive_mask(runtimes, t, n)
             active &= live[:, None]
             act_list = np.flatnonzero(active.any(axis=1)).tolist()
         elif t < self._max_offset:
@@ -279,25 +485,24 @@ class BatchedSlottedSimulator:
         if not act_list:
             return None
 
-        # One shared schedule evaluation when offset rows coincide
-        # (p depends only on the local slot and |A(u)|, both shared).
-        if self._shared_offsets is not None:
-            p = self._schedule.probabilities(t - self._shared_offsets)
-        else:
-            p = self._schedule.probabilities(t - self._offsets)
+        p = self._probabilities(t)
+        if prof is not None:
+            t0 = prof.lap("schedule", t0)
         uni = self._uni
         for b in act_list:
             # Same stream, same call shape as the serial engine's
             # `rng.random(n)`; `out=` fills row b without reallocating.
             streams[b].random(out=uni[b])
-        transmit = uni < p
+        transmit = self._tx_buf
+        listen = self._listen_buf
+        np.less(uni, p, out=transmit)
+        np.logical_not(transmit, out=listen)
         if active is None:
             transmit &= live[:, None]
-            listen = ~transmit
             listen &= live[:, None]
         else:
             transmit &= active
-            listen = active & ~transmit
+            listen &= active
         self._tx_slots += transmit
         self._rx_slots += listen
 
@@ -308,7 +513,17 @@ class BatchedSlottedSimulator:
         if not proceed_list:
             return None
         pick = self._pick
-        if self._scalar_size is not None:
+        if self._raw_shift is not None:
+            # Verified-equivalent raw-word form of the scalar
+            # ``integers`` call below (see ``_raw_pick_verified``).
+            shift = self._raw_shift
+            half = n >> 1
+            for b in proceed_list:
+                raw = streams[b].bit_generator.random_raw(half)
+                row = pick[b]
+                row[0::2] = (raw & 0xFFFFFFFF) >> shift
+                row[1::2] = raw >> (32 + shift)
+        elif self._scalar_size is not None:
             size = self._scalar_size
             for b in proceed_list:
                 pick[b] = streams[b].integers(0, size, n)
@@ -316,12 +531,17 @@ class BatchedSlottedSimulator:
             sizes = self._sizes
             for b in proceed_list:
                 pick[b] = streams[b].integers(0, sizes)
-        chan = np.take(self._chan_flat, self._chan_base + pick)
+        if prof is not None:
+            t0 = prof.lap("rng", t0)
+        np.add(self._chan_base, pick, out=self._chan_idx_buf)
+        chan = np.take(self._chan_flat, self._chan_idx_buf, out=self._chan_buf)
 
         if runtimes is not None and self._has_spectrum:
             from ..faults.runtime import FaultRuntime
 
-            blocked = FaultRuntime.batched_blocked_mask(runtimes)
+            blocked = FaultRuntime.batched_blocked_mask(
+                runtimes, n, self._num_dense
+            )
             suppressed = blocked.reshape(-1)[self._spectrum_base + chan]
             suppressed &= proceed[:, None]
             transmit &= ~suppressed
@@ -330,55 +550,87 @@ class BatchedSlottedSimulator:
             proceed &= listen.any(axis=1)
             if not proceed.any():
                 return None
+        if prof is not None:
+            t0 = prof.lap("channel", t0)
 
-        # --- batched sparse reception: one scatter for every trial ---
-        # Trials outside `proceed` contribute nothing that matters:
-        # their key blocks are disjoint, a transmitter-less trial's
-        # listeners read zero counts, a listener-less trial's edges are
-        # never queried. So no per-trial re-indexing is needed.
-        span = self._span
+        # --- batched edge-centric reception ---
+        # Expand each transmitter's CSR adjacency segment into edges,
+        # then keep the edges whose target is listening on the sender's
+        # channel. Everything from here is O(edges), never O(listeners)
+        # or O(key space): with Δ_est-scaled transmit probabilities a
+        # slot has few transmitters, so the edge set is far smaller
+        # than the listener set the serial kernel queries. Rows outside
+        # `proceed` are harmless — a transmitter in a listener-less row
+        # finds no audible targets, stale channel picks in such rows
+        # are never compared.
         chan_flat = chan.reshape(-1)
         tflat = np.flatnonzero(transmit)
-        tx_trial = tflat // n
-        tv = tflat - tx_trial * n
-        lflat = np.flatnonzero(listen)
-        l_trial = lflat // n
-        lu = lflat - l_trial * n
-        counts, senders_at = self._kernel.resolve(
-            chan_flat[tflat] * n + tv,
-            tx_trial * span,
-            tv,
-            l_trial * span + chan_flat[lflat] * n + lu,
-            self._batch * span,
-        )
-        self._collisions_flat[lflat[counts >= 2]] += 1
-        sel = np.flatnonzero(counts == 1)
-        self._clear_flat[lflat[sel]] += 1
-        if not sel.size:
+        tv = self._mod_n[tflat]
+        starts = self._kernel.starts
+        csr = chan_flat[tflat] * n
+        csr += tv
+        edge_counts = starts[csr + 1] - starts[csr]
+        seg_ends = np.cumsum(edge_counts)
+        total = int(seg_ends[-1]) if seg_ends.size else 0
+        if total == 0:
+            if prof is not None:
+                prof.lap("reception", t0)
+            return None
+        shifts = np.repeat(starts[csr] - seg_ends + edge_counts, edge_counts)
+        shifts += np.arange(total, dtype=np.int64)
+        e_u = self._kernel.flat[shifts]
+        # tflat is trial·n + tv, so the edge's flat (trial, target) key
+        # is tflat − tv + target.
+        e_flat = np.repeat(tflat - tv, edge_counts)
+        e_flat += e_u
+        e_chan = np.repeat(chan_flat[tflat], edge_counts)
+        audible = listen.reshape(-1)[e_flat]
+        audible &= chan_flat[e_flat] == e_chan
+        hit = e_flat[audible]
+        if not hit.size:
+            if prof is not None:
+                prof.lap("reception", t0)
+            return None
+        # Per-target multiplicities; np.unique returns ascending flat
+        # indices — the same row-major listener order the serial loop
+        # (and the old listener-query kernel) processes receptions in.
+        uniq, cnt = np.unique(hit, return_counts=True)
+        # Last-write-wins sender scatter: exact wherever cnt == 1, the
+        # only place read; stale elsewhere by contract.
+        self._sender_flat[hit] = np.repeat(tv, edge_counts)[audible]
+        self._collisions_flat[uniq[cnt >= 2]] += 1
+        clear_idx = uniq[cnt == 1]
+        self._clear_flat[clear_idx] += 1
+        if prof is not None:
+            t0 = prof.lap("reception", t0)
+        if not clear_idx.size:
             return None
 
-        # --- delivery. np.flatnonzero emits listeners trial-major, so
-        # the clear receptions are already grouped by trial in ascending
-        # order — exactly the order the serial loop would process them.
-        if self._erasure_prob > 0.0:
-            # Erasure coins must come from each trial's own stream, one
-            # `random(count)` call per trial with clear receptions —
-            # call-for-call what the serial engine draws.
-            clear_trials = l_trial[sel]
+        # --- delivery. `clear_idx` ascends, so the clear receptions
+        # are already grouped by row in ascending node order — exactly
+        # the order the serial loop would process them.
+        if self._any_erasure:
+            # Erasure coins must come from each row's own stream, one
+            # `random(count)` call per row with clear receptions — and
+            # only for rows whose probability is positive, call-for-call
+            # what the serial engine draws.
+            clear_trials = self._div_n[clear_idx]
             bounds = np.flatnonzero(np.diff(clear_trials)) + 1
             segs = np.concatenate(([0], bounds, [clear_trials.size]))
             keep = np.empty(clear_trials.size, dtype=bool)
+            erasure = self._erasure_list
             for s0, s1 in zip(segs[:-1], segs[1:]):
-                keep[s0:s1] = (
-                    streams[int(clear_trials[s0])].random(s1 - s0)
-                    >= self._erasure_prob
-                )
-            sel = sel[keep]
-            if sel.size == 0:
+                b = int(clear_trials[s0])
+                if erasure[b] > 0.0:
+                    keep[s0:s1] = streams[b].random(s1 - s0) >= erasure[b]
+                else:
+                    keep[s0:s1] = True
+            clear_idx = clear_idx[keep]
+            if clear_idx.size == 0:
                 return None
-        trial_ids = l_trial[sel]
-        senders_all = senders_at[sel]
-        receivers_all = lu[sel]
+        trial_ids = self._div_n[clear_idx]
+        senders_all = self._sender_flat[clear_idx]
+        receivers_all = self._mod_n[clear_idx]
 
         if runtimes is not None and self._has_loss:
             from ..faults.runtime import FaultRuntime
@@ -402,60 +654,141 @@ class BatchedSlottedSimulator:
         cov_flat = cov.reshape(-1)
         fresh = cov_flat[flat] < 0
         if not fresh.any():
+            if prof is not None:
+                prof.lap("delivery", t0)
             return None
         cov_flat[flat[fresh]] = float(t)
         dec = np.bincount(trial_ids[fresh], minlength=self._batch)
         uncovered -= dec
         done = np.flatnonzero((dec > 0) & (uncovered == 0))
+        if prof is not None:
+            prof.lap("delivery", t0)
         return done if done.size else None
 
     def _build_result(
         self, b: int, cov_row: np.ndarray, slots_executed: int
     ) -> DiscoveryResult:
-        coverage: Dict[Tuple[int, int], Optional[float]] = {}
-        tables: Dict[int, Dict[int, frozenset]] = {nid: {} for nid in self._ids}
-        for e_i, link in enumerate(self._links):
-            t = cov_row[e_i]
-            coverage[link.key] = None if t < 0 else float(t)
-            if t >= 0:
-                tables[link.receiver][link.transmitter] = link.span
-        completed = all(v is not None for v in coverage.values())
+        prof = self._profiler
+        t0 = prof.start() if prof is not None else 0.0
+        # Coverage and tables come from the hoisted link columns;
+        # contents and insertion order are identical to the historical
+        # per-link property loop (template dicts hold every key in
+        # links() order, per-receiver rebuilds walk that receiver's
+        # links in ascending link index — the order the global loop
+        # would reach them). Python-loop time is spent on whichever of
+        # covered/uncovered is the *minority* side.
+        times = cov_row.tolist()
+        uncovered_idx = np.flatnonzero(cov_row < 0).tolist()
+        completed = not uncovered_idx
+        link_keys = self._link_keys
+        link_rx = self._link_rx
+        link_tx = self._link_tx
+        link_spans = self._link_spans
+        tables: Dict[int, Dict[int, FrozenSet[int]]]
+        coverage: Dict[Tuple[int, int], Optional[float]]
+        if completed:
+            tables = {
+                nid: dict(full) for nid, full in self._tables_full.items()
+            }
+            coverage = dict(zip(link_keys, times))
+        elif 2 * len(uncovered_idx) <= self._num_links:
+            # Mostly covered: copy the full templates, then repair the
+            # receivers an uncovered link touches.
+            dirty = {link_rx[e_i] for e_i in uncovered_idx}
+            rx_links = self._rx_links
+            tables = {
+                nid: (
+                    {
+                        link_tx[e_i]: link_spans[e_i]
+                        for e_i in rx_links[nid]
+                        if times[e_i] >= 0
+                    }
+                    if nid in dirty
+                    else dict(self._tables_full[nid])
+                )
+                for nid in self._ids
+            }
+            for e_i in uncovered_idx:
+                times[e_i] = None
+            coverage = dict(zip(link_keys, times))
+        else:
+            # Mostly uncovered: start from empty tables and the
+            # all-``None`` coverage template, then add the covered
+            # links.
+            covered_idx = np.flatnonzero(cov_row >= 0).tolist()
+            tables = {nid: {} for nid in self._ids}
+            coverage = dict(self._coverage_none)
+            for e_i in covered_idx:
+                tables[link_rx[e_i]][link_tx[e_i]] = link_spans[e_i]
+                coverage[link_keys[e_i]] = times[e_i]
         # "slotted-fast", not a distinct label: a batched trial is
         # defined to be indistinguishable from a serial fast-engine
         # trial, and archives never record dispatch choices (same rule
         # as worker-count invariance in repro.sim.parallel).
-        metadata: Dict[str, object] = {
+        metadata: Dict[str, Any] = {
             "engine": "slotted-fast",
-            "erasure_prob": self._erasure_prob,
+            "erasure_prob": self._erasure_list[b],
             "radio_activity": {
-                nid: {
-                    "tx": int(self._tx_slots[b, self._index[nid]]),
-                    "rx": int(self._rx_slots[b, self._index[nid]]),
-                    "quiet": 0,
-                }
-                for nid in self._ids
+                nid: {"tx": tx, "rx": rx, "quiet": 0}
+                for nid, tx, rx in zip(
+                    self._ids,
+                    self._tx_slots[b].tolist(),
+                    self._rx_slots[b].tolist(),
+                )
             },
-            "collisions": {
-                nid: int(self._collisions[b, self._index[nid]])
-                for nid in self._ids
-            },
-            "clear_receptions": {
-                nid: int(self._clear[b, self._index[nid]])
-                for nid in self._ids
-            },
+            "collisions": dict(zip(self._ids, self._collisions[b].tolist())),
+            "clear_receptions": dict(zip(self._ids, self._clear[b].tolist())),
         }
-        if self._runtimes is not None:
+        if self._runtimes is not None and self._runtimes[b] is not None:
             metadata["faults"] = self._runtimes[b].describe()
-        return DiscoveryResult(
+        result = DiscoveryResult(
             time_unit="slots",
             coverage=coverage,
             horizon=float(slots_executed),
             completed=completed,
             neighbor_tables=tables,
-            start_times={
-                nid: float(self._offsets[b, self._index[nid]])
-                for nid in self._ids
-            },
+            start_times=dict(
+                zip(self._ids, self._offsets[b].astype(np.float64).tolist())
+            ),
             network_params=self._network.parameter_summary(),
             metadata=metadata,
+        )
+        if prof is not None:
+            prof.lap("result", t0)
+        return result
+
+
+class BatchedSlottedSimulator(GridBatchedSimulator):
+    """Vectorized synchronous simulator for a batch of seeded trials.
+
+    The single-cell form of :class:`GridBatchedSimulator`:
+    ``rng_factories[i]`` seeds trial ``i``; all trials share the
+    network, schedule, start offsets, erasure probability, fault *plan*
+    (realized independently per trial) and the stopping condition —
+    i.e. one experiment's trial campaign.
+    """
+
+    def __init__(
+        self,
+        network: M2HeWNetwork,
+        schedule: VectorSchedule,
+        rng_factories: Sequence[RngFactory],
+        start_offsets: Optional[Mapping[int, int]] = None,
+        erasure_prob: float = 0.0,
+        faults: Optional["FaultPlan"] = None,
+        *,
+        profile: bool = False,
+    ) -> None:
+        super().__init__(
+            network,
+            [
+                GridCell(
+                    schedule=schedule,
+                    rng_factories=tuple(rng_factories),
+                    start_offsets=start_offsets,
+                    erasure_prob=erasure_prob,
+                    faults=faults,
+                )
+            ],
+            profile=profile,
         )

@@ -45,6 +45,7 @@ import numpy as np
 from ..core.params import stage_length, validate_delta_est
 from ..exceptions import ConfigurationError, SimulationError
 from ..net.network import M2HeWNetwork
+from .profile import SlotProfiler
 from .results import DiscoveryResult
 from .rng import RngFactory
 from .stopping import StoppingCondition
@@ -119,6 +120,15 @@ class SparseReception:
             self.flat[self.starts[j] : self.starts[j + 1]] = sorted(ls)
         self.num_nodes = n
         self.num_dense = num_dense
+        # Persistent sender scratch (grown on demand, reused across
+        # slots). Allocating it per call looks cheap in isolation but
+        # at batched sizes (B·C·N ≈ 10⁵ keys, ~768 KiB) a second live
+        # key-space array pushes the allocator to fresh mmaps, and
+        # every slot then pays lazy page faults on first touch —
+        # roughly 350 µs/slot, dwarfing the actual counting work. With
+        # this buffer persistent, ``np.bincount``'s own key-space
+        # output recycles one warm heap block per call.
+        self._sender_scratch: Optional[np.ndarray] = None
 
     def resolve(
         self,
@@ -165,12 +175,16 @@ class SparseReception:
         # count scatter-add over the (small) dense key space is one
         # ``np.bincount`` — O(E_t + B·C·N), no sort, exact int64. The
         # sender identity needs no summation at all: a last-write-wins
-        # scatter leaves the *unique* transmitter wherever the count is
-        # one, which is the only place callers may look.
+        # scatter into the persistent buffer leaves the *unique*
+        # transmitter wherever the count is one, which is the only
+        # place callers may look (the buffer stays stale at silent
+        # keys: scratch by contract, never cleared).
         edge_keys = np.repeat(bases + csr_idx - senders, edge_counts)
         edge_keys += listeners
+        if self._sender_scratch is None or self._sender_scratch.shape[0] < space:
+            self._sender_scratch = np.empty(space, dtype=np.int64)
+        sender_at = self._sender_scratch
         counts = np.bincount(edge_keys, minlength=space)
-        sender_at = np.empty(space, dtype=np.int64)
         sender_at[edge_keys] = np.repeat(senders, edge_counts)
         return counts[query_keys], sender_at[query_keys]
 
@@ -310,7 +324,12 @@ class FastSlottedSimulator:
         erasure_prob: float = 0.0,
         faults: Optional["FaultPlan"] = None,
         reception: str = "auto",
+        *,
+        profile: bool = False,
     ) -> None:
+        self._profiler: Optional[SlotProfiler] = (
+            SlotProfiler() if profile else None
+        )
         if not 0.0 <= erasure_prob < 1.0:
             raise ConfigurationError(
                 f"erasure_prob must be in [0, 1), got {erasure_prob}"
@@ -417,10 +436,25 @@ class FastSlottedSimulator:
         self._collisions = np.zeros(n, dtype=np.int64)
         self._clear = np.zeros(n, dtype=np.int64)
 
-        # Coverage times indexed [tx, rx]; -1 = not yet covered.
+        # Coverage times indexed [tx, rx]; -1 = not yet covered. Link
+        # columns (keys, endpoints, spans, coverage gather indices) are
+        # hoisted once so result building never walks DirectedLink
+        # properties in a per-link Python loop — at large N that loop
+        # cost more than the entire slot kernel.
         self._is_link = np.zeros((n, n), dtype=bool)
-        for link in network.links():
-            self._is_link[self._index[link.transmitter], self._index[link.receiver]] = True
+        links = network.links()
+        self._links = links
+        self._link_keys: List[Tuple[int, int]] = [link.key for link in links]
+        self._link_tx: List[int] = [link.transmitter for link in links]
+        self._link_rx: List[int] = [link.receiver for link in links]
+        self._link_spans = [link.span for link in links]
+        self._link_tx_idx = np.array(
+            [self._index[link.transmitter] for link in links], dtype=np.int64
+        )
+        self._link_rx_idx = np.array(
+            [self._index[link.receiver] for link in links], dtype=np.int64
+        )
+        self._is_link[self._link_tx_idx, self._link_rx_idx] = True
 
     def run(self, stopping: StoppingCondition) -> DiscoveryResult:
         """Execute slots until the stopping condition fires."""
@@ -440,6 +474,8 @@ class FastSlottedSimulator:
 
     def _run_slot(self, t: int, cov: np.ndarray) -> int:
         n = len(self._ids)
+        prof = self._profiler
+        p0 = prof.start() if prof is not None else 0.0
         active = self._offsets <= t
         faults = self._faults
         if faults is not None:
@@ -450,6 +486,8 @@ class FastSlottedSimulator:
             return 0
         local = t - self._offsets
         p = self._schedule.probabilities(local)
+        if prof is not None:
+            p0 = prof.lap("schedule", p0)
 
         transmit = (self._rng.random(n) < p) & active
         listen = active & ~transmit
@@ -459,6 +497,8 @@ class FastSlottedSimulator:
             return 0
 
         pick = self._rng.integers(0, self._sizes)
+        if prof is not None:
+            p0 = prof.lap("rng", p0)
         chan = self._chan_flat[self._chan_starts[:-1] + pick]
         if faults is not None and faults.has_spectrum:
             # Suppress blocked transmitters (they sense the blocker and
@@ -471,6 +511,8 @@ class FastSlottedSimulator:
                 if not transmit.any() or not listen.any():
                     return 0
 
+        if prof is not None:
+            p0 = prof.lap("channel", p0)
         n = len(self._ids)
         tx_idx = np.flatnonzero(transmit)
         if self._adj3 is not None:
@@ -515,6 +557,8 @@ class FastSlottedSimulator:
                 return 0
             receivers = listeners[clear_l]
             senders = senders_l[clear_l]
+        if prof is not None:
+            p0 = prof.lap("reception", p0)
         if self._erasure_prob > 0.0:
             keep = self._rng.random(receivers.size) >= self._erasure_prob
             receivers, senders = receivers[keep], senders[keep]
@@ -527,52 +571,70 @@ class FastSlottedSimulator:
                 return 0
         fresh = cov[senders, receivers] < 0
         if not fresh.any():
+            if prof is not None:
+                prof.lap("delivery", p0)
             return 0
         cov[senders[fresh], receivers[fresh]] = float(t)
-        return int(fresh.sum())
+        covered = int(fresh.sum())
+        if prof is not None:
+            prof.lap("delivery", p0)
+        return covered
+
+    def profile(self) -> Optional[Dict[str, Dict[str, float]]]:
+        """Per-phase timing snapshot, or ``None`` when not profiling."""
+        if self._profiler is None:
+            return None
+        return self._profiler.snapshot()
 
     def _build_result(self, cov: np.ndarray, slots_executed: int) -> DiscoveryResult:
-        coverage: Dict[Tuple[int, int], Optional[float]] = {}
+        prof = self._profiler
+        p0 = prof.start() if prof is not None else 0.0
+        # Gather the per-link coverage row once, then build every dict
+        # via zip over .tolist() — identical contents and insertion
+        # order to the historical per-link property loop.
+        cov_row = cov[self._link_tx_idx, self._link_rx_idx]
+        times = cov_row.tolist()
+        coverage: Dict[Tuple[int, int], Optional[float]] = dict(
+            zip(
+                self._link_keys,
+                [None if cov_t < 0 else cov_t for cov_t in times],
+            )
+        )
         tables: Dict[int, Dict[int, frozenset]] = {nid: {} for nid in self._ids}
-        for link in self._network.links():
-            i = self._index[link.transmitter]
-            j = self._index[link.receiver]
-            t = cov[i, j]
-            coverage[link.key] = None if t < 0 else float(t)
-            if t >= 0:
-                tables[link.receiver][link.transmitter] = link.span
-        completed = all(v is not None for v in coverage.values())
+        link_rx = self._link_rx
+        link_tx = self._link_tx
+        link_spans = self._link_spans
+        for e_i in np.flatnonzero(cov_row >= 0).tolist():
+            tables[link_rx[e_i]][link_tx[e_i]] = link_spans[e_i]
+        completed = bool((cov_row >= 0).all())
         metadata: Dict[str, object] = {
             "engine": "slotted-fast",
             "erasure_prob": self._erasure_prob,
             "radio_activity": {
-                nid: {
-                    "tx": int(self._tx_slots[self._index[nid]]),
-                    "rx": int(self._rx_slots[self._index[nid]]),
-                    "quiet": 0,
-                }
-                for nid in self._ids
+                nid: {"tx": tx, "rx": rx, "quiet": 0}
+                for nid, tx, rx in zip(
+                    self._ids,
+                    self._tx_slots.tolist(),
+                    self._rx_slots.tolist(),
+                )
             },
-            "collisions": {
-                nid: int(self._collisions[self._index[nid]])
-                for nid in self._ids
-            },
-            "clear_receptions": {
-                nid: int(self._clear[self._index[nid]])
-                for nid in self._ids
-            },
+            "collisions": dict(zip(self._ids, self._collisions.tolist())),
+            "clear_receptions": dict(zip(self._ids, self._clear.tolist())),
         }
         if self._faults is not None:
             metadata["faults"] = self._faults.describe()
-        return DiscoveryResult(
+        result = DiscoveryResult(
             time_unit="slots",
             coverage=coverage,
             horizon=float(slots_executed),
             completed=completed,
             neighbor_tables=tables,
-            start_times={
-                nid: float(self._offsets[self._index[nid]]) for nid in self._ids
-            },
+            start_times=dict(
+                zip(self._ids, self._offsets.astype(np.float64).tolist())
+            ),
             network_params=self._network.parameter_summary(),
             metadata=metadata,
         )
+        if prof is not None:
+            prof.lap("result", p0)
+        return result

@@ -53,7 +53,11 @@ from ..net.network import M2HeWNetwork
 from ..net.serialization import network_from_json, network_to_json
 from .results import DiscoveryResult
 from .rng import derive_trial_seed
-from .runner import run_experiment_trial, run_experiment_trials_batched
+from .runner import (
+    run_experiment_grid_batched,
+    run_experiment_trial,
+    run_experiment_trials_batched,
+)
 
 __all__ = [
     "BACKENDS",
@@ -63,6 +67,7 @@ __all__ = [
     "pool_supported",
     "preferred_start_method",
     "resolve_plan",
+    "run_grid_spec_trials",
     "run_spec_trials",
 ]
 
@@ -494,4 +499,197 @@ def run_spec_trials(
     finally:
         # A timed-out worker cannot be interrupted cooperatively; drop
         # the whole pool so stragglers do not outlive the campaign.
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# grid dispatch: many spec points through one kernel pass
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _GridChunkPayload:
+    """One trial-index chunk of a multi-spec grid campaign.
+
+    Like :class:`_ChunkPayload`, but carrying *every* spec point of the
+    grid: the worker fuses the chunk's trials of all entries into one
+    (or few) :class:`~repro.sim.batched.GridBatchedSimulator` passes.
+    ``entries[j]`` is ``(protocol, trials, runner_params)``; only trial
+    indices below an entry's own count participate in the chunk.
+    """
+
+    network_json: str
+    entries: Tuple[Tuple[str, int, Dict[str, Any]], ...]
+    trial_indices: Tuple[int, ...]
+    seeds: Tuple[np.random.SeedSequence, ...]
+
+
+def _run_grid_chunk(
+    payload: _GridChunkPayload,
+) -> List[List[DiscoveryResult]]:
+    """Worker entry point: one grid pass over the chunk's trial slice."""
+    network = network_from_json(payload.network_json)
+    lo = payload.trial_indices[0]
+    return run_experiment_grid_batched(
+        network,
+        [
+            (
+                protocol,
+                # Entry j's own seed factories for the chunk's trials it
+                # actually has; trial t always maps to seeds[t - lo].
+                [
+                    payload.seeds[t - lo]
+                    for t in payload.trial_indices
+                    if t < trials
+                ],
+                params,
+            )
+            for protocol, trials, params in payload.entries
+        ],
+    )
+
+
+def run_grid_spec_trials(
+    network: M2HeWNetwork,
+    entries: Sequence[Tuple[str, int, Optional[Mapping[str, Any]]]],
+    *,
+    base_seed: Optional[int] = 0,
+    max_workers: int = 1,
+    chunk_size: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    trial_timeout: Optional[float] = None,
+    experiment: Optional[str] = None,
+    on_progress: Optional[Callable[[int, int, int], None]] = None,
+) -> List[List[DiscoveryResult]]:
+    """Run several spec points' seeded trials as fused grid batches.
+
+    ``entries[j]`` is ``(protocol, trials, runner_params)`` — one spec
+    point on the shared ``network``. Trial ``t`` of *every* entry uses
+    ``derive_trial_seed(base_seed, t)``, exactly like per-spec
+    campaigns, and results come back ordered by trial index per entry —
+    so output is bitwise identical to running each entry through
+    :func:`run_spec_trials` separately, for any worker count, chunk
+    size or grid composition (the invariance the differential tests
+    pin across G and B).
+
+    The trial axis is chunked jointly: each chunk carries the
+    participating trials of all entries, and a worker fuses them into
+    one kernel pass (see
+    :func:`~repro.sim.runner.run_experiment_grid_batched` for the
+    eligibility and stopping-condition grouping rules). ``on_progress``
+    (if given) fires per collected chunk, in dispatch order, with
+    ``(entry index, trials completed, entry trials)`` for each entry
+    that advanced.
+
+    Raises:
+        TrialExecutionError: A trial raised in a worker (or the worker
+            process died); carries the chunk's trial indices.
+        TrialTimeoutError: A chunk exceeded its wall-clock budget.
+    """
+    if not entries:
+        raise ConfigurationError("grid needs at least one entry")
+    normalized: List[Tuple[str, int, Dict[str, Any]]] = []
+    for protocol, trials, runner_params in entries:
+        if trials < 1:
+            raise ConfigurationError(f"trials must be >= 1, got {trials}")
+        normalized.append((protocol, int(trials), dict(runner_params or {})))
+    max_trials = max(trials for _, trials, _ in normalized)
+    chunk_size = _merge_batch_size("vectorized", chunk_size, batch_size)
+    plan = resolve_plan(
+        max_trials,
+        max_workers=max_workers,
+        backend="vectorized",
+        chunk_size=chunk_size,
+    )
+    seeds = [derive_trial_seed(base_seed, t) for t in range(max_trials)]
+    chunks = chunk_indices(max_trials, plan.chunk_size)
+    collected: List[List[DiscoveryResult]] = [[] for _ in normalized]
+
+    def _absorb(chunk_results: List[List[DiscoveryResult]]) -> None:
+        for j, group in enumerate(chunk_results):
+            collected[j].extend(group)
+            if on_progress is not None and group:
+                on_progress(j, len(collected[j]), normalized[j][1])
+
+    if plan.backend == "serial":
+        for indices in chunks:
+            try:
+                _absorb(
+                    run_experiment_grid_batched(
+                        network,
+                        [
+                            (
+                                protocol,
+                                [seeds[t] for t in indices if t < trials],
+                                params,
+                            )
+                            for protocol, trials, params in normalized
+                        ],
+                    )
+                )
+            except TrialExecutionError:
+                raise
+            except Exception as exc:
+                raise _wrap_failure(
+                    exc,
+                    kind="failed",
+                    experiment=experiment,
+                    indices=indices,
+                    base_seed=base_seed,
+                ) from exc
+        return collected
+
+    network_json = network_to_json(network)
+    context = multiprocessing.get_context(plan.start_method)
+    executor = concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(plan.max_workers, len(chunks)), mp_context=context
+    )
+    try:
+        pending = [
+            (
+                indices,
+                executor.submit(
+                    _run_grid_chunk,
+                    _GridChunkPayload(
+                        network_json=network_json,
+                        entries=tuple(normalized),
+                        trial_indices=indices,
+                        seeds=tuple(seeds[i] for i in indices),
+                    ),
+                ),
+            )
+            for indices in chunks
+        ]
+        for indices, future in pending:
+            # Budget covers every entry's participating trials.
+            rows = sum(
+                1
+                for _, trials, _ in normalized
+                for t in indices
+                if t < trials
+            )
+            budget = None if trial_timeout is None else trial_timeout * rows
+            try:
+                _absorb(future.result(timeout=budget))
+            except concurrent.futures.TimeoutError as exc:
+                raise _wrap_failure(
+                    exc,
+                    kind="timed out",
+                    experiment=experiment,
+                    indices=indices,
+                    base_seed=base_seed,
+                    timed_out=True,
+                ) from exc
+            except TrialExecutionError:
+                raise
+            except Exception as exc:
+                raise _wrap_failure(
+                    exc,
+                    kind="failed",
+                    experiment=experiment,
+                    indices=indices,
+                    base_seed=base_seed,
+                ) from exc
+        return collected
+    finally:
         executor.shutdown(wait=False, cancel_futures=True)

@@ -63,8 +63,9 @@ class DiscoveryResult:
     def __post_init__(self) -> None:
         if self.time_unit not in ("slots", "seconds"):
             raise SimulationError(f"unknown time unit {self.time_unit!r}")
-        covered_flags = [t is not None for t in self.coverage.values()]
-        if self.completed != all(covered_flags):
+        if self.completed != all(
+            t is not None for t in self.coverage.values()
+        ):
             raise SimulationError(
                 "completed flag inconsistent with coverage map"
             )

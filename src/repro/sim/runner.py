@@ -17,6 +17,7 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Tuple,
     Union,
 )
 
@@ -66,12 +67,15 @@ FaultsLike = Union["FaultPlan", Mapping[str, Any], None]
 __all__ = [
     "CLOCK_MODELS",
     "FaultsLike",
+    "GridEntry",
     "SYNC_PROTOCOLS",
     "VECTORIZED_SYNC_PROTOCOLS",
     "experiment_runner_params",
+    "grid_batchable",
     "run_synchronous",
     "run_asynchronous",
     "run_experiment_trial",
+    "run_experiment_grid_batched",
     "run_experiment_trials_batched",
     "replay_trial",
     "run_trials",
@@ -459,12 +463,7 @@ def run_experiment_trials_batched(
 
     seed_list = list(seeds)
     params: Dict[str, Any] = dict(runner_params or {})
-    if (
-        protocol not in BATCHED_PROTOCOLS
-        or params.get("engine", "auto") not in ("auto", "fast")
-        or not set(params) <= _BATCHABLE_PARAMS
-        or not seed_list
-    ):
+    if not grid_batchable(protocol, params) or not seed_list:
         return [
             run_experiment_trial(
                 network, protocol, seed=s, runner_params=runner_params
@@ -490,6 +489,107 @@ def run_experiment_trials_batched(
         result.metadata["protocol"] = protocol
         result.metadata["delta_est"] = params.get("delta_est")
     return results
+
+
+#: One spec point of a grid batch: ``(protocol, per-trial seeds,
+#: runner_params)`` — the same coordinates
+#: :func:`run_experiment_trials_batched` takes, carried per entry.
+GridEntry = Tuple[
+    str, Sequence[np.random.SeedSequence], Optional[Mapping[str, Any]]
+]
+
+
+def grid_batchable(
+    protocol: str, runner_params: Optional[Mapping[str, Any]] = None
+) -> bool:
+    """Whether one spec point is eligible for the batched/grid kernel.
+
+    The same eligibility rule :func:`run_experiment_trials_batched`
+    applies per group: a protocol the registry marks ``batched``, on the
+    fast/auto engine, with only :data:`_BATCHABLE_PARAMS` parameters.
+    Exposed so campaign layers can decide *before* dispatch whether spec
+    points may fuse into one grid.
+    """
+    params = dict(runner_params or {})
+    return (
+        protocol in BATCHED_PROTOCOLS
+        and params.get("engine", "auto") in ("auto", "fast")
+        and set(params) <= _BATCHABLE_PARAMS
+    )
+
+
+def run_experiment_grid_batched(
+    network: M2HeWNetwork,
+    entries: Sequence[GridEntry],
+    *,
+    profile: bool = False,
+) -> List[List[DiscoveryResult]]:
+    """Run several spec points' trial groups, fused into grid batches.
+
+    Each entry is one experiment cell — ``(protocol, seeds,
+    runner_params)`` on the shared ``network``. Entries that are
+    grid-eligible (:func:`grid_batchable`) and share a stopping
+    condition (``max_slots`` + ``stop_on_full_coverage``) advance
+    together in one :class:`~repro.sim.batched.GridBatchedSimulator`
+    kernel pass; everything else falls back to
+    :func:`run_experiment_trials_batched` per entry. Either way entry
+    ``j``'s results are byte-identical to running it alone — grid
+    fusion is a dispatch optimization, invariant by construction, and
+    the differential tests pin it across G and B.
+
+    Returns one result list per entry, in entry order.
+    """
+    from .batched import GridBatchedSimulator, GridCell
+
+    results: List[Optional[List[DiscoveryResult]]] = [None] * len(entries)
+    groups: Dict[Tuple[int, bool], List[int]] = {}
+    for j, (protocol, seeds, runner_params) in enumerate(entries):
+        params = dict(runner_params or {})
+        if not grid_batchable(protocol, params) or not list(seeds):
+            results[j] = run_experiment_trials_batched(
+                network, protocol, seeds, runner_params=runner_params
+            )
+            continue
+        key = (
+            int(params.get("max_slots", 200_000)),
+            bool(params.get("stop_on_full_coverage", True)),
+        )
+        groups.setdefault(key, []).append(j)
+
+    for (max_slots, stop_oracle), indices in groups.items():
+        cells = []
+        for j in indices:
+            protocol, seeds, runner_params = entries[j]
+            params = dict(runner_params or {})
+            cells.append(
+                GridCell(
+                    schedule=_vector_schedule(
+                        protocol, network, params.get("delta_est")
+                    ),
+                    # Seed-aware through `entries`: every factory is
+                    # built from a caller-supplied SeedSequence, D105
+                    # just cannot see through the tuple.
+                    rng_factories=[RngFactory(s) for s in seeds],  # lint: disable=D105
+                    start_offsets=params.get("start_offsets"),
+                    erasure_prob=params.get("erasure_prob", 0.0),
+                    faults=_resolve_faults(params.get("faults")),
+                )
+            )
+        sim = GridBatchedSimulator(network, cells, profile=profile)
+        stopping = StoppingCondition(
+            max_slots=max_slots, stop_on_full_coverage=stop_oracle
+        )
+        flat = sim.run(stopping)
+        for g, j in enumerate(indices):
+            sl = sim.cell_slices[g]
+            cell_results = flat[sl.start : sl.stop]
+            protocol, _, runner_params = entries[j]
+            params = dict(runner_params or {})
+            for result in cell_results:
+                result.metadata["protocol"] = protocol
+                result.metadata["delta_est"] = params.get("delta_est")
+            results[j] = cell_results
+    return [group if group is not None else [] for group in results]
 
 
 def run_trials(

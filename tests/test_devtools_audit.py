@@ -61,7 +61,7 @@ class TestRegistryOfRules:
         ids = {rule.rule_id for rule in all_audit_rules()}
         assert {"S401", "S402", "S403"} <= ids
         assert {"P501", "P502", "P503", "P504", "P505"} <= ids
-        assert {"C601", "C602", "C603", "C604", "C605"} <= ids
+        assert {"C601", "C602", "C603", "C604", "C605", "C606"} <= ids
 
     def test_rules_have_metadata(self):
         for rule in all_audit_rules():
@@ -646,6 +646,67 @@ class TestC603BatchableSubset:
             },
             rule="C603",
         )
+        assert not report.findings
+
+
+class TestC606GridCellCoverage:
+    RUNNER = """
+    _BATCHABLE_PARAMS = frozenset(
+        {"max_slots", "delta_est", "start_offsets", "erasure_prob",
+         "stop_on_full_coverage", "engine", "faults"}
+    )
+    """
+
+    def test_covered_params_pass(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/runner.py": self.RUNNER,
+                "repro/sim/batched.py": """
+                class GridCell:
+                    schedule: object
+                    rng_factories: tuple
+                    start_offsets: dict = None
+                    erasure_prob: float = 0.0
+                    faults: object = None
+                """,
+            },
+            rule="C606",
+        )
+        assert not report.findings
+
+    def test_uncovered_param_flags(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/runner.py": """
+                _BATCHABLE_PARAMS = frozenset({"max_slots", "jitter"})
+                """,
+                "repro/sim/batched.py": """
+                class GridCell:
+                    schedule: object
+                """,
+            },
+            rule="C606",
+        )
+        assert rule_ids(report) == {"C606"}
+        assert "jitter" in report.findings[0].message
+
+    def test_missing_gridcell_flags(self, tmp_path):
+        report = audit_tree(
+            tmp_path,
+            {
+                "repro/sim/runner.py": self.RUNNER,
+                "repro/sim/batched.py": "X = 1\n",
+            },
+            rule="C606",
+        )
+        assert rule_ids(report) == {"C606"}
+        assert "GridCell is missing" in report.findings[0].message
+
+    def test_real_tree_is_covered(self):
+        report = run_audit([SRC], rules=select_audit_rules(["C606"]),
+                           check_registry=False)
         assert not report.findings
 
 
