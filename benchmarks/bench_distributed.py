@@ -1,0 +1,181 @@
+"""Distributed sharding benchmark — sharded vs serial, byte-identity.
+
+Records in ``BENCH_distributed.json`` at the repo root:
+
+* wall-clock of one campaign run serially in-process versus sharded
+  over two real ``m2hew worker`` subprocesses through a lease-based
+  file queue (coordinator overhead, IPC-through-filesystem cost and
+  subprocess startup all included — on a small campaign the sharded
+  run is *expected* to be slower; the record is a regression baseline
+  for the protocol's overhead, not a speedup claim);
+* ``byte_identical`` — the load-bearing assertion: the sharded archive
+  must byte-match the serial archive file for file.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_distributed.py``)
+or via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+import pytest
+
+from _helpers import emit_bench_record, emit_table
+from repro.resilience import LeasePolicy, RetryPolicy, WorkQueue
+from repro.sim.batch import ExperimentSpec, run_batch
+from repro.workloads.generator import WorkloadConfig
+
+TRIALS = 8
+CHUNK_SIZE = 2  # 4 chunks for 2 workers to split
+MAX_SLOTS = 3_000
+BASE_SEED = 7
+WORKERS = 2
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_distributed.json"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+LEASE = LeasePolicy(lease_ttl=5.0, heartbeat_interval=0.5, poll_interval=0.02)
+
+
+def _specs():
+    return [
+        ExperimentSpec(
+            name="clique_algorithm3",
+            workload=WorkloadConfig(
+                topology="clique",
+                topology_params={"num_nodes": 12},
+                channel_model="uniform_random_subsets",
+                channel_params={
+                    "universal_size": 4,
+                    "set_size": 2,
+                    "set_size_max": 4,
+                },
+            ),
+            protocol="algorithm3",
+            trials=TRIALS,
+            runner_params={
+                "max_slots": MAX_SLOTS,
+                "delta_est": 12,
+                "stop_on_full_coverage": False,
+            },
+        )
+    ]
+
+
+def _archive_bytes(directory: Path) -> dict:
+    return {p.name: p.read_bytes() for p in sorted(directory.glob("*.json"))}
+
+
+def _spawn_worker(queue_dir: Path, index: int) -> "subprocess.Popen[bytes]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "worker",
+            "--queue",
+            str(queue_dir),
+            "--worker-id",
+            f"bench-{index}",
+            "--idle-exit",
+            "2.0",
+            "--lease-ttl",
+            str(LEASE.lease_ttl),
+            "--poll-interval",
+            str(LEASE.poll_interval),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _await_heartbeats(queue: WorkQueue, count: int, timeout: float = 60.0) -> None:
+    deadline = time.perf_counter() + timeout
+    while len(queue.list_workers()) < count:
+        if time.perf_counter() > deadline:
+            raise RuntimeError("benchmark workers failed to announce themselves")
+        time.sleep(0.05)
+
+
+def run_experiment() -> dict:
+    specs = _specs()
+    with TemporaryDirectory(prefix="m2hew-bench-dist-") as tmp:
+        root = Path(tmp)
+        serial_dir = root / "serial"
+        t0 = time.perf_counter()
+        run_batch(specs, base_seed=BASE_SEED, output_dir=serial_dir)
+        serial_s = time.perf_counter() - t0
+
+        queue_dir = root / "queue"
+        queue = WorkQueue(queue_dir)
+        procs = [_spawn_worker(queue_dir, i) for i in range(WORKERS)]
+        sharded_dir = root / "sharded"
+        try:
+            _await_heartbeats(queue, WORKERS)
+            t0 = time.perf_counter()
+            run_batch(
+                specs,
+                base_seed=BASE_SEED,
+                output_dir=sharded_dir,
+                backend="distributed",
+                chunk_size=CHUNK_SIZE,
+                retry=RetryPolicy(base_delay=0.0, jitter=0.0),
+                queue_dir=queue_dir,
+                lease=LEASE,
+            )
+            sharded_s = time.perf_counter() - t0
+        finally:
+            for proc in procs:
+                try:
+                    proc.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+        byte_identical = _archive_bytes(sharded_dir) == _archive_bytes(serial_dir)
+
+    record = {
+        "benchmark": "distributed_sharding",
+        "trials": TRIALS,
+        "chunk_size": CHUNK_SIZE,
+        "max_slots": MAX_SLOTS,
+        "base_seed": BASE_SEED,
+        "workers": WORKERS,
+        "lease_ttl": LEASE.lease_ttl,
+        "serial_seconds": round(serial_s, 4),
+        "sharded_seconds": round(sharded_s, 4),
+        "sharded_vs_serial_ratio": round(sharded_s / serial_s, 3),
+        "byte_identical": byte_identical,
+    }
+    assert byte_identical, "sharded archive diverged from serial archive"
+    emit_bench_record(BENCH_PATH, record)
+    emit_table(
+        "distributed",
+        [record],
+        title="Distributed sharding — 2-worker queue vs serial, byte-identity",
+        columns=[
+            "serial_seconds",
+            "sharded_seconds",
+            "sharded_vs_serial_ratio",
+            "byte_identical",
+        ],
+    )
+    return record
+
+
+@pytest.mark.benchmark(group="distributed")
+def test_distributed_byte_identity(benchmark):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert record["byte_identical"]
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_experiment(), indent=2, sort_keys=True))

@@ -12,7 +12,15 @@ Subcommands:
   out over worker processes (``--workers``), with JSON archiving;
   ``--retries``/``--checkpoint``/``--resume`` run it supervised
   (retry + quarantine + checkpoint/resume, see
-  :mod:`repro.resilience`);
+  :mod:`repro.resilience`); ``--queue DIR`` (or ``--backend
+  distributed``) shards trial chunks over ``m2hew worker`` processes
+  through a lease-based file queue, archiving byte-identical results;
+* ``worker`` — run one distributed campaign worker against a shared
+  ``--queue`` directory: claim chunks by atomic lease, heartbeat,
+  execute, publish results (see :mod:`repro.resilience.distributed`);
+* ``submit`` — submit a campaign to a running ``m2hew serve`` over
+  HTTP (stdlib client), stream its progress, and optionally download
+  the verified archive;
 * ``tournament`` — race every registered protocol across the standing
   league of (workload × fault preset) cells and print Welch-ranked
   standings (see :mod:`repro.analysis.tournament`);
@@ -51,6 +59,7 @@ from .core.registry import ASYNCHRONOUS_PROTOCOLS
 from .core.termination import TerminationPolicy, recommended_quiet_threshold
 from .faults.plan import FaultPlan
 from .faults.presets import fault_preset_names
+from .resilience.distributed import DISTRIBUTED_BACKEND
 from .sim.parallel import BACKENDS
 from .sim.rng import RngFactory
 from .sim.runner import (
@@ -242,7 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="trial fan-out processes (1 = serial; output is identical)",
     )
-    batch.add_argument("--backend", choices=BACKENDS, default="auto")
+    batch.add_argument(
+        "--backend",
+        choices=BACKENDS + (DISTRIBUTED_BACKEND,),
+        default="auto",
+    )
     batch.add_argument(
         "--chunk-size",
         type=int,
@@ -313,7 +326,30 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "inject deterministic execution-layer faults for recovery "
             "drills: comma-separated mode@trial[xTIMES] with mode in "
-            "raise|exit|timeout, e.g. 'raise@3,exit@0x2'"
+            "raise|exit|timeout|worker-kill|lease-steal|stale-heartbeat, "
+            "e.g. 'raise@3,exit@0x2'"
+        ),
+    )
+    batch.add_argument(
+        "--queue",
+        default=None,
+        metavar="DIR",
+        help=(
+            "shared distributed work-queue directory: trial chunks are "
+            "published for 'm2hew worker --queue DIR' processes (any "
+            "host mounting DIR) and reclaimed from dead workers; output "
+            "is byte-identical to a serial run (implies --backend "
+            "distributed)"
+        ),
+    )
+    batch.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "distributed lease time-to-live: a chunk lease whose worker "
+            "heartbeat goes stale for this long is reclaimed (default 15)"
         ),
     )
 
@@ -391,6 +427,126 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="supervised retry budget per failing trial chunk",
+    )
+    serve.add_argument(
+        "--queue",
+        default=None,
+        metavar="DIR",
+        help=(
+            "shared distributed work-queue directory: campaign chunks "
+            "are published for 'm2hew worker --queue DIR' processes "
+            "instead of running in the service process"
+        ),
+    )
+    serve.add_argument(
+        "--store-max-archives",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "cap the result store at N archives; least-recently-used "
+            "verified archives are evicted after each job (in-flight "
+            "jobs' archives are never evicted)"
+        ),
+    )
+    serve.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="cap the result store's total archive bytes (LRU eviction)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help=(
+            "run one distributed campaign worker: claim trial chunks "
+            "from a shared queue directory by atomic lease, heartbeat, "
+            "execute, publish results (crash-tolerant; see "
+            "docs/resilience.md)"
+        ),
+    )
+    worker.add_argument(
+        "--queue",
+        required=True,
+        metavar="DIR",
+        help="shared work-queue directory (same DIR the coordinator uses)",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity (default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--max-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after executing N chunks (default: run until idle-exit)",
+    )
+    worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "exit after this long with no claimable work "
+            "(default: keep polling forever)"
+        ),
+    )
+    worker.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="lease time-to-live advertised by heartbeats (default 15)",
+    )
+    worker.add_argument(
+        "--poll-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds between queue scans when idle (default 0.2)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help=(
+            "submit a campaign to a running 'm2hew serve' instance over "
+            "HTTP, stream its progress, and optionally download the "
+            "verified archive"
+        ),
+    )
+    _campaign_arguments(submit)
+    submit.add_argument("--host", default="127.0.0.1", help="service host")
+    submit.add_argument("--port", type=int, default=8642, help="service port")
+    submit.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help=(
+            "download the verified archive into DIR (it remains "
+            "self-verifying: 'm2hew verify-archive DIR' checks it)"
+        ),
+    )
+    submit.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="seconds between status polls while waiting",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up waiting after this long (default: wait forever)",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="submit and print the job record without waiting",
     )
 
     tour = sub.add_parser(
@@ -766,6 +922,27 @@ def _resolve_resilience(
     return retry, checkpoint_dir, chaos
 
 
+def _lease_policy(
+    lease_ttl: Optional[float], poll_interval: Optional[float] = None
+) -> "Any":
+    """A :class:`LeasePolicy` from CLI overrides, or ``None`` for defaults.
+
+    A short ``--lease-ttl`` drags the heartbeat interval down with it so
+    the policy stays self-consistent (heartbeats must outpace the TTL).
+    """
+    from .resilience.distributed import LeasePolicy
+
+    if lease_ttl is None and poll_interval is None:
+        return None
+    kwargs: Dict[str, Any] = {}
+    if lease_ttl is not None:
+        kwargs["lease_ttl"] = lease_ttl
+        kwargs["heartbeat_interval"] = min(2.0, lease_ttl / 4.0)
+    if poll_interval is not None:
+        kwargs["poll_interval"] = poll_interval
+    return LeasePolicy(**kwargs)
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .exceptions import TrialExecutionError
     from .service.campaigns import campaign_specs
@@ -794,6 +971,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             retry=retry,
             checkpoint_dir=checkpoint_dir,
             chaos=chaos,
+            queue_dir=args.queue,
+            lease=_lease_policy(args.lease_ttl),
         )
     except TrialExecutionError as exc:
         # The campaign aborted (no supervision, quarantine disabled, or
@@ -883,6 +1062,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         backend=args.backend,
         chunk_size=args.chunk_size,
+        queue_dir=args.queue,
+        store_max_archives=args.store_max_archives,
+        store_max_bytes=args.store_max_bytes,
     )
     try:
         asyncio.run(service.run_forever(args.host, args.port))
@@ -892,6 +1074,88 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "restart with the same --data-dir to resume",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .resilience.distributed import run_worker
+
+    executed = run_worker(
+        args.queue,
+        worker_id=args.worker_id,
+        lease=_lease_policy(args.lease_ttl, args.poll_interval),
+        max_chunks=args.max_chunks,
+        idle_exit=args.idle_exit,
+        on_status=lambda line: print(line, file=sys.stderr, flush=True),
+    )
+    print(f"worker exiting after {executed} chunk(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        envelope = client.submit(_campaign_request(args))
+    except (ServiceError, OSError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 2
+    job = envelope["job"]
+    job_id = job["job_id"]
+    print(
+        f"job {job_id}: {job['state']}"
+        + (" (cache hit)" if envelope.get("cache_hit") else ""),
+        file=sys.stderr,
+    )
+    if args.no_wait:
+        print(json.dumps(job, indent=2, sort_keys=True))
+        return 0
+
+    def on_event(event: Dict[str, Any]) -> None:
+        if event.get("kind") == "progress":
+            print(
+                f"  {event.get('experiment')}: "
+                f"{event.get('completed')}/{event.get('total')} trials",
+                file=sys.stderr,
+            )
+        elif event.get("kind") == "state":
+            print(f"job {job_id}: {event.get('state')}", file=sys.stderr)
+
+    try:
+        final = client.wait(
+            job_id,
+            poll_interval=args.poll_interval,
+            timeout=args.timeout,
+            on_event=on_event,
+        )
+    except TimeoutError as exc:
+        print(str(exc), file=sys.stderr)
+        return 4
+    except (ServiceError, OSError) as exc:
+        print(f"wait failed: {exc}", file=sys.stderr)
+        return 2
+    if final.get("state") != "done":
+        error = final.get("error") or "no detail"
+        print(f"job {job_id} ended {final.get('state')}: {error}", file=sys.stderr)
+        return 1
+    if args.output is not None:
+        try:
+            listing = client.fetch_result(job_id)
+            out = Path(args.output)
+            out.mkdir(parents=True, exist_ok=True)
+            for name in listing["files"]:
+                (out / name).write_bytes(client.fetch_file(job_id, name))
+        except (ServiceError, OSError) as exc:
+            print(f"download failed: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"archive downloaded to {out} "
+            f"({len(listing['files'])} file(s), verified server-side); "
+            f"check locally with: m2hew verify-archive {out}",
+            file=sys.stderr,
+        )
+    print(json.dumps(final, indent=2, sort_keys=True))
     return 0
 
 
@@ -1020,6 +1284,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fingerprint(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "verify-archive":
         return _cmd_verify_archive(args)
     if args.command == "bounds":

@@ -126,6 +126,7 @@ CONTRACT_FUNCTIONS: Dict[str, str] = {
     "derive_trial_seed": "sim.rng",
     "campaign_specs": "service.campaigns",
     "execute_job": "service.worker",
+    "run_worker": "resilience.distributed",
 }
 
 #: Typed trial errors whose construction sites must carry replay

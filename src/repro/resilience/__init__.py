@@ -6,6 +6,11 @@ trustworthy when the execution substrate misbehaves:
 * :mod:`~repro.resilience.supervisor` — supervised trial execution:
   per-chunk retries with seeded backoff, quarantine of trials that
   exhaust their budget, graceful pool/vectorized degradation;
+* :mod:`~repro.resilience.executor` — the chunk-executor interface the
+  supervisor dispatches through (pool, in-process, distributed);
+* :mod:`~repro.resilience.distributed` — multi-host campaign sharding:
+  a file-based lease queue with worker heartbeats, dead-lease
+  reclamation and crash-tolerant work stealing (``m2hew worker``);
 * :mod:`~repro.resilience.policy` — the knobs for the above;
 * :mod:`~repro.resilience.checkpoint` — append-only per-trial journals
   enabling ``m2hew batch --resume``;
@@ -38,7 +43,19 @@ from .checkpoint import (
     TrialJournal,
     campaign_fingerprint,
     journal_path,
+    load_sidecar,
 )
+from .distributed import (
+    DISTRIBUTED_BACKEND,
+    QUEUE_SCHEMA_VERSION,
+    DistributedChunkExecutor,
+    LeasePolicy,
+    QueueWorker,
+    RemoteWorkerFailure,
+    WorkQueue,
+    run_worker,
+)
+from .executor import ChunkExecutor, InProcessChunkExecutor, PooledChunkExecutor
 from .policy import RetryPolicy, backoff_delay
 from .supervisor import (
     ARCHIVED_EVENT_KINDS,
@@ -61,22 +78,34 @@ __all__ = [
     "ChaosEvent",
     "ChaosInjectedFailure",
     "ChaosPlan",
+    "ChunkExecutor",
+    "DISTRIBUTED_BACKEND",
+    "DistributedChunkExecutor",
+    "InProcessChunkExecutor",
     "JOURNAL_SCHEMA_VERSION",
     "JOURNAL_SUFFIX",
+    "LeasePolicy",
+    "PooledChunkExecutor",
+    "QUEUE_SCHEMA_VERSION",
     "QuarantinedTrial",
+    "QueueWorker",
+    "RemoteWorkerFailure",
     "RetryPolicy",
     "SupervisedTrials",
     "SupervisorEvent",
     "TrialJournal",
     "VerificationIssue",
     "VerificationReport",
+    "WorkQueue",
     "atomic_write_text",
     "backoff_delay",
     "campaign_fingerprint",
     "flip_byte",
     "journal_path",
+    "load_sidecar",
     "parse_chaos_spec",
     "run_supervised_trials",
+    "run_worker",
     "sha256_of_bytes",
     "sha256_of_file",
     "sha256_of_text",

@@ -21,6 +21,21 @@ Modes:
   chunk is treated as having exceeded its wall-clock budget without
   actually waiting for one.
 
+Distributed modes (:data:`DISTRIBUTED_CHAOS_MODES`) target the
+file-queue execution layer of :mod:`repro.resilience.distributed`
+instead of the chunk payload:
+
+* ``worker-kill`` — the queue worker dies right after claiming the
+  chunk's lease and before journaling a result (``os._exit`` when the
+  worker runs with ``hard_exit=True``, an abandoned-lease simulation
+  otherwise), exercising dead-lease reclamation;
+* ``lease-steal`` — the coordinator deletes the chunk's *live* lease
+  while its owner is still executing, forcing a second claim and a
+  double completion (resolved deterministically by trial index);
+* ``stale-heartbeat`` — the coordinator treats the lease owner's
+  heartbeat as expired, triggering immediate reclamation of a healthy
+  worker's lease.
+
 Plans are plain picklable dataclasses: they ship to workers inside the
 chunk payload together with the chunk's attempt number, which is what
 makes "fail the first two attempts, then succeed" reproducible across
@@ -44,6 +59,7 @@ from ..exceptions import ConfigurationError
 
 __all__ = [
     "CHAOS_MODES",
+    "DISTRIBUTED_CHAOS_MODES",
     "ChaosEvent",
     "ChaosInjectedFailure",
     "ChaosPlan",
@@ -52,7 +68,10 @@ __all__ = [
     "truncate_file",
 ]
 
-CHAOS_MODES = ("raise", "exit", "timeout")
+#: Modes consumed by the distributed queue layer, not the chunk payload.
+DISTRIBUTED_CHAOS_MODES = ("worker-kill", "lease-steal", "stale-heartbeat")
+
+CHAOS_MODES = ("raise", "exit", "timeout") + DISTRIBUTED_CHAOS_MODES
 
 
 class ChaosInjectedFailure(RuntimeError):
@@ -128,12 +147,33 @@ class ChaosPlan:
 
     def times_out(self, trial_indices: Iterable[int], attempt: int) -> bool:
         """Whether a ``timeout`` event covers this chunk attempt."""
+        return self._covers("timeout", trial_indices, attempt)
+
+    # -- distributed-layer queries (no-ops for pool/in-process runs) ----
+
+    def worker_kill(self, trial_indices: Iterable[int], attempt: int) -> bool:
+        """Whether a ``worker-kill`` event covers this chunk attempt."""
+        return self._covers("worker-kill", trial_indices, attempt)
+
+    def lease_steal(self, trial_indices: Iterable[int], attempt: int) -> bool:
+        """Whether a ``lease-steal`` event covers this chunk attempt."""
+        return self._covers("lease-steal", trial_indices, attempt)
+
+    def stale_heartbeat(self, trial_indices: Iterable[int], attempt: int) -> bool:
+        """Whether a ``stale-heartbeat`` event covers this chunk attempt."""
+        return self._covers("stale-heartbeat", trial_indices, attempt)
+
+    def _covers(
+        self, mode: str, trial_indices: Iterable[int], attempt: int
+    ) -> bool:
         return any(
-            self.mode_for(trial, attempt) == "timeout" for trial in trial_indices
+            self.mode_for(trial, attempt) == mode for trial in trial_indices
         )
 
 
-_SPEC_RE = re.compile(r"^(raise|exit|timeout)@(\d+)(?:x(-1|\d+))?$")
+_SPEC_RE = re.compile(
+    "^(" + "|".join(re.escape(m) for m in CHAOS_MODES) + r")@(\d+)(?:x(-1|\d+))?$"
+)
 
 
 def parse_chaos_spec(spec: str) -> ChaosPlan:

@@ -23,6 +23,13 @@ Crash-safety model:
 The header pins a fingerprint of the campaign (spec + base seed), so a
 journal can never silently resume a *different* campaign: a mismatch is
 a :class:`~repro.exceptions.ConfigurationError`.
+
+The distributed queue (:mod:`repro.resilience.distributed`) stores its
+lease, heartbeat and completion-marker **sidecar files** next to the
+journal's source of truth. A worker killed mid-fsync can tear any of
+them; :func:`load_sidecar` applies the same tolerance the journal
+applies to its final line — a torn sidecar reads as absent, never as
+corruption, because every sidecar is re-creatable operational state.
 """
 
 from __future__ import annotations
@@ -41,7 +48,30 @@ __all__ = [
     "TrialJournal",
     "campaign_fingerprint",
     "journal_path",
+    "load_sidecar",
 ]
+
+
+def load_sidecar(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """Read a JSON sidecar file (lease, heartbeat, chunk marker) tolerantly.
+
+    Returns the parsed object, or ``None`` when the file is missing,
+    unreadable, torn mid-write, or not a JSON object. Sidecars are
+    written by other processes that may die at any byte of the write —
+    the crash-during-fsync of a new worker must read as "no sidecar",
+    exactly as a torn final journal line reads as "trial not recorded".
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return payload
 
 JOURNAL_SCHEMA_VERSION = 1
 

@@ -1,0 +1,431 @@
+"""The chunk-executor interface behind supervised trial execution.
+
+:func:`~repro.resilience.supervisor.run_supervised_trials` plans a
+campaign as a list of :class:`_ChunkState` dispatch units and a
+:class:`_Supervision` record of shared campaign state (outcome, policy,
+journal, chaos plan, backoff RNG). *How* those chunks execute is the
+executor's business, behind one interface:
+
+* :class:`PooledChunkExecutor` — process-pool dispatch with per-chunk
+  retry and crash-driven degradation (the original ``_run_pooled``);
+* :class:`InProcessChunkExecutor` — the serial chunk loop with the same
+  retry/quarantine semantics (the original ``_run_in_process``);
+* :class:`~repro.resilience.distributed.DistributedChunkExecutor` — the
+  multi-host file-queue coordinator (lease claims, heartbeats,
+  dead-lease reclamation, degradation to local execution).
+
+Executors form a degradation ladder: each one marks the chunks it
+finished ``done`` and returns; whatever is left falls through to the
+next executor (pool → in-process; distributed → in-process). Because
+every executor records results keyed by trial index through the same
+:class:`_Supervision` bookkeeping — and trial ``t`` always runs from
+``derive_trial_seed(base_seed, t)`` — the archived bytes cannot depend
+on which executor (or which host) a trial eventually succeeded on.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import logging
+import multiprocessing
+from abc import ABC, abstractmethod
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import TrialQuarantinedError
+from ..sim.parallel import ParallelPlan, _ChunkPayload, _run_chunk, _wrap_failure
+from ..sim.results import DiscoveryResult
+from .chaos import ChaosPlan
+from .checkpoint import TrialJournal
+from .policy import RetryPolicy, backoff_delay
+
+__all__ = [
+    "ChunkExecutor",
+    "InProcessChunkExecutor",
+    "PooledChunkExecutor",
+    "QuarantinedTrial",
+    "SupervisedTrials",
+    "SupervisorEvent",
+]
+
+_logger = logging.getLogger("repro.resilience")
+
+
+@dataclass(frozen=True)
+class SupervisorEvent:
+    """One supervision decision (retry, rebuild, downgrade, quarantine)."""
+
+    kind: str
+    experiment: Optional[str]
+    detail: str
+    trial_indices: Tuple[int, ...] = ()
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON form for manifests and logs."""
+        payload: Dict[str, Any] = {"kind": self.kind, "detail": self.detail}
+        if self.experiment is not None:
+            payload["experiment"] = self.experiment
+        if self.trial_indices:
+            payload["trials"] = list(self.trial_indices)
+        return payload
+
+
+@dataclass(frozen=True)
+class QuarantinedTrial:
+    """A trial that exhausted its retry budget and was set aside.
+
+    ``base_seed`` + ``trial`` are the replay coordinates: the failing
+    seed is ``derive_trial_seed(base_seed, trial)``.
+    """
+
+    experiment: Optional[str]
+    trial: int
+    base_seed: Optional[int]
+    error: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON form recorded in the campaign manifest."""
+        return {
+            "experiment": self.experiment,
+            "trial": self.trial,
+            "base_seed": self.base_seed,
+            "error": self.error,
+        }
+
+
+@dataclass
+class SupervisedTrials:
+    """Outcome of one experiment's supervised trials."""
+
+    experiment: Optional[str]
+    trials: int
+    base_seed: Optional[int]
+    completed: Dict[int, DiscoveryResult] = field(default_factory=dict)
+    quarantined: List[QuarantinedTrial] = field(default_factory=list)
+    events: List[SupervisorEvent] = field(default_factory=list)
+    #: Trials restored from a checkpoint journal rather than executed.
+    restored: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """Whether every trial produced a result (nothing quarantined)."""
+        return len(self.completed) == self.trials
+
+    def results_in_order(self) -> List[Tuple[int, DiscoveryResult]]:
+        """``(trial_index, result)`` pairs sorted by trial index."""
+        return sorted(self.completed.items())
+
+
+@dataclass
+class _ChunkState:
+    indices: Tuple[int, ...]
+    attempt: int = 0
+    vectorized: bool = False
+    done: bool = False
+
+
+class _Supervision:
+    """Mutable campaign state shared by every chunk executor."""
+
+    def __init__(
+        self,
+        outcome: SupervisedTrials,
+        policy: RetryPolicy,
+        journal: Optional[TrialJournal],
+        chaos: Optional[ChaosPlan],
+        sleep: Callable[[float], None],
+        make_payload: Callable[[_ChunkState], _ChunkPayload],
+        isolate_payload: Callable[[int], _ChunkPayload],
+        jitter_rng: np.random.Generator,
+        on_progress: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self.outcome = outcome
+        self.policy = policy
+        self.journal = journal
+        self.chaos = chaos
+        self.sleep = sleep
+        self.make_payload = make_payload
+        self.isolate_payload = isolate_payload
+        self.on_progress = on_progress
+        self.total_retries = 0
+        self.pool_breakages = 0
+        # Constructed by the supervisor (the RNG stream's registered
+        # owner) and injected, so every executor shares one seeded
+        # backoff sequence.
+        self.jitter_rng = jitter_rng
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def event(self, kind: str, detail: str, indices: Tuple[int, ...] = ()) -> None:
+        evt = SupervisorEvent(
+            kind=kind,
+            experiment=self.outcome.experiment,
+            detail=detail,
+            trial_indices=indices,
+        )
+        self.outcome.events.append(evt)
+        _logger.warning("[%s] %s: %s", self.outcome.experiment or "-", kind, detail)
+
+    def record_success(
+        self, state: _ChunkState, results: Sequence[DiscoveryResult]
+    ) -> None:
+        for trial, result in zip(state.indices, results):
+            self.outcome.completed[trial] = result
+            if self.journal is not None:
+                self.journal.record(trial, result.to_dict())
+        state.done = True
+        self.notify_progress()
+
+    def notify_progress(self) -> None:
+        """Report ``(completed, trials)`` to the observer, if any.
+
+        Fires only after the journal already holds the trials being
+        reported, so an observer that checkpoints or streams on every
+        call never sees state the journal has not committed.
+        """
+        if self.on_progress is not None:
+            self.on_progress(len(self.outcome.completed), self.outcome.trials)
+
+    # -- failure handling -----------------------------------------------
+
+    def handle_failure(
+        self, state: _ChunkState, exc: BaseException, *, timed_out: bool
+    ) -> None:
+        """Retry, isolate or quarantine a failed chunk attempt.
+
+        Sets ``state.done`` when the chunk will not be re-dispatched
+        (its trials were recovered in isolation or quarantined); leaves
+        it pending — with ``attempt`` advanced and the backoff already
+        slept — when the caller should resubmit it.
+        """
+        if state.vectorized:
+            # The batched engine produced the failure (or was at least
+            # in the loop); the per-trial path is byte-identical, so
+            # retrying through it removes one suspect for free.
+            state.vectorized = False
+            self.event(
+                "downgrade_vectorized",
+                "retrying chunk through the per-trial loop",
+                state.indices,
+            )
+        if state.attempt >= self.policy.max_retries:
+            if timed_out:
+                # An in-process re-run of a hanging trial cannot be
+                # bounded; quarantine the chunk's trials outright.
+                self.quarantine_chunk(state, exc, reason="timed out")
+            else:
+                self.isolate_chunk(state, exc)
+            state.done = True
+            return
+        self.total_retries += 1
+        if self.total_retries > self.policy.max_total_retries:
+            raise _wrap_failure(
+                exc,
+                kind="exhausted the campaign retry budget "
+                f"({self.policy.max_total_retries} retries)",
+                experiment=self.outcome.experiment,
+                indices=state.indices,
+                base_seed=self.outcome.base_seed,
+            )
+        delay = backoff_delay(self.policy, state.attempt, self.jitter_rng)
+        state.attempt += 1
+        self.event(
+            "retry",
+            f"attempt {state.attempt} after "
+            f"{type(exc).__name__} (backoff {delay:.3f}s)",
+            state.indices,
+        )
+        self.sleep(delay)
+
+    def isolate_chunk(self, state: _ChunkState, cause: BaseException) -> None:
+        """Re-run an exhausted chunk trial-by-trial, quarantining failures.
+
+        A chunk groups several trials; only the poisonous ones deserve
+        quarantine. Isolation runs in-process so a crashing worker
+        cannot take healthy trials down with it.
+        """
+        for trial in state.indices:
+            payload = self.isolate_payload(trial)
+            try:
+                results = _run_chunk(payload)
+            except Exception as exc:
+                self.quarantine_trial(trial, exc)
+            else:
+                self.outcome.completed[trial] = results[0]
+                if self.journal is not None:
+                    self.journal.record(trial, results[0].to_dict())
+                self.notify_progress()
+
+    def quarantine_chunk(
+        self, state: _ChunkState, exc: BaseException, *, reason: str
+    ) -> None:
+        for trial in state.indices:
+            if trial not in self.outcome.completed:
+                self.quarantine_trial(trial, exc, reason=reason)
+
+    def quarantine_trial(
+        self, trial: int, exc: BaseException, *, reason: Optional[str] = None
+    ) -> None:
+        detail = reason or f"{type(exc).__name__}: {exc}"
+        if not self.policy.quarantine:
+            err = TrialQuarantinedError(
+                f"experiment {self.outcome.experiment or '<unnamed>'!r}: trial "
+                f"{trial} exhausted {self.policy.max_retries} retries "
+                f"({detail}); replay with derive_trial_seed("
+                f"{self.outcome.base_seed!r}, {trial})",
+                experiment=self.outcome.experiment,
+                trial_indices=(trial,),
+                base_seed=self.outcome.base_seed,
+            )
+            err.__cause__ = exc
+            raise err
+        self.outcome.quarantined.append(
+            QuarantinedTrial(
+                experiment=self.outcome.experiment,
+                trial=trial,
+                base_seed=self.outcome.base_seed,
+                error=detail,
+            )
+        )
+        self.event("quarantine", detail, (trial,))
+
+
+class ChunkExecutor(ABC):
+    """One way of executing a campaign's pending dispatch chunks.
+
+    ``run`` must drive every chunk it takes responsibility for to
+    ``state.done`` through the supervision's bookkeeping
+    (:meth:`_Supervision.record_success` / ``handle_failure``), and may
+    return early with chunks still pending — the supervisor hands
+    leftovers to the next rung of the degradation ladder.
+    """
+
+    @abstractmethod
+    def run(self, states: List[_ChunkState], sup: _Supervision) -> None:
+        """Execute (some of) the pending chunks."""
+
+
+class PooledChunkExecutor(ChunkExecutor):
+    """Pool dispatch with per-chunk retry and crash-driven degradation.
+
+    Rounds: submit every unfinished chunk, collect strictly in dispatch
+    order, retry soft failures on the live pool; a broken pool or a
+    timeout ends the round (the executor is dropped) and the next round
+    resubmits whatever is left. After ``policy.pool_downgrade_after``
+    breakages the remaining chunks fall through to the in-process loop.
+    """
+
+    def __init__(
+        self, plan: ParallelPlan, trial_timeout: Optional[float] = None
+    ) -> None:
+        self.plan = plan
+        self.trial_timeout = trial_timeout
+
+    def run(self, states: List[_ChunkState], sup: _Supervision) -> None:
+        context = multiprocessing.get_context(self.plan.start_method)
+        while any(not s.done for s in states):
+            open_states = [s for s in states if not s.done]
+            executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.plan.max_workers, len(open_states)),
+                mp_context=context,
+            )
+            try:
+                pending: List[Tuple[_ChunkState, Any]] = [
+                    (state, executor.submit(_run_chunk, sup.make_payload(state)))
+                    for state in open_states
+                ]
+                index = 0
+                while index < len(pending):
+                    state, future = pending[index]
+                    index += 1
+                    if state.done:  # finished by a retry earlier this round
+                        continue
+                    if sup.chaos is not None and sup.chaos.times_out(
+                        state.indices, state.attempt
+                    ):
+                        future.cancel()
+                        sup.handle_failure(
+                            state,
+                            concurrent.futures.TimeoutError(
+                                "chaos: injected chunk timeout"
+                            ),
+                            timed_out=True,
+                        )
+                        break  # timeout semantics: the pool is suspect
+                    budget = (
+                        None
+                        if self.trial_timeout is None
+                        else self.trial_timeout * len(state.indices)
+                    )
+                    try:
+                        results = future.result(timeout=budget)
+                    except BrokenProcessPool as exc:
+                        sup.pool_breakages += 1
+                        if sup.pool_breakages >= sup.policy.pool_downgrade_after:
+                            sup.event(
+                                "downgrade_pool",
+                                f"{sup.pool_breakages} worker-pool breakages; "
+                                "running remaining chunks in-process",
+                            )
+                            return  # leftovers fall through the ladder
+                        sup.event(
+                            "pool_rebuild",
+                            f"worker pool broke ({exc}); rebuilding and "
+                            "resubmitting unfinished chunks",
+                            state.indices,
+                        )
+                        break
+                    except concurrent.futures.TimeoutError as exc:
+                        # A stuck worker cannot be interrupted cooperatively;
+                        # drop the pool so the straggler cannot poison later
+                        # chunks, then re-dispatch on a fresh one.
+                        sup.handle_failure(state, exc, timed_out=True)
+                        break
+                    except Exception as exc:
+                        sup.handle_failure(state, exc, timed_out=False)
+                        if not state.done:
+                            pending.append(
+                                (
+                                    state,
+                                    executor.submit(
+                                        _run_chunk, sup.make_payload(state)
+                                    ),
+                                )
+                            )
+                        continue
+                    sup.record_success(state, results)
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+
+
+class InProcessChunkExecutor(ChunkExecutor):
+    """Serial chunk loop with the same retry/quarantine semantics.
+
+    The bottom rung of every degradation ladder: it cannot crash a
+    pool, lose a lease or strand a worker, so it always drives its
+    chunks to ``done`` (completing or quarantining them).
+    """
+
+    def run(self, states: List[_ChunkState], sup: _Supervision) -> None:
+        for state in states:
+            while not state.done:
+                if sup.chaos is not None and sup.chaos.times_out(
+                    state.indices, state.attempt
+                ):
+                    sup.handle_failure(
+                        state,
+                        concurrent.futures.TimeoutError(
+                            "chaos: injected chunk timeout"
+                        ),
+                        timed_out=True,
+                    )
+                    continue
+                try:
+                    results = _run_chunk(sup.make_payload(state))
+                except Exception as exc:
+                    sup.handle_failure(state, exc, timed_out=False)
+                    continue
+                sup.record_success(state, results)

@@ -20,6 +20,15 @@ of aborting on the first failure it:
   where it stopped, with archives byte-identical to an uninterrupted
   run.
 
+Chunk execution itself lives behind the
+:class:`~repro.resilience.executor.ChunkExecutor` interface
+(:mod:`repro.resilience.executor`): a process pool, the in-process
+loop, or — with ``queue_dir``/``backend="distributed"`` — the
+multi-host file-queue coordinator of
+:mod:`repro.resilience.distributed`. Executors are stacked as a
+degradation ladder; whatever chunks one leaves unfinished fall through
+to the next, ending at the in-process loop which always finishes.
+
 Determinism: trial ``t`` always runs from ``derive_trial_seed(base_seed,
 t)``, results are keyed by trial index, and retrying re-runs the *same*
 payload — so neither retries, nor the worker count, nor where a chunk
@@ -32,30 +41,34 @@ deterministic.
 
 from __future__ import annotations
 
-import concurrent.futures
 import logging
-import multiprocessing
 import time
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..exceptions import TrialQuarantinedError
 from ..net.network import M2HeWNetwork
 from ..net.serialization import network_to_json
 from ..sim.parallel import (
-    ParallelPlan,
     _ChunkPayload,
     _merge_batch_size,
-    _run_chunk,
-    _wrap_failure,
+    default_chunk_size,
     resolve_plan,
 )
-from ..sim.results import DiscoveryResult, result_from_dict
+from ..sim.results import result_from_dict
 from ..sim.rng import RngFactory, derive_trial_seed
 from .chaos import ChaosPlan
 from .checkpoint import TrialJournal
-from .policy import RetryPolicy, backoff_delay
+from .executor import (
+    ChunkExecutor,
+    InProcessChunkExecutor,
+    PooledChunkExecutor,
+    QuarantinedTrial,
+    SupervisedTrials,
+    SupervisorEvent,
+    _ChunkState,
+    _Supervision,
+)
+from .policy import RetryPolicy
 
 __all__ = [
     "QuarantinedTrial",
@@ -69,245 +82,10 @@ _logger = logging.getLogger("repro.resilience")
 #: Event kinds that ``run_batch`` archives in the manifest. Retries and
 #: pool rebuilds are operational noise (logged only): archiving them
 #: would make a recovered campaign's bytes differ from a clean one's.
+#: Distributed events (lease reclaims, worker deaths, local degradation)
+#: are likewise operational: a kill schedule must not change archives.
 ARCHIVED_EVENT_KINDS = frozenset({"downgrade_pool", "downgrade_vectorized"})
 __all__.append("ARCHIVED_EVENT_KINDS")
-
-
-@dataclass(frozen=True)
-class SupervisorEvent:
-    """One supervision decision (retry, rebuild, downgrade, quarantine)."""
-
-    kind: str
-    experiment: Optional[str]
-    detail: str
-    trial_indices: Tuple[int, ...] = ()
-
-    def as_dict(self) -> Dict[str, Any]:
-        """JSON form for manifests and logs."""
-        payload: Dict[str, Any] = {"kind": self.kind, "detail": self.detail}
-        if self.experiment is not None:
-            payload["experiment"] = self.experiment
-        if self.trial_indices:
-            payload["trials"] = list(self.trial_indices)
-        return payload
-
-
-@dataclass(frozen=True)
-class QuarantinedTrial:
-    """A trial that exhausted its retry budget and was set aside.
-
-    ``base_seed`` + ``trial`` are the replay coordinates: the failing
-    seed is ``derive_trial_seed(base_seed, trial)``.
-    """
-
-    experiment: Optional[str]
-    trial: int
-    base_seed: Optional[int]
-    error: str
-
-    def as_dict(self) -> Dict[str, Any]:
-        """JSON form recorded in the campaign manifest."""
-        return {
-            "experiment": self.experiment,
-            "trial": self.trial,
-            "base_seed": self.base_seed,
-            "error": self.error,
-        }
-
-
-@dataclass
-class SupervisedTrials:
-    """Outcome of one experiment's supervised trials."""
-
-    experiment: Optional[str]
-    trials: int
-    base_seed: Optional[int]
-    completed: Dict[int, DiscoveryResult] = field(default_factory=dict)
-    quarantined: List[QuarantinedTrial] = field(default_factory=list)
-    events: List[SupervisorEvent] = field(default_factory=list)
-    #: Trials restored from a checkpoint journal rather than executed.
-    restored: int = 0
-
-    @property
-    def complete(self) -> bool:
-        """Whether every trial produced a result (nothing quarantined)."""
-        return len(self.completed) == self.trials
-
-    def results_in_order(self) -> List[Tuple[int, DiscoveryResult]]:
-        """``(trial_index, result)`` pairs sorted by trial index."""
-        return sorted(self.completed.items())
-
-
-@dataclass
-class _ChunkState:
-    indices: Tuple[int, ...]
-    attempt: int = 0
-    vectorized: bool = False
-    done: bool = False
-
-
-class _Supervision:
-    """Mutable campaign state shared by the pooled and in-process loops."""
-
-    def __init__(
-        self,
-        outcome: SupervisedTrials,
-        policy: RetryPolicy,
-        journal: Optional[TrialJournal],
-        chaos: Optional[ChaosPlan],
-        sleep: Callable[[float], None],
-        make_payload: Callable[[_ChunkState], _ChunkPayload],
-        isolate_payload: Callable[[int], _ChunkPayload],
-        on_progress: Optional[Callable[[int, int], None]] = None,
-    ) -> None:
-        self.outcome = outcome
-        self.policy = policy
-        self.journal = journal
-        self.chaos = chaos
-        self.sleep = sleep
-        self.make_payload = make_payload
-        self.isolate_payload = isolate_payload
-        self.on_progress = on_progress
-        self.total_retries = 0
-        self.pool_breakages = 0
-        self.jitter_rng = RngFactory(outcome.base_seed).stream(
-            f"resilience/backoff/{outcome.experiment or ''}"
-        )
-
-    # -- bookkeeping ----------------------------------------------------
-
-    def event(self, kind: str, detail: str, indices: Tuple[int, ...] = ()) -> None:
-        evt = SupervisorEvent(
-            kind=kind,
-            experiment=self.outcome.experiment,
-            detail=detail,
-            trial_indices=indices,
-        )
-        self.outcome.events.append(evt)
-        _logger.warning("[%s] %s: %s", self.outcome.experiment or "-", kind, detail)
-
-    def record_success(
-        self, state: _ChunkState, results: Sequence[DiscoveryResult]
-    ) -> None:
-        for trial, result in zip(state.indices, results):
-            self.outcome.completed[trial] = result
-            if self.journal is not None:
-                self.journal.record(trial, result.to_dict())
-        state.done = True
-        self.notify_progress()
-
-    def notify_progress(self) -> None:
-        """Report ``(completed, trials)`` to the observer, if any.
-
-        Fires only after the journal already holds the trials being
-        reported, so an observer that checkpoints or streams on every
-        call never sees state the journal has not committed.
-        """
-        if self.on_progress is not None:
-            self.on_progress(len(self.outcome.completed), self.outcome.trials)
-
-    # -- failure handling -----------------------------------------------
-
-    def handle_failure(
-        self, state: _ChunkState, exc: BaseException, *, timed_out: bool
-    ) -> None:
-        """Retry, isolate or quarantine a failed chunk attempt.
-
-        Sets ``state.done`` when the chunk will not be re-dispatched
-        (its trials were recovered in isolation or quarantined); leaves
-        it pending — with ``attempt`` advanced and the backoff already
-        slept — when the caller should resubmit it.
-        """
-        if state.vectorized:
-            # The batched engine produced the failure (or was at least
-            # in the loop); the per-trial path is byte-identical, so
-            # retrying through it removes one suspect for free.
-            state.vectorized = False
-            self.event(
-                "downgrade_vectorized",
-                "retrying chunk through the per-trial loop",
-                state.indices,
-            )
-        if state.attempt >= self.policy.max_retries:
-            if timed_out:
-                # An in-process re-run of a hanging trial cannot be
-                # bounded; quarantine the chunk's trials outright.
-                self.quarantine_chunk(state, exc, reason="timed out")
-            else:
-                self.isolate_chunk(state, exc)
-            state.done = True
-            return
-        self.total_retries += 1
-        if self.total_retries > self.policy.max_total_retries:
-            raise _wrap_failure(
-                exc,
-                kind="exhausted the campaign retry budget "
-                f"({self.policy.max_total_retries} retries)",
-                experiment=self.outcome.experiment,
-                indices=state.indices,
-                base_seed=self.outcome.base_seed,
-            )
-        delay = backoff_delay(self.policy, state.attempt, self.jitter_rng)
-        state.attempt += 1
-        self.event(
-            "retry",
-            f"attempt {state.attempt} after "
-            f"{type(exc).__name__} (backoff {delay:.3f}s)",
-            state.indices,
-        )
-        self.sleep(delay)
-
-    def isolate_chunk(self, state: _ChunkState, cause: BaseException) -> None:
-        """Re-run an exhausted chunk trial-by-trial, quarantining failures.
-
-        A chunk groups several trials; only the poisonous ones deserve
-        quarantine. Isolation runs in-process so a crashing worker
-        cannot take healthy trials down with it.
-        """
-        for trial in state.indices:
-            payload = self.isolate_payload(trial)
-            try:
-                results = _run_chunk(payload)
-            except Exception as exc:
-                self.quarantine_trial(trial, exc)
-            else:
-                self.outcome.completed[trial] = results[0]
-                if self.journal is not None:
-                    self.journal.record(trial, results[0].to_dict())
-                self.notify_progress()
-
-    def quarantine_chunk(
-        self, state: _ChunkState, exc: BaseException, *, reason: str
-    ) -> None:
-        for trial in state.indices:
-            if trial not in self.outcome.completed:
-                self.quarantine_trial(trial, exc, reason=reason)
-
-    def quarantine_trial(
-        self, trial: int, exc: BaseException, *, reason: Optional[str] = None
-    ) -> None:
-        detail = reason or f"{type(exc).__name__}: {exc}"
-        if not self.policy.quarantine:
-            err = TrialQuarantinedError(
-                f"experiment {self.outcome.experiment or '<unnamed>'!r}: trial "
-                f"{trial} exhausted {self.policy.max_retries} retries "
-                f"({detail}); replay with derive_trial_seed("
-                f"{self.outcome.base_seed!r}, {trial})",
-                experiment=self.outcome.experiment,
-                trial_indices=(trial,),
-                base_seed=self.outcome.base_seed,
-            )
-            err.__cause__ = exc
-            raise err
-        self.outcome.quarantined.append(
-            QuarantinedTrial(
-                experiment=self.outcome.experiment,
-                trial=trial,
-                base_seed=self.outcome.base_seed,
-                error=detail,
-            )
-        )
-        self.event("quarantine", detail, (trial,))
 
 
 def run_supervised_trials(
@@ -328,6 +106,8 @@ def run_supervised_trials(
     chaos: Optional[ChaosPlan] = None,
     sleep: Optional[Callable[[float], None]] = None,
     on_progress: Optional[Callable[[int, int], None]] = None,
+    queue_dir: Optional[Path] = None,
+    lease: Optional[Any] = None,
 ) -> SupervisedTrials:
     """Run ``trials`` seeded trials under supervision.
 
@@ -347,16 +127,48 @@ def run_supervised_trials(
             in isolation. Never called before the journal holds the
             reported trials; an exception it raises aborts the campaign
             (cooperative cancellation).
+        queue_dir: Shared work-queue directory. When set (or when
+            ``backend="distributed"``), chunks are published to the
+            queue and claimed by ``m2hew worker`` processes on any
+            host; this process coordinates (absorbs results, reclaims
+            dead leases) and degrades to executing chunks itself when
+            no live remote worker exists.
+        lease: :class:`~repro.resilience.distributed.LeasePolicy`
+            overriding lease TTL / heartbeat / poll cadence.
 
     Raises:
+        ConfigurationError: ``backend="distributed"`` without a
+            ``queue_dir``.
         TrialQuarantinedError: A trial exhausted its retries and the
             policy has quarantine disabled.
         TrialExecutionError: The campaign-wide retry budget ran out.
     """
+    # Imported lazily: the distributed module is only needed when a
+    # queue is in play, and it reuses this module's public dataclasses.
+    from .distributed import (
+        DISTRIBUTED_BACKEND,
+        DistributedChunkExecutor,
+        LeasePolicy,
+        WorkQueue,
+    )
+
+    distributed = queue_dir is not None or backend == DISTRIBUTED_BACKEND
+    if distributed and queue_dir is None:
+        from ..exceptions import ConfigurationError
+
+        raise ConfigurationError(
+            "backend 'distributed' needs a shared queue directory "
+            "(queue_dir= / --queue)"
+        )
+    plan_backend = "serial" if distributed else backend
     policy = policy or RetryPolicy()
-    chunk_size = _merge_batch_size(backend, chunk_size, batch_size)
+    chunk_size = _merge_batch_size(plan_backend, chunk_size, batch_size)
+    if distributed and chunk_size is None:
+        # Serial plans default to one chunk per campaign; a shared
+        # queue wants enough chunks for workers to steal.
+        chunk_size = default_chunk_size(trials, 4)
     plan = resolve_plan(
-        trials, max_workers=max_workers, backend=backend, chunk_size=chunk_size
+        trials, max_workers=max_workers, backend=plan_backend, chunk_size=chunk_size
     )
     params: Dict[str, Any] = dict(runner_params or {})
     seeds = [derive_trial_seed(base_seed, t) for t in range(trials)]
@@ -417,15 +229,34 @@ def run_supervised_trials(
         sleep=sleep if sleep is not None else time.sleep,
         make_payload=make_payload,
         isolate_payload=isolate_payload,
+        jitter_rng=RngFactory(base_seed).stream(
+            f"resilience/backoff/{experiment or ''}"
+        ),
         on_progress=on_progress,
     )
     states = [
         _ChunkState(indices=chunk, vectorized=plan.vectorized)
         for chunk in _contiguous_chunks(remaining, plan.chunk_size)
     ]
-    if plan.backend == "process":
-        _run_pooled(states, plan, trial_timeout, supervision)
-    _run_in_process(states, supervision)
+    ladder: List[ChunkExecutor] = []
+    if distributed:
+        assert queue_dir is not None
+        ladder.append(
+            DistributedChunkExecutor(
+                queue=WorkQueue(Path(queue_dir)),
+                lease=lease if isinstance(lease, LeasePolicy) else LeasePolicy(),
+                protocol=protocol,
+                network_json=network_json,
+                runner_params=params,
+                base_seed=base_seed,
+            )
+        )
+    elif plan.backend == "process":
+        ladder.append(PooledChunkExecutor(plan, trial_timeout))
+    ladder.append(InProcessChunkExecutor())
+    for rung in ladder:
+        if any(not s.done for s in states):
+            rung.run(states, supervision)
     return outcome
 
 
@@ -437,116 +268,3 @@ def _contiguous_chunks(
         tuple(indices[lo : lo + chunk_size])
         for lo in range(0, len(indices), chunk_size)
     ]
-
-
-def _run_pooled(
-    states: List[_ChunkState],
-    plan: ParallelPlan,
-    trial_timeout: Optional[float],
-    sup: _Supervision,
-) -> None:
-    """Pool dispatch with per-chunk retry and crash-driven degradation.
-
-    Rounds: submit every unfinished chunk, collect strictly in dispatch
-    order, retry soft failures on the live pool; a broken pool or a
-    timeout ends the round (the executor is dropped) and the next round
-    resubmits whatever is left. After ``policy.pool_downgrade_after``
-    breakages the remaining chunks fall through to the in-process loop.
-    """
-    context = multiprocessing.get_context(plan.start_method)
-    while any(not s.done for s in states):
-        open_states = [s for s in states if not s.done]
-        executor = concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(plan.max_workers, len(open_states)),
-            mp_context=context,
-        )
-        try:
-            pending: List[Tuple[_ChunkState, Any]] = [
-                (state, executor.submit(_run_chunk, sup.make_payload(state)))
-                for state in open_states
-            ]
-            index = 0
-            while index < len(pending):
-                state, future = pending[index]
-                index += 1
-                if state.done:  # finished by a retry earlier this round
-                    continue
-                if sup.chaos is not None and sup.chaos.times_out(
-                    state.indices, state.attempt
-                ):
-                    future.cancel()
-                    sup.handle_failure(
-                        state,
-                        concurrent.futures.TimeoutError(
-                            "chaos: injected chunk timeout"
-                        ),
-                        timed_out=True,
-                    )
-                    break  # timeout semantics: the pool is suspect
-                budget = (
-                    None
-                    if trial_timeout is None
-                    else trial_timeout * len(state.indices)
-                )
-                try:
-                    results = future.result(timeout=budget)
-                except BrokenProcessPool as exc:
-                    sup.pool_breakages += 1
-                    if sup.pool_breakages >= sup.policy.pool_downgrade_after:
-                        sup.event(
-                            "downgrade_pool",
-                            f"{sup.pool_breakages} worker-pool breakages; "
-                            "running remaining chunks in-process",
-                        )
-                        return  # leftovers handled by _run_in_process
-                    sup.event(
-                        "pool_rebuild",
-                        f"worker pool broke ({exc}); rebuilding and "
-                        "resubmitting unfinished chunks",
-                        state.indices,
-                    )
-                    break
-                except concurrent.futures.TimeoutError as exc:
-                    # A stuck worker cannot be interrupted cooperatively;
-                    # drop the pool so the straggler cannot poison later
-                    # chunks, then re-dispatch on a fresh one.
-                    sup.handle_failure(state, exc, timed_out=True)
-                    break
-                except Exception as exc:
-                    sup.handle_failure(state, exc, timed_out=False)
-                    if not state.done:
-                        pending.append(
-                            (
-                                state,
-                                executor.submit(
-                                    _run_chunk, sup.make_payload(state)
-                                ),
-                            )
-                        )
-                    continue
-                sup.record_success(state, results)
-        finally:
-            executor.shutdown(wait=False, cancel_futures=True)
-
-
-def _run_in_process(states: List[_ChunkState], sup: _Supervision) -> None:
-    """Serial chunk loop with the same retry/quarantine semantics."""
-    for state in states:
-        while not state.done:
-            if sup.chaos is not None and sup.chaos.times_out(
-                state.indices, state.attempt
-            ):
-                sup.handle_failure(
-                    state,
-                    concurrent.futures.TimeoutError(
-                        "chaos: injected chunk timeout"
-                    ),
-                    timed_out=True,
-                )
-                continue
-            try:
-                results = _run_chunk(sup.make_payload(state))
-            except Exception as exc:
-                sup.handle_failure(state, exc, timed_out=False)
-                continue
-            sup.record_success(state, results)

@@ -24,10 +24,11 @@ from .campaigns import (
     request_fingerprint,
     resolve_fault_plan,
 )
+from .client import ServiceClient, ServiceError
 from .jobs import CampaignJob, JobStore
 from .progress import ProgressEvent, ProgressTracker
 from .scheduler import CampaignScheduler, QuotaPolicy
-from .store import ResultStore
+from .store import LRU_INDEX_NAME, ResultStore
 from .worker import ExecutionResult, execute_job
 
 __all__ = [
@@ -37,10 +38,13 @@ __all__ = [
     "CampaignService",
     "ExecutionResult",
     "JobStore",
+    "LRU_INDEX_NAME",
     "ProgressEvent",
     "ProgressTracker",
     "QuotaPolicy",
     "ResultStore",
+    "ServiceClient",
+    "ServiceError",
     "campaign_specs",
     "execute_job",
     "request_fingerprint",

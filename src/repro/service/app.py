@@ -84,11 +84,18 @@ class CampaignService:
         max_workers: int = 1,
         backend: str = "auto",
         chunk_size: Optional[int] = 1,
+        queue_dir: Optional[Union[str, Path]] = None,
+        store_max_archives: Optional[int] = None,
+        store_max_bytes: Optional[int] = None,
     ) -> None:
         data = Path(data_dir)
         self.data_dir = data
         self.jobs = JobStore(data / "jobs")
-        self.store = ResultStore(data / "store")
+        self.store = ResultStore(
+            data / "store",
+            max_archives=store_max_archives,
+            max_bytes=store_max_bytes,
+        )
         self.checkpoint_root = data / "ckpt"
         self.scheduler = CampaignScheduler(quota)
         self.progress = ProgressTracker()
@@ -96,6 +103,9 @@ class CampaignService:
         self.max_workers = max_workers
         self.backend = backend
         self.chunk_size = chunk_size
+        #: Shared distributed work queue; jobs fan chunks out to any
+        #: ``m2hew worker --queue`` process that mounts it.
+        self.queue_dir = None if queue_dir is None else Path(queue_dir)
         #: fingerprint → job_id for queued/running jobs (join-dedup).
         self._inflight: Dict[str, str] = {}
         self._cancel_flags: Dict[str, threading.Event] = {}
@@ -209,6 +219,7 @@ class CampaignService:
                 chunk_size=self.chunk_size,
                 on_progress=on_progress,
                 cancelled=flag.is_set,
+                queue_dir=self.queue_dir,
             )
         except JobCancelledError:
             job.state = "cancelled"
@@ -227,6 +238,16 @@ class CampaignService:
             self._cancel_flags.pop(job.job_id, None)
             self.jobs.save(job)
             self.progress.emit(job.job_id, "state", job.state)
+            # Bound the store: in-flight fingerprints and the archive
+            # this job just produced are protected from eviction.
+            try:
+                evicted = self.store.enforce_limits(
+                    protect=set(self._inflight) | {job.fingerprint}
+                )
+            except OSError:
+                evicted = []
+            for fingerprint in evicted:
+                _logger.info("evicted archive %s…", fingerprint[:12])
             self._wake.set()
 
     # -- routing ---------------------------------------------------------

@@ -1,0 +1,194 @@
+"""Stdlib HTTP client for the campaign service (``m2hew submit``).
+
+A deliberately small client over :mod:`http.client` — no third-party
+HTTP stack — speaking the REST surface documented in
+:mod:`repro.service.app`:
+
+* :meth:`ServiceClient.submit` posts a
+  :class:`~repro.service.campaigns.CampaignRequest` and returns the
+  service's submission envelope (``job``, ``created``, ``cache_hit``);
+* :meth:`ServiceClient.status` reads one job, optionally with the
+  progress events past a cursor (``?since=N``) so a poller never
+  re-reads events it has seen;
+* :meth:`ServiceClient.wait` polls status until the job reaches a
+  terminal state, reporting fresh progress events along the way;
+* :meth:`ServiceClient.fetch_result` / :meth:`ServiceClient.fetch_file`
+  retrieve the verified result listing and raw archive bytes.
+
+Downloaded archives remain self-verifying: fetch every listed file into
+a directory and ``m2hew verify-archive`` checks it against the same
+manifest checksums the server verified before serving.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from .campaigns import CampaignRequest
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the campaign service.
+
+    Attributes:
+        status: The HTTP status code.
+        detail: The service's ``error`` message when the body carried
+            one, else the raw body text.
+    """
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.detail = detail
+
+
+class ServiceClient:
+    """One campaign-service endpoint, addressed by host and port.
+
+    Args:
+        host: Service host (as passed to ``m2hew serve --host``).
+        port: Service port.
+        timeout: Per-request socket timeout in seconds.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8642, *, timeout: float = 30.0
+    ) -> None:
+        if port < 1 or port > 65535:
+            raise ConfigurationError(f"port must be in [1, 65535], got {port}")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body, sort_keys=True).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        status, raw = self._request(method, path, body)
+        if status >= 400:
+            raise ServiceError(status, _error_detail(raw))
+        document = json.loads(raw.decode("utf-8"))
+        if not isinstance(document, dict):
+            raise ServiceError(status, f"expected a JSON object, got {document!r}")
+        return document
+
+    # -- API -------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """The service's liveness document (``GET /health``)."""
+        return self._json("GET", "/health")
+
+    def submit(self, request: CampaignRequest) -> Dict[str, Any]:
+        """Submit a campaign; returns ``{job, created, cache_hit}``."""
+        return self._json("POST", "/campaigns", body=request.as_dict())
+
+    def status(
+        self, job_id: str, since: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """One job's record, plus events past ``since`` when given."""
+        path = f"/campaigns/{job_id}"
+        if since is not None:
+            path += f"?since={since}"
+        return self._json("GET", path)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Request cancellation (cooperative when the job is running)."""
+        return self._json("POST", f"/campaigns/{job_id}/cancel")
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        poll_interval: float = 0.25,
+        timeout: Optional[float] = None,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final record.
+
+        Every progress event the service emits is delivered exactly once
+        to ``on_event`` (the ``?since=`` cursor advances past delivered
+        events), so a caller can stream per-trial progress without a
+        long-lived connection.
+
+        Args:
+            job_id: The job to watch.
+            poll_interval: Seconds between status polls.
+            timeout: Give up after this many seconds (``None`` = wait
+                forever); raises :class:`TimeoutError`.
+            on_event: Observer for each fresh progress event dict.
+            sleep: Injectable clock for tests.
+        """
+        cursor = 0
+        waited = 0.0
+        while True:
+            document = self.status(job_id, since=cursor)
+            for event in document.get("events", []):
+                if on_event is not None:
+                    on_event(event)
+            cursor = int(document.get("next_cursor", cursor))
+            job = document["job"]
+            if job.get("state") in ("done", "failed", "cancelled"):
+                return job
+            if timeout is not None and waited >= timeout:
+                raise TimeoutError(
+                    f"job {job_id} still {job.get('state')!r} after {waited:.1f}s"
+                )
+            sleep(poll_interval)
+            waited += poll_interval
+
+    def fetch_result(self, job_id: str) -> Dict[str, Any]:
+        """The verified result listing (``files`` + verification report)."""
+        return self._json("GET", f"/campaigns/{job_id}/result")
+
+    def fetch_file(self, job_id: str, name: str) -> bytes:
+        """Raw bytes of one archive file."""
+        status, raw = self._request("GET", f"/campaigns/{job_id}/files/{name}")
+        if status >= 400:
+            raise ServiceError(status, _error_detail(raw))
+        return raw
+
+    def download_archive(self, job_id: str, names: List[str]) -> Dict[str, bytes]:
+        """Fetch the named archive files; ``name -> bytes`` in given order."""
+        return {name: self.fetch_file(job_id, name) for name in names}
+
+
+def _error_detail(raw: bytes) -> str:
+    try:
+        document = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return raw.decode("utf-8", errors="replace")
+    if isinstance(document, dict) and isinstance(document.get("error"), str):
+        return document["error"]
+    return raw.decode("utf-8", errors="replace")

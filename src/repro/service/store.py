@@ -9,6 +9,17 @@ archive against its manifest checksums
 archive as a miss, discarding it so the campaign recomputes instead of
 serving damaged bytes. File reads are restricted to names the manifest
 lists, so the HTTP layer cannot be walked out of an archive directory.
+
+The store can be capped (``max_archives`` / ``max_bytes``): when
+:meth:`enforce_limits` runs — the service calls it after every job —
+least-recently-used archives are evicted until the caps hold. Recency
+is a monotonic *use counter* journaled in ``.lru-index.json`` (atomic
+writes, torn-file tolerant via
+:func:`~repro.resilience.checkpoint.load_sidecar`), not wall-clock
+mtimes, so recency survives restarts and clock steps. Eviction is
+verified-archive-aware — archives that fail verification are junk and
+go first, regardless of recency — and never touches a protected
+fingerprint (jobs in flight, the archive just produced).
 """
 
 from __future__ import annotations
@@ -16,19 +27,48 @@ from __future__ import annotations
 import json
 import shutil
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import AbstractSet, Dict, List, Optional, Union
 
 from ..exceptions import ConfigurationError
+from ..resilience.atomic import atomic_write_text
+from ..resilience.checkpoint import load_sidecar
 from ..resilience.verify import VerificationReport, verify_archive
 
-__all__ = ["ResultStore"]
+__all__ = ["LRU_INDEX_NAME", "ResultStore"]
+
+#: Recency journal, stored next to the archives it ranks. The leading
+#: dot keeps it out of ``path_for``'s reachable fingerprint space.
+LRU_INDEX_NAME = ".lru-index.json"
 
 
 class ResultStore:
-    """Campaign archives keyed by content fingerprint."""
+    """Campaign archives keyed by content fingerprint.
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    Args:
+        directory: Root directory (one subdirectory per fingerprint).
+        max_archives: Keep at most this many archives (``None`` = no
+            count cap).
+        max_bytes: Keep the archives' total size at or under this
+            (``None`` = no size cap). A single archive larger than the
+            cap survives until a newer one displaces it.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        max_archives: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_archives is not None and max_archives < 1:
+            raise ConfigurationError(
+                f"max_archives must be >= 1, got {max_archives}"
+            )
+        if max_bytes is not None and max_bytes < 1:
+            raise ConfigurationError(f"max_bytes must be >= 1, got {max_bytes}")
         self.directory = Path(directory)
+        self.max_archives = max_archives
+        self.max_bytes = max_bytes
 
     def path_for(self, fingerprint: str) -> Path:
         """Directory a campaign with this fingerprint archives into."""
@@ -56,6 +96,7 @@ class ResultStore:
         if not verify_archive(path).ok:
             self.discard(fingerprint)
             return None
+        self.touch(fingerprint)
         return path
 
     def discard(self, fingerprint: str) -> None:
@@ -88,3 +129,116 @@ class ResultStore:
                 f"{name!r} is not a file of archive {fingerprint}"
             )
         return (self.path_for(fingerprint) / name).read_bytes()
+
+    # -- recency + eviction ---------------------------------------------
+
+    def _index_path(self) -> Path:
+        return self.directory / LRU_INDEX_NAME
+
+    def _load_index(self) -> Dict[str, object]:
+        index = load_sidecar(self._index_path())
+        if index is None or index.get("kind") != "lru":
+            return {"kind": "lru", "counter": 0, "touched": {}}
+        if not isinstance(index.get("touched"), dict):
+            index["touched"] = {}
+        return index
+
+    def touch(self, fingerprint: str) -> None:
+        """Mark a fingerprint as just-used (monotonic counter, not clock)."""
+        self.path_for(fingerprint)  # reject malformed names
+        index = self._load_index()
+        counter = int(index.get("counter", 0)) + 1  # type: ignore[call-overload]
+        touched = dict(index["touched"])  # type: ignore[arg-type]
+        touched[fingerprint] = counter
+        atomic_write_text(
+            self._index_path(),
+            json.dumps(
+                {"kind": "lru", "counter": counter, "touched": touched},
+                sort_keys=True,
+            )
+            + "\n",
+        )
+
+    def stored_fingerprints(self) -> List[str]:
+        """Fingerprints with an archive directory present, sorted."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            p.name
+            for p in self.directory.iterdir()
+            if p.is_dir() and not p.name.startswith(".")
+        )
+
+    def total_bytes(self) -> int:
+        """Total size of all stored archives (recursive file sizes)."""
+        total = 0
+        for fingerprint in self.stored_fingerprints():
+            total += self._archive_bytes(self.path_for(fingerprint))
+        return total
+
+    @staticmethod
+    def _archive_bytes(path: Path) -> int:
+        return sum(
+            f.stat().st_size for f in sorted(path.rglob("*")) if f.is_file()
+        )
+
+    def enforce_limits(
+        self, protect: AbstractSet[str] = frozenset()
+    ) -> List[str]:
+        """Evict archives until the configured caps hold.
+
+        Eviction order: unverifiable archives first (they would be
+        discarded on lookup anyway), then verified ones least-recently
+        used first (never-touched archives rank oldest). ``protect``
+        names fingerprints that must survive regardless — the service
+        passes every in-flight job's fingerprint plus the archive it
+        just finished, so eviction can never pull a directory out from
+        under a running ``run_batch`` or an archive about to be served.
+
+        Returns the evicted fingerprints, in eviction order.
+        """
+        if self.max_archives is None and self.max_bytes is None:
+            return []
+        index = self._load_index()
+        touched = index["touched"]
+        assert isinstance(touched, dict)
+        candidates = []  # (corrupt_last, recency, fingerprint, size)
+        sizes: Dict[str, int] = {}
+        for fingerprint in self.stored_fingerprints():
+            sizes[fingerprint] = self._archive_bytes(self.path_for(fingerprint))
+            if fingerprint in protect:
+                continue
+            verified = verify_archive(self.path_for(fingerprint)).ok
+            recency = int(touched.get(fingerprint, 0))
+            candidates.append((1 if verified else 0, recency, fingerprint))
+        candidates.sort()
+        evicted: List[str] = []
+        count = len(sizes)
+        total = sum(sizes.values())
+        for _verified, _recency, fingerprint in candidates:
+            over_count = self.max_archives is not None and count > self.max_archives
+            over_bytes = self.max_bytes is not None and total > self.max_bytes
+            if not (over_count or over_bytes):
+                break
+            self.discard(fingerprint)
+            evicted.append(fingerprint)
+            count -= 1
+            total -= sizes[fingerprint]
+        if evicted:
+            remaining = {
+                fp: tick for fp, tick in sorted(touched.items())
+                if fp not in set(evicted)
+            }
+            atomic_write_text(
+                self._index_path(),
+                json.dumps(
+                    {
+                        "kind": "lru",
+                        "counter": int(index.get("counter", 0)),  # type: ignore[call-overload]
+                        "touched": remaining,
+                    },
+                    sort_keys=True,
+                )
+                + "\n",
+            )
+        return evicted

@@ -70,6 +70,7 @@ def execute_job(
     chunk_size: Optional[int] = 1,
     on_progress: Optional[Callable[[str, int, int], None]] = None,
     cancelled: Optional[Callable[[], bool]] = None,
+    queue_dir: Optional[Union[str, Path]] = None,
 ) -> ExecutionResult:
     """Run one job to a verified archive in the store.
 
@@ -90,6 +91,12 @@ def execute_job(
             total)`` as trials complete (after journaling).
         cancelled: Probe polled at every progress point; returning True
             aborts via :class:`~repro.exceptions.JobCancelledError`.
+        queue_dir: Shared work-queue directory. When set, trial chunks
+            are published for ``m2hew worker`` processes (any host
+            sharing the directory) instead of running in-process — see
+            :mod:`repro.resilience.distributed`. Archives stay
+            byte-identical either way, so this changes job latency,
+            never job output.
 
     Raises:
         JobCancelledError: The probe reported cancellation.
@@ -134,8 +141,10 @@ def execute_job(
         retry=retry or RetryPolicy(),
         checkpoint_dir=checkpoint_dir,
         on_progress=observer,
+        queue_dir=queue_dir,
     )
     verify_archive(archive_dir).raise_if_corrupt()
+    store.touch(fingerprint)
     # The archive now carries the campaign; the journals were only ever
     # its in-flight state. Dropping them keeps the data dir bounded.
     shutil.rmtree(checkpoint_dir, ignore_errors=True)

@@ -200,9 +200,17 @@ def _run_spec(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     chaos: Optional[ChaosPlan] = None,
     on_progress: Optional[Callable[[int, int], None]] = None,
+    queue_dir: Optional[Union[str, Path]] = None,
+    lease: Optional[Any] = None,
 ) -> BatchOutcome:
     network = generate_network(spec.workload, seed=spec.network_seed)
-    supervised = retry is not None or checkpoint_dir is not None or chaos is not None
+    supervised = (
+        retry is not None
+        or checkpoint_dir is not None
+        or chaos is not None
+        or queue_dir is not None
+        or backend == "distributed"
+    )
 
     quarantined: List["QuarantinedTrial"] = []
     events: List["SupervisorEvent"] = []
@@ -234,6 +242,8 @@ def _run_spec(
                 journal=journal,
                 chaos=chaos,
                 on_progress=on_progress,
+                queue_dir=None if queue_dir is None else Path(queue_dir),
+                lease=lease,
             )
         finally:
             if journal is not None:
@@ -381,6 +391,8 @@ def run_batch(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     chaos: Optional[ChaosPlan] = None,
     on_progress: Optional[Callable[[str, int, int], None]] = None,
+    queue_dir: Optional[Union[str, Path]] = None,
+    lease: Optional[Any] = None,
 ) -> List[BatchOutcome]:
     """Run every experiment; optionally archive raw trials + manifest.
 
@@ -405,7 +417,8 @@ def run_batch(
             into parameter-grid batches
             (:class:`~repro.sim.batched.GridBatchedSimulator`) — one
             kernel pass advances every spec point, still byte-identical
-            to per-spec execution.
+            to per-spec execution. ``distributed`` (with ``queue_dir``)
+            shards chunks across ``m2hew worker`` processes instead.
         chunk_size: Trials per worker dispatch (default: auto).
         batch_size: Trials per vectorized batch (``vectorized`` only;
             default: one batch per dispatch unit).
@@ -419,6 +432,14 @@ def run_batch(
             byte-identical to an uninterrupted run's.
         chaos: Deterministic execution-layer fault plan (implies
             supervision); for tests and recovery drills.
+        queue_dir: Shared work-queue directory (implies supervision):
+            chunks are published for ``m2hew worker`` processes on any
+            host to claim, with this process coordinating — see
+            :mod:`repro.resilience.distributed`. Archives stay
+            byte-identical for any worker count or kill schedule.
+        lease: Optional
+            :class:`~repro.resilience.distributed.LeasePolicy`
+            (cadence/TTL knobs for the queue protocol).
         on_progress: Optional observer called with ``(experiment name,
             trials completed, trials total)`` as each experiment
             advances (per trial, batch or collected chunk depending on
@@ -442,7 +463,13 @@ def run_batch(
     # into grid batches — one kernel pass advances every spec point.
     # Byte-identical to per-spec execution, so the archive (written in
     # spec order below) cannot tell the difference.
-    supervised = retry is not None or checkpoint_dir is not None or chaos is not None
+    supervised = (
+        retry is not None
+        or checkpoint_dir is not None
+        or chaos is not None
+        or queue_dir is not None
+        or backend == "distributed"
+    )
     fused: Dict[int, BatchOutcome] = {}
     if not supervised:
         for indices in _grid_groups(specs, backend):
@@ -478,6 +505,8 @@ def run_batch(
             on_progress=(
                 None if on_progress is None else partial(on_progress, spec.name)
             ),
+            queue_dir=queue_dir,
+            lease=lease,
         )
         for i, spec in enumerate(specs)
     ]

@@ -175,7 +175,12 @@ class DiscoveryResult:
         """JSON-compatible form; inverse of :func:`result_from_dict`.
 
         Only JSON-representable metadata values survive the round trip;
-        others are stringified.
+        others are stringified. Metadata is returned in its *JSON-normal*
+        form (nested int keys become strings, tuples become lists), so a
+        result that round-tripped through a journal or work queue
+        serializes byte-identically to one that never left memory —
+        ``sort_keys`` would otherwise order a 10+-entry int-keyed dict
+        (numerically) differently from its reloaded self (lexically).
         """
         return {
             "format_version": RESULT_FORMAT_VERSION,
@@ -194,7 +199,9 @@ class DiscoveryResult:
             },
             "start_times": {str(n): t for n, t in self.start_times.items()},
             "network_params": dict(self.network_params),
-            "metadata": {k: _jsonable(v) for k, v in self.metadata.items()},
+            "metadata": json.loads(
+                json.dumps({k: _jsonable(v) for k, v in self.metadata.items()})
+            ),
         }
 
     def save(self, path: Union[str, Path]) -> None:

@@ -244,6 +244,78 @@ class TestResultStore:
             store.read_file(fingerprint, "../../etc/passwd")
 
 
+class TestStoreEviction:
+    def _filled(self, tmp_path, **caps):
+        """A store holding three archives, touched in seed order."""
+        store = ResultStore(tmp_path, **caps)
+        fingerprints = []
+        for seed in (0, 1, 2):
+            fingerprints.append(
+                populate_store(store, request(base_seed=seed))
+            )
+            store.touch(fingerprints[-1])
+        return store, fingerprints
+
+    def test_cap_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="max_archives"):
+            ResultStore(tmp_path, max_archives=0)
+        with pytest.raises(ConfigurationError, match="max_bytes"):
+            ResultStore(tmp_path, max_bytes=0)
+
+    def test_no_caps_never_evicts(self, tmp_path):
+        store, fingerprints = self._filled(tmp_path)
+        assert store.enforce_limits() == []
+        assert store.stored_fingerprints() == sorted(fingerprints)
+
+    def test_count_cap_evicts_least_recently_used(self, tmp_path):
+        store, fingerprints = self._filled(tmp_path, max_archives=2)
+        store.touch(fingerprints[0])  # oldest becomes most recent
+        evicted = store.enforce_limits()
+        assert evicted == [fingerprints[1]]
+        assert sorted(store.stored_fingerprints()) == sorted(
+            [fingerprints[0], fingerprints[2]]
+        )
+
+    def test_lookup_refreshes_recency(self, tmp_path):
+        store, fingerprints = self._filled(tmp_path, max_archives=1)
+        assert store.lookup(fingerprints[0]) is not None  # touch via use
+        evicted = store.enforce_limits()
+        assert fingerprints[0] not in evicted
+        assert store.stored_fingerprints() == [fingerprints[0]]
+
+    def test_byte_cap_evicts_until_under(self, tmp_path):
+        store, fingerprints = self._filled(tmp_path)
+        one_archive = store._archive_bytes(store.path_for(fingerprints[0]))
+        capped = ResultStore(tmp_path, max_bytes=one_archive + 1)
+        evicted = capped.enforce_limits()
+        assert len(evicted) == 2
+        assert capped.total_bytes() <= one_archive + 1
+
+    def test_protected_fingerprints_survive(self, tmp_path):
+        store, fingerprints = self._filled(tmp_path, max_archives=1)
+        evicted = store.enforce_limits(protect={fingerprints[0]})
+        assert fingerprints[0] not in evicted
+        assert fingerprints[0] in store.stored_fingerprints()
+
+    def test_corrupt_archives_evicted_first(self, tmp_path):
+        store, fingerprints = self._filled(tmp_path, max_archives=2)
+        store.touch(fingerprints[2])  # newest recency, then corrupt it
+        flip_byte(
+            store.path_for(fingerprints[2])
+            / "single_common_channel_algorithm3.json",
+            index=10,
+        )
+        evicted = store.enforce_limits()
+        assert evicted == [fingerprints[2]]
+
+    def test_torn_lru_index_tolerated(self, tmp_path):
+        store, fingerprints = self._filled(tmp_path, max_archives=2)
+        (tmp_path / ".lru-index.json").write_text('{"kind": "lru", "cou')
+        evicted = store.enforce_limits()  # falls back to empty recency
+        assert len(evicted) == 1
+        assert len(store.stored_fingerprints()) == 2
+
+
 class TestQuotaPolicy:
     def test_validation(self):
         with pytest.raises(ConfigurationError, match="max_active"):
